@@ -1,0 +1,51 @@
+// Ablation: roaming reads — each read-only transaction goes to a random
+// secondary instead of the session's home site. This exposes the difference
+// between strong session SI (Definition 2.2: read-read monotonicity) and
+// prefix-consistent SI (Section 7: only the session's own updates order
+// later transactions): under PCSI and weak SI a session's observed snapshot
+// can move backwards; strong session SI pays a little extra blocking to
+// forbid it.
+
+#include <cstdio>
+
+#include "simmodel/model.h"
+
+using namespace lazysi;
+using namespace lazysi::simmodel;
+
+int main() {
+  const int reps = DefaultReplications();
+  const double scale = TimeScale();
+  const session::Guarantee algorithms[] = {
+      session::Guarantee::kWeakSI, session::Guarantee::kPrefixConsistentSI,
+      session::Guarantee::kStrongSessionSI, session::Guarantee::kStrongSI};
+
+  Params base;
+  base.num_secondaries = 5;
+  base.total_clients_override = 100;
+  std::printf("%s\n", base.ToTableString().c_str());
+  std::printf("Ablation: home-bound vs roaming reads (100 clients, 5 "
+              "secondaries, 80/20)\n\n");
+  std::printf("%-10s | %-22s | %16s | %12s | %12s\n", "routing", "algorithm",
+              "regressions/1k RO", "ro block (s)", "ro resp (s)");
+  std::printf("%s\n", std::string(84, '-').c_str());
+  for (bool roam : {false, true}) {
+    for (auto g : algorithms) {
+      Params p = base;
+      p.roam_reads = roam;
+      p.guarantee = g;
+      p.warmup_time *= scale;
+      p.measure_time *= scale;
+      ReplicatedResult r = RunReplications(p, reps);
+      std::printf("%-10s | %-22s | %10.2f +/- %-5.2f | %12.3f | %12.3f\n",
+                  roam ? "roaming" : "home",
+                  std::string(session::GuaranteeName(g)).c_str(),
+                  r.regressions_per_k.mean, r.regressions_per_k.ci95,
+                  r.ro_block.mean, r.ro_response.mean);
+    }
+    std::printf("%s\n", std::string(84, '-').c_str());
+  }
+  std::printf("Strong session SI keeps regressions at zero even while "
+              "roaming;\nPCSI trades those regressions for less blocking.\n");
+  return 0;
+}

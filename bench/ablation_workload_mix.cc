@@ -1,0 +1,47 @@
+// Ablation: read/update mix sweep. Figures 2-7 use the TPC-W shopping mix
+// (80/20) and Figure 8 the browsing mix (95/5); this sweep fills in the
+// space between and beyond, showing how the primary's update capacity
+// bounds every algorithm and where the session guarantee's cost peaks.
+
+#include <cstdio>
+
+#include "simmodel/model.h"
+
+using namespace lazysi;
+using namespace lazysi::simmodel;
+
+int main() {
+  const int reps = DefaultReplications();
+  const double scale = TimeScale();
+  const double update_fractions[] = {0.02, 0.05, 0.1, 0.2, 0.35, 0.5};
+  const session::Guarantee algorithms[] = {
+      session::Guarantee::kWeakSI, session::Guarantee::kStrongSessionSI,
+      session::Guarantee::kStrongSI};
+
+  Params base;
+  base.num_secondaries = 5;
+  base.total_clients_override = 150;
+  std::printf("%s\n", base.ToTableString().c_str());
+  std::printf("Ablation: update fraction sweep (150 clients, 5 "
+              "secondaries)\n\n");
+  std::printf("%-10s | %-22s | %12s | %12s | %12s | %12s\n", "updates",
+              "algorithm", "tput<=3s", "ro resp (s)", "upd resp (s)",
+              "primary util");
+  std::printf("%s\n", std::string(96, '-').c_str());
+  for (double frac : update_fractions) {
+    for (auto g : algorithms) {
+      Params p = base;
+      p.update_tran_prob = frac;
+      p.guarantee = g;
+      p.warmup_time *= scale;
+      p.measure_time *= scale;
+      ReplicatedResult r = RunReplications(p, reps);
+      std::printf("%-10.2f | %-22s | %12.2f | %12.3f | %12.3f | %12.2f\n",
+                  frac, std::string(session::GuaranteeName(g)).c_str(),
+                  r.throughput_fast.mean, r.ro_response.mean,
+                  r.upd_response.mean, r.primary_utilization.mean);
+    }
+    std::printf("%s\n", std::string(96, '-').c_str());
+  }
+  return 0;
+}

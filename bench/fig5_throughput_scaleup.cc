@@ -1,0 +1,27 @@
+// Figure 5: Transaction Throughput vs. Number of Secondary Sites,
+// 20 clients per secondary, 80/20 workload, with the paper's y=x ideal
+// scaling reference. Expected shape: near-linear growth for ALG-WEAK-SI and
+// ALG-STRONG-SESSION-SI until the primary saturates (past ~11 secondaries,
+// Section 6.2.1), ALG-STRONG-SI flat and low throughout.
+
+#include "bench/fig_common.h"
+
+int main() {
+  using namespace lazysi::bench;
+  auto make = [](double secondaries) {
+    Params p;
+    p.num_secondaries = static_cast<std::size_t>(secondaries);
+    p.clients_per_secondary = 20;
+    return p;
+  };
+  const std::vector<double> xs = {1, 2, 4, 6, 8, 10, 11, 12, 14, 16};
+  PrintParams(make(xs.front()));
+  auto rows = SweepAlgorithms(xs, make);
+  PrintFigure(
+      "Figure 5: Throughput vs. Number of Secondaries (20 clients each, "
+      "80/20)",
+      "secondary sites", "txns finishing <= 3s, per second", rows,
+      [](const ReplicatedResult& r) { return r.throughput_fast; },
+      /*show_ideal=*/true);
+  return 0;
+}

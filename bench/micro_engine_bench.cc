@@ -1,0 +1,138 @@
+// Micro-benchmarks of the storage/transaction substrate (google-benchmark):
+// not a paper figure, but the numbers that determine how much headroom the
+// real (non-simulated) engine has relative to the model's 20 ms/op budget.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/database.h"
+#include "storage/versioned_store.h"
+#include "txn/txn_manager.h"
+
+namespace {
+
+using lazysi::engine::Database;
+using lazysi::storage::VersionedStore;
+using lazysi::storage::WriteSet;
+
+void BM_AutoCommitPut(benchmark::State& state) {
+  Database db;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Put("key" + std::to_string(i++ % 1024), "v"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AutoCommitPut);
+
+void BM_TxnBeginCommitEmpty(benchmark::State& state) {
+  Database db;
+  for (auto _ : state) {
+    auto t = db.Begin(/*read_only=*/true);
+    benchmark::DoNotOptimize(t->Commit());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TxnBeginCommitEmpty);
+
+void BM_TxnMultiOp(benchmark::State& state) {
+  Database db;
+  const int ops = static_cast<int>(state.range(0));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto t = db.Begin();
+    for (int o = 0; o < ops; ++o) {
+      (void)t->Put("key" + std::to_string((i + o) % 4096),
+                   std::to_string(i));
+    }
+    benchmark::DoNotOptimize(t->Commit());
+    i += ops;
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+}
+BENCHMARK(BM_TxnMultiOp)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_SnapshotGet(benchmark::State& state) {
+  VersionedStore store;
+  const int versions = static_cast<int>(state.range(0));
+  // One key with a long version chain: measures the binary search.
+  for (int v = 1; v <= versions; ++v) {
+    WriteSet ws;
+    ws.Put("hot", std::to_string(v));
+    store.Apply(ws, static_cast<lazysi::Timestamp>(v));
+  }
+  lazysi::Timestamp snap = versions / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Get("hot", snap));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotGet)->Arg(1)->Arg(64)->Arg(4096);
+
+void BM_FcwValidation(benchmark::State& state) {
+  // Commit path with a write set of range(0) keys over a populated store.
+  VersionedStore store;
+  lazysi::txn::TxnManager manager(&store);
+  const int keys = static_cast<int>(state.range(0));
+  for (int k = 0; k < 1024; ++k) {
+    auto t = manager.Begin();
+    (void)t->Put("key" + std::to_string(k), "seed");
+    (void)t->Commit();
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto t = manager.Begin();
+    for (int k = 0; k < keys; ++k) {
+      (void)t->Put("key" + std::to_string((i + k) % 1024), "v");
+    }
+    benchmark::DoNotOptimize(t->Commit());
+    i += keys;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FcwValidation)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_ScanRange(benchmark::State& state) {
+  Database db;
+  for (int k = 0; k < 1000; ++k) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key%06d", k);
+    (void)db.Put(buf, "v");
+  }
+  const std::string begin = "key000100";
+  const std::string end = "key000200";
+  for (auto _ : state) {
+    auto t = db.Begin(/*read_only=*/true);
+    benchmark::DoNotOptimize(t->Scan(begin, end));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ScanRange);
+
+void BM_LogAppend(benchmark::State& state) {
+  lazysi::wal::LogicalLog log;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    log.Append(lazysi::wal::LogRecord::Update(i, "key", "value", false));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogAppend);
+
+void BM_LogRecordEncodeDecode(benchmark::State& state) {
+  auto record = lazysi::wal::LogRecord::Update(42, "some/key/path",
+                                               "a moderately sized value",
+                                               false);
+  for (auto _ : state) {
+    std::string buf;
+    record.EncodeTo(&buf);
+    std::size_t offset = 0;
+    benchmark::DoNotOptimize(lazysi::wal::LogRecord::Decode(buf, &offset));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogRecordEncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+#ifndef LAZYSI_COMMON_HASH_H_
+#define LAZYSI_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace lazysi {
+
+/// 64-bit FNV-1a. Stable across platforms; used for database state chains.
+inline std::uint64_t Fnv1a64(std::string_view data,
+                             std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes an integer into a running hash (splitmix64 finalizer).
+inline std::uint64_t HashMix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Incremental database-state hash chain used to check completeness
+/// (Theorem 3.1): state_i = Mix(state_{i-1}, hash of the i-th committed
+/// transaction's write set). Two sites that install identical write sets in
+/// identical order produce identical chains; any divergence in order or
+/// content diverges the chain with overwhelming probability.
+class StateChain {
+ public:
+  std::uint64_t value() const { return value_; }
+
+  /// Folds one (key, value, deleted) triple of the current write set.
+  void FoldWrite(std::string_view key, std::string_view value, bool deleted) {
+    pending_ = Fnv1a64(key, pending_);
+    pending_ = Fnv1a64(value, pending_);
+    pending_ = HashMix(pending_, deleted ? 1 : 0);
+  }
+
+  /// Seals the current write set as one committed transaction and advances
+  /// the chain.
+  void SealTransaction() {
+    value_ = HashMix(value_, pending_);
+    pending_ = 0xcbf29ce484222325ULL;
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+  std::uint64_t pending_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace lazysi
+
+#endif  // LAZYSI_COMMON_HASH_H_

@@ -1,0 +1,75 @@
+#ifndef LAZYSI_COMMON_LOGGING_H_
+#define LAZYSI_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace lazysi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Minimal leveled logger. Replication components log propagation/refresh
+/// events at kDebug; the default threshold is kWarn so tests stay quiet.
+class Logger {
+ public:
+  static Logger& Get() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void Write(LogLevel level, const std::string& msg) {
+    if (level < level_) return;
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    std::cerr << "[" << Name(level) << "] " << msg << "\n";
+  }
+
+ private:
+  Logger() {
+    if (const char* env = std::getenv("LAZYSI_LOG_LEVEL")) {
+      std::string v(env);
+      if (v == "debug") level_ = LogLevel::kDebug;
+      else if (v == "info") level_ = LogLevel::kInfo;
+      else if (v == "warn") level_ = LogLevel::kWarn;
+      else if (v == "error") level_ = LogLevel::kError;
+      else if (v == "off") level_ = LogLevel::kOff;
+    }
+  }
+
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+#define LAZYSI_LOG(lvl, expr)                                     \
+  do {                                                            \
+    if (::lazysi::LogLevel::lvl >= ::lazysi::Logger::Get().level()) { \
+      std::ostringstream _os;                                     \
+      _os << expr;                                                \
+      ::lazysi::Logger::Get().Write(::lazysi::LogLevel::lvl, _os.str()); \
+    }                                                             \
+  } while (0)
+
+#define LAZYSI_DEBUG(expr) LAZYSI_LOG(kDebug, expr)
+#define LAZYSI_INFO(expr) LAZYSI_LOG(kInfo, expr)
+#define LAZYSI_WARN(expr) LAZYSI_LOG(kWarn, expr)
+#define LAZYSI_ERROR(expr) LAZYSI_LOG(kError, expr)
+
+}  // namespace lazysi
+
+#endif  // LAZYSI_COMMON_LOGGING_H_

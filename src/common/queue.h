@@ -1,0 +1,84 @@
+#ifndef LAZYSI_COMMON_QUEUE_H_
+#define LAZYSI_COMMON_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace lazysi {
+
+/// Unbounded, closable, thread-safe FIFO queue.
+///
+/// The replication pipeline keeps its queues *outside* the database to avoid
+/// first-committer-wins aborts between concurrent refresh transactions that
+/// would otherwise contend on queue pages (Section 3.4 of the paper). This is
+/// that external queue: the propagator pushes records into each secondary's
+/// update queue, and the refresher consumes them in FIFO order.
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Pushes an element; wakes one waiting consumer. Returns false if the
+  /// queue has been closed (the element is dropped).
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an element is available or the queue is closed and
+  /// drained. Returns nullopt only in the latter case.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Closes the queue: future pushes fail, consumers drain then see nullopt.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace lazysi
+
+#endif  // LAZYSI_COMMON_QUEUE_H_

@@ -1,0 +1,61 @@
+#ifndef LAZYSI_COMMON_RANDOM_H_
+#define LAZYSI_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace lazysi {
+
+/// Seeded random source used by the simulation model and by randomized
+/// property tests. Wraps a Mersenne Twister so independent replications can
+/// be reproduced from their seed (Section 6.1 runs five independent
+/// replications per data point).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Exponentially distributed value with the given mean (> 0).
+  /// Session lengths and think times are exponential in the model (Sec. 5).
+  double Exponential(double mean) {
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. The model draws transaction
+  /// sizes uniformly from 5 to 15 (Sec. 5).
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Uniform value in [0, n).
+  std::uint64_t Next(std::uint64_t n) {
+    std::uniform_int_distribution<std::uint64_t> dist(0, n - 1);
+    return dist(engine_);
+  }
+
+  /// Derives an independent child generator; used to give each simulated
+  /// client process its own stream.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace lazysi
+
+#endif  // LAZYSI_COMMON_RANDOM_H_

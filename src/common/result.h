@@ -1,0 +1,68 @@
+#ifndef LAZYSI_COMMON_RESULT_H_
+#define LAZYSI_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace lazysi {
+
+/// Result<T> carries either a value or a non-OK Status (Arrow idiom).
+/// Accessing the value of an errored Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define LAZYSI_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto LAZYSI_CONCAT_(_res_, __LINE__) = (expr);             \
+  if (!LAZYSI_CONCAT_(_res_, __LINE__).ok())                 \
+    return LAZYSI_CONCAT_(_res_, __LINE__).status();         \
+  lhs = std::move(LAZYSI_CONCAT_(_res_, __LINE__)).value()
+
+#define LAZYSI_CONCAT_IMPL_(a, b) a##b
+#define LAZYSI_CONCAT_(a, b) LAZYSI_CONCAT_IMPL_(a, b)
+
+}  // namespace lazysi
+
+#endif  // LAZYSI_COMMON_RESULT_H_

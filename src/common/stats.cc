@@ -1,0 +1,126 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace lazysi {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::ConfidenceHalfWidth95() const {
+  if (count_ < 2) return 0.0;
+  const double se = stddev() / std::sqrt(static_cast<double>(count_));
+  return TCritical95(count_ - 1) * se;
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / (n1 + n2);
+  m2_ = m2_ + other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double TCritical95(std::size_t df) {
+  static const double kTable[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df];
+  return 1.96;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      buckets_(buckets, 0) {}
+
+void Histogram::Add(double x) {
+  ++count_;
+  sum_ += x;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+    ++buckets_[idx];
+  }
+}
+
+double Histogram::FractionAtOrBelow(double x) const {
+  if (count_ == 0) return 0.0;
+  if (x < lo_) return 0.0;
+  std::size_t below = underflow_;
+  if (x >= hi_) {
+    below = count_;  // everything except nothing; overflow included
+    return 1.0;
+  }
+  const double pos = (x - lo_) / width_;
+  const auto full = static_cast<std::size_t>(pos);
+  for (std::size_t i = 0; i < full && i < buckets_.size(); ++i) {
+    below += buckets_[i];
+  }
+  if (full < buckets_.size()) {
+    const double frac = pos - static_cast<double>(full);
+    below += static_cast<std::size_t>(frac * static_cast<double>(buckets_[full]));
+  }
+  return static_cast<double>(below) / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::size_t>(q * static_cast<double>(count_));
+  std::size_t seen = underflow_;
+  if (seen >= target && underflow_ > 0) return lo_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (seen + buckets_[i] >= target) {
+      const double inside =
+          buckets_[i] == 0
+              ? 0.0
+              : static_cast<double>(target - seen) / static_cast<double>(buckets_[i]);
+      return lo_ + (static_cast<double>(i) + inside) * width_;
+    }
+    seen += buckets_[i];
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " p50=" << Quantile(0.5)
+     << " p95=" << Quantile(0.95) << " p99=" << Quantile(0.99);
+  return os.str();
+}
+
+}  // namespace lazysi

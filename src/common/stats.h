@@ -1,0 +1,77 @@
+#ifndef LAZYSI_COMMON_STATS_H_
+#define LAZYSI_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lazysi {
+
+/// Streaming accumulator for a scalar statistic (Welford's algorithm).
+/// Used both for per-run response-time means and for cross-replication
+/// confidence intervals (the paper reports 95% confidence intervals over
+/// five independent runs, Section 6.1).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Half-width of the 95% confidence interval around the mean, using
+  /// Student's t critical values for small sample counts.
+  double ConfidenceHalfWidth95() const;
+
+  void Merge(const RunningStat& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+/// Exact table entries for df <= 30, 1.96 asymptote beyond.
+double TCritical95(std::size_t df);
+
+/// Fixed-width histogram over [lo, hi) with out-of-range overflow buckets.
+/// Used by the simulation model to report response-time distributions and to
+/// compute the "finished within 3 seconds" throughput of Figures 2, 5, 8.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Fraction of samples <= x (linear interpolation inside buckets).
+  double FractionAtOrBelow(double x) const;
+
+  /// Approximate quantile in [0,1].
+  double Quantile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> buckets_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace lazysi
+
+#endif  // LAZYSI_COMMON_STATS_H_

@@ -1,0 +1,107 @@
+#ifndef LAZYSI_COMMON_STATUS_H_
+#define LAZYSI_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lazysi {
+
+/// Error codes used across the library. The set mirrors the failure modes of
+/// the replicated system described in the paper:
+///  - kWriteConflict: first-committer-wins validation failed (Section 2.1).
+///  - kInverted: a history checker detected a transaction inversion.
+///  - kUnavailable: a site is shut down or recovering (Section 3.4).
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kWriteConflict = 3,
+  kAborted = 4,
+  kTimedOut = 5,
+  kUnavailable = 6,
+  kFailedPrecondition = 7,
+  kInverted = 8,
+  kInternal = 9,
+};
+
+/// Returns a stable, human-readable name for a status code ("WriteConflict").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Arrow/RocksDB-style status object. All fallible public APIs in this
+/// library return Status (or Result<T>) instead of throwing; this keeps the
+/// commit path allocation-free on success and makes failure handling explicit
+/// at every replication boundary.
+///
+/// A default-constructed Status is OK and carries no allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "not found") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status WriteConflict(std::string msg = "first-committer-wins") {
+    return Status(StatusCode::kWriteConflict, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "transaction aborted") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "timed out") {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "unavailable") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Inverted(std::string msg) {
+    return Status(StatusCode::kInverted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsWriteConflict() const { return code_ == StatusCode::kWriteConflict; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsInverted() const { return code_ == StatusCode::kInverted; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define LAZYSI_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::lazysi::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace lazysi
+
+#endif  // LAZYSI_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef LAZYSI_COMMON_TIMESTAMP_H_
+#define LAZYSI_COMMON_TIMESTAMP_H_
+
+#include <cstdint>
+
+namespace lazysi {
+
+/// Logical timestamp drawn from a site's monotonically increasing counter.
+/// One counter per site issues both start and commit timestamps, which gives
+/// the paper's requirement that commit(T) be larger than every start or
+/// commit timestamp issued so far (Section 2.1).
+using Timestamp = std::uint64_t;
+
+/// Sentinel: "no timestamp assigned yet".
+inline constexpr Timestamp kInvalidTimestamp = 0;
+
+/// Transaction identifiers, unique per site that originated the transaction.
+using TxnId = std::uint64_t;
+inline constexpr TxnId kInvalidTxnId = 0;
+
+/// Session label (Section 2.3); equality of labels is what strong session SI
+/// constrains. Labels are dense integers handed out by the SessionManager.
+using SessionLabel = std::uint64_t;
+
+/// Identifies a site in the replicated system. Site 0 is the primary.
+using SiteId = std::uint32_t;
+inline constexpr SiteId kPrimarySiteId = 0;
+
+}  // namespace lazysi
+
+#endif  // LAZYSI_COMMON_TIMESTAMP_H_

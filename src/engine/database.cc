@@ -1,0 +1,93 @@
+#include "engine/database.h"
+
+#include "common/logging.h"
+
+namespace lazysi {
+namespace engine {
+
+Database::Database(DatabaseOptions options)
+    : options_(std::move(options)), txn_manager_(&store_, this) {}
+
+Database::~Database() { Close(); }
+
+std::unique_ptr<txn::Transaction> Database::Begin(bool read_only) {
+  return txn_manager_.Begin(read_only);
+}
+
+Result<std::string> Database::Get(const std::string& key) {
+  auto t = Begin(/*read_only=*/true);
+  auto value = t->Get(key);
+  t->Commit().ok();  // read-only commit cannot fail
+  return value;
+}
+
+Status Database::Put(const std::string& key, std::string value) {
+  auto t = Begin();
+  LAZYSI_RETURN_NOT_OK(t->Put(key, std::move(value)));
+  return t->Commit();
+}
+
+Status Database::Delete(const std::string& key) {
+  auto t = Begin();
+  LAZYSI_RETURN_NOT_OK(t->Delete(key));
+  return t->Commit();
+}
+
+std::uint64_t Database::StateHash() const {
+  std::lock_guard<std::mutex> lock(chain_mu_);
+  return chain_.value();
+}
+
+std::vector<StateChainEntry> Database::StateChainHistory() const {
+  std::lock_guard<std::mutex> lock(chain_mu_);
+  return chain_history_;
+}
+
+Database::Checkpoint Database::TakeCheckpoint() const {
+  Checkpoint cp;
+  cp.as_of = txn_manager_.LatestCommitTs();
+  cp.lsn = log_.Size();
+  cp.state = store_.Materialize(cp.as_of);
+  return cp;
+}
+
+Result<Timestamp> Database::InstallCheckpoint(const Checkpoint& checkpoint) {
+  auto t = Begin();
+  for (const auto& [key, value] : checkpoint.state) {
+    LAZYSI_RETURN_NOT_OK(t->Put(key, value));
+  }
+  LAZYSI_RETURN_NOT_OK(t->Commit());
+  return t->commit_ts();
+}
+
+void Database::Close() { log_.Close(); }
+
+void Database::OnStart(TxnId txn_id, Timestamp start_ts) {
+  log_.Append(wal::LogRecord::Start(txn_id, start_ts));
+}
+
+void Database::OnUpdate(TxnId txn_id, const std::string& key,
+                        const std::string& value, bool deleted) {
+  log_.Append(wal::LogRecord::Update(txn_id, key, value, deleted));
+}
+
+void Database::OnCommit(TxnId txn_id, Timestamp commit_ts,
+                        const storage::WriteSet& writes) {
+  log_.Append(wal::LogRecord::Commit(txn_id, commit_ts));
+  if (commit_hook_) commit_hook_(txn_id, commit_ts);
+  std::lock_guard<std::mutex> lock(chain_mu_);
+  for (const auto& [key, w] : writes.entries()) {
+    chain_.FoldWrite(key, w.value, w.deleted);
+  }
+  chain_.SealTransaction();
+  if (options_.record_state_chain) {
+    chain_history_.push_back(StateChainEntry{commit_ts, chain_.value()});
+  }
+}
+
+void Database::OnAbort(TxnId txn_id) {
+  log_.Append(wal::LogRecord::Abort(txn_id));
+}
+
+}  // namespace engine
+}  // namespace lazysi

@@ -1,0 +1,144 @@
+#ifndef LAZYSI_ENGINE_DATABASE_H_
+#define LAZYSI_ENGINE_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "storage/versioned_store.h"
+#include "txn/txn_manager.h"
+#include "txn/txn_observer.h"
+#include "wal/logical_log.h"
+
+namespace lazysi {
+namespace engine {
+
+struct DatabaseOptions {
+  /// Site identifier, for diagnostics (0 = primary by convention).
+  SiteId site_id = kPrimarySiteId;
+  /// Human-readable site name.
+  std::string name = "site";
+  /// Record the per-commit state-hash chain. Enables completeness
+  /// (Theorem 3.1) assertions; costs one vector entry per committed update
+  /// transaction, so long-running deployments may disable it.
+  bool record_state_chain = true;
+};
+
+/// One entry of the state-hash chain: the database state produced by the
+/// i-th committed update transaction (S_i in the paper's notation), as a
+/// 64-bit fingerprint.
+struct StateChainEntry {
+  Timestamp commit_ts;
+  std::uint64_t hash;
+
+  bool operator==(const StateChainEntry&) const = default;
+};
+
+/// An autonomous site database: MVCC store + strong SI transaction manager +
+/// logical log, i.e. the "autonomous database management system with a local
+/// concurrency controller that guarantees strong SI and is deadlock-free" of
+/// Section 3. Every site in the replicated system (primary and secondaries)
+/// is one of these.
+class Database : private txn::TxnObserver {
+ public:
+  explicit Database(DatabaseOptions options = DatabaseOptions());
+  ~Database() override;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Begins a transaction at the latest committed snapshot (strong SI).
+  std::unique_ptr<txn::Transaction> Begin(bool read_only = false);
+
+  /// Begins a read-only transaction pinned to a historical snapshot (time
+  /// travel; see TxnManager::BeginAtSnapshot).
+  Result<std::unique_ptr<txn::Transaction>> BeginAtSnapshot(
+      Timestamp snapshot) {
+    return txn_manager_.BeginAtSnapshot(snapshot);
+  }
+
+  /// Auto-commit conveniences.
+  Result<std::string> Get(const std::string& key);
+  Status Put(const std::string& key, std::string value);
+  Status Delete(const std::string& key);
+
+  /// Timestamp of the most recent committed update transaction.
+  Timestamp LatestCommitTs() const { return txn_manager_.LatestCommitTs(); }
+
+  /// Version garbage collection: drops every version shadowed at the safe
+  /// horizon (the oldest snapshot any in-flight transaction can read).
+  /// Returns the number of versions reclaimed. Always safe to call — a
+  /// long-running reader simply pins the horizon.
+  std::size_t GarbageCollect() {
+    return store_.PruneVersions(txn_manager_.MinActiveSnapshot());
+  }
+
+  storage::VersionedStore* store() { return &store_; }
+  txn::TxnManager* txn_manager() { return &txn_manager_; }
+  wal::LogicalLog* log() { return &log_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Fingerprint of the current database state (last chain entry), and the
+  /// full chain history (empty when record_state_chain is off). Two sites
+  /// that installed identical write sets in identical commit order have
+  /// equal chains — the executable form of Theorem 3.1.
+  std::uint64_t StateHash() const;
+  std::vector<StateChainEntry> StateChainHistory() const;
+
+  /// Point-in-time checkpoint for secondary recovery (Section 3.4). Call
+  /// only when the site is quiesced (no in-flight update transactions);
+  /// `lsn` is the log position from which a recovering secondary must replay.
+  struct Checkpoint {
+    std::map<std::string, std::string> state;
+    Timestamp as_of = kInvalidTimestamp;
+    std::size_t lsn = 0;
+  };
+  Checkpoint TakeCheckpoint() const;
+
+  /// Installs a checkpoint into this (empty) database as one bulk
+  /// transaction. Returns the local commit timestamp of the install.
+  Result<Timestamp> InstallCheckpoint(const Checkpoint& checkpoint);
+
+  /// Installs a hook invoked for every update-transaction commit *under the
+  /// timestamp mutex*, i.e. atomically with the versions becoming visible.
+  /// The replication layer uses this to publish the local-to-primary commit
+  /// timestamp translation before any reader can observe the new versions.
+  void SetCommitHook(std::function<void(TxnId, Timestamp)> hook) {
+    commit_hook_ = std::move(hook);
+  }
+
+  /// Closes the logical log; tailing propagators drain and stop.
+  void Close();
+
+ private:
+  // txn::TxnObserver — wired into the TxnManager so the log sees every
+  // update-transaction lifecycle event in timestamp order.
+  void OnStart(TxnId txn_id, Timestamp start_ts) override;
+  void OnUpdate(TxnId txn_id, const std::string& key, const std::string& value,
+                bool deleted) override;
+  void OnCommit(TxnId txn_id, Timestamp commit_ts,
+                const storage::WriteSet& writes) override;
+  void OnAbort(TxnId txn_id) override;
+
+  DatabaseOptions options_;
+  storage::VersionedStore store_;
+  wal::LogicalLog log_;
+  txn::TxnManager txn_manager_;
+  std::function<void(TxnId, Timestamp)> commit_hook_;
+
+  mutable std::mutex chain_mu_;
+  StateChain chain_;
+  std::vector<StateChainEntry> chain_history_;
+};
+
+}  // namespace engine
+}  // namespace lazysi
+
+#endif  // LAZYSI_ENGINE_DATABASE_H_

@@ -1,0 +1,195 @@
+#include "engine/recovery.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "common/hash.h"
+
+namespace lazysi {
+namespace engine {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'Z', 'S', 'I', 'C', 'K', 'P', '1'};
+
+void PutVarint(std::string* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(const std::string& data, std::size_t* offset,
+               std::uint64_t* out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (*offset < data.size() && shift <= 63) {
+    auto b = static_cast<unsigned char>(data[*offset]);
+    ++(*offset);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutVarint(out, s.size());
+  out->append(s);
+}
+
+bool GetString(const std::string& data, std::size_t* offset,
+               std::string* out) {
+  std::uint64_t len = 0;
+  if (!GetVarint(data, offset, &len)) return false;
+  if (*offset + len > data.size()) return false;
+  out->assign(data, *offset, len);
+  *offset += len;
+  return true;
+}
+
+void AppendLE64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t ReadLE64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const Database::Checkpoint& checkpoint,
+                      const std::string& path) {
+  std::string payload;
+  PutVarint(&payload, checkpoint.as_of);
+  PutVarint(&payload, checkpoint.lsn);
+  PutVarint(&payload, checkpoint.state.size());
+  for (const auto& [key, value] : checkpoint.state) {
+    PutString(&payload, key);
+    PutString(&payload, value);
+  }
+
+  std::string file;
+  file.append(kMagic, sizeof(kMagic));
+  file.append(payload);
+  AppendLE64(&file, Fnv1a64(payload));
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + tmp + "' for writing");
+  }
+  const std::size_t written = std::fwrite(file.data(), 1, file.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != file.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<Database::Checkpoint> LoadCheckpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open '" + path + "'");
+  std::string file;
+  char buffer[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    file.append(buffer, n);
+  }
+  std::fclose(f);
+
+  if (file.size() < sizeof(kMagic) + 8 ||
+      std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a lazysi checkpoint");
+  }
+  const std::string payload =
+      file.substr(sizeof(kMagic), file.size() - sizeof(kMagic) - 8);
+  if (Fnv1a64(payload) != ReadLE64(file.data() + file.size() - 8)) {
+    return Status::InvalidArgument("'" + path + "' failed checksum");
+  }
+
+  Database::Checkpoint cp;
+  std::size_t offset = 0;
+  std::uint64_t as_of = 0, lsn = 0, count = 0;
+  if (!GetVarint(payload, &offset, &as_of) ||
+      !GetVarint(payload, &offset, &lsn) ||
+      !GetVarint(payload, &offset, &count)) {
+    return Status::InvalidArgument("checkpoint header truncated");
+  }
+  cp.as_of = as_of;
+  cp.lsn = lsn;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string key, value;
+    if (!GetString(payload, &offset, &key) ||
+        !GetString(payload, &offset, &value)) {
+      return Status::InvalidArgument("checkpoint entry truncated");
+    }
+    cp.state[key] = value;
+  }
+  if (offset != payload.size()) {
+    return Status::InvalidArgument("checkpoint has trailing bytes");
+  }
+  return cp;
+}
+
+Result<std::size_t> ReplayLog(Database* db,
+                              const std::vector<wal::LogRecord>& records) {
+  // Rebuild per-transaction update lists exactly like the propagator
+  // (Algorithm 3.1), then apply each committed transaction in log order.
+  std::map<TxnId, std::vector<storage::Write>> lists;
+  std::size_t applied = 0;
+  for (const auto& record : records) {
+    switch (record.type) {
+      case wal::LogRecordType::kStart:
+        lists[record.txn_id];
+        break;
+      case wal::LogRecordType::kUpdate:
+        lists[record.txn_id].push_back(
+            storage::Write{record.key, record.value, record.deleted});
+        break;
+      case wal::LogRecordType::kCommit: {
+        auto it = lists.find(record.txn_id);
+        if (it == lists.end()) {
+          return Status::FailedPrecondition(
+              "log replay: commit for a transaction whose start precedes "
+              "the segment (checkpoint not quiesced)");
+        }
+        auto txn = db->Begin();
+        for (const auto& w : it->second) {
+          Status s = w.deleted ? txn->Delete(w.key) : txn->Put(w.key, w.value);
+          if (!s.ok()) return s;
+        }
+        LAZYSI_RETURN_NOT_OK(txn->Commit());
+        lists.erase(it);
+        ++applied;
+        break;
+      }
+      case wal::LogRecordType::kAbort:
+        lists.erase(record.txn_id);
+        break;
+    }
+  }
+  return applied;
+}
+
+}  // namespace engine
+}  // namespace lazysi

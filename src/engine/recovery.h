@@ -1,0 +1,45 @@
+#ifndef LAZYSI_ENGINE_RECOVERY_H_
+#define LAZYSI_ENGINE_RECOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "wal/log_record.h"
+
+namespace lazysi {
+namespace engine {
+
+/// Durable site restart (complements the *replication-based* secondary
+/// recovery of Section 3.4, which copies state from the live primary):
+///
+///   1. periodically SaveCheckpoint() while quiesced and persist the log
+///      suffix with wal::LogFile;
+///   2. after a crash, LoadCheckpoint() into a fresh Database and
+///      ReplayLog() the persisted suffix.
+///
+/// Replay applies committed transactions in log order — equivalent to a
+/// refresher running Algorithm 3.2/3.3 serially against the local store —
+/// so the restored state-hash chain extends the checkpoint exactly as the
+/// original site's did.
+
+/// Serializes a checkpoint to `path` (atomic rename, checksummed).
+Status SaveCheckpoint(const Database::Checkpoint& checkpoint,
+                      const std::string& path);
+
+/// Reads a checkpoint written by SaveCheckpoint.
+Result<Database::Checkpoint> LoadCheckpoint(const std::string& path);
+
+/// Applies the committed transactions found in `records` to `db`, one local
+/// transaction per primary transaction, in commit order. Updates belonging
+/// to transactions that aborted (or never committed within `records`) are
+/// discarded. Returns the number of transactions applied.
+Result<std::size_t> ReplayLog(Database* db,
+                              const std::vector<wal::LogRecord>& records);
+
+}  // namespace engine
+}  // namespace lazysi
+
+#endif  // LAZYSI_ENGINE_RECOVERY_H_

@@ -1,0 +1,51 @@
+#ifndef LAZYSI_HISTORY_COMPLETENESS_H_
+#define LAZYSI_HISTORY_COMPLETENESS_H_
+
+#include <sstream>
+#include <vector>
+
+#include "engine/database.h"
+#include "history/si_checker.h"
+
+namespace lazysi {
+namespace history {
+
+/// Executable form of Theorem 3.1 (completeness, in the sense of Zhuge,
+/// Garcia-Molina et al): the sequence of database states installed at a
+/// secondary must be a prefix of the sequence installed at the primary,
+/// i.e. S_i^s == S_i^p for every refresh transaction i.
+///
+/// Both sites fold each committed write set into a state-hash chain in
+/// commit order (engine::Database::StateChainHistory); the secondary's chain
+/// must be a hash-for-hash prefix of the primary's.
+inline CheckReport CheckCompleteness(
+    const std::vector<engine::StateChainEntry>& primary_chain,
+    const std::vector<engine::StateChainEntry>& secondary_chain) {
+  CheckReport report;
+  report.checked = secondary_chain.size();
+  if (secondary_chain.size() > primary_chain.size()) {
+    report.ok = false;
+    std::ostringstream os;
+    os << "secondary installed " << secondary_chain.size()
+       << " states but the primary only installed " << primary_chain.size();
+    report.violation = os.str();
+    return report;
+  }
+  for (std::size_t i = 0; i < secondary_chain.size(); ++i) {
+    if (secondary_chain[i].hash != primary_chain[i].hash) {
+      report.ok = false;
+      std::ostringstream os;
+      os << "state " << i << " diverges: secondary installed a state "
+         << "different from S_" << i << "^p (refresh order or contents "
+         << "differ from the primary commit order)";
+      report.violation = os.str();
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace history
+}  // namespace lazysi
+
+#endif  // LAZYSI_HISTORY_COMPLETENESS_H_

@@ -1,0 +1,82 @@
+#ifndef LAZYSI_HISTORY_RECORDER_H_
+#define LAZYSI_HISTORY_RECORDER_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "storage/write_set.h"
+
+namespace lazysi {
+namespace history {
+
+/// One read observed by a committed transaction, in primary-state
+/// coordinates: `version_primary_ts` is the primary commit timestamp of the
+/// version the snapshot produced (reads at secondaries are translated through
+/// the refresh map; kInvalidTimestamp means the key was absent).
+struct RecordedRead {
+  std::string key;
+  Timestamp version_primary_ts = kInvalidTimestamp;
+  bool found = false;
+};
+
+/// Everything the Section 2 correctness criteria need to know about one
+/// committed transaction.
+struct TxnRecord {
+  /// Recorder-assigned dense id.
+  std::uint64_t order_id = 0;
+  SessionLabel label = 0;
+  SiteId site = 0;
+  bool read_only = true;
+  /// Global real-time event sequence at the transaction's first operation.
+  /// "Ti's commit precedes the first operation of Tj" (Definitions 2.1/2.2)
+  /// compares commit_seq(Ti) < first_op_seq(Tj).
+  std::uint64_t first_op_seq = 0;
+  /// Global real-time event sequence when the commit returned to the client.
+  std::uint64_t commit_seq = 0;
+  /// Primary commit timestamp; kInvalidTimestamp for read-only transactions.
+  Timestamp commit_primary_ts = kInvalidTimestamp;
+  std::vector<RecordedRead> reads;
+  /// Final write set (empty for read-only transactions).
+  std::vector<storage::Write> writes;
+};
+
+/// Collects TxnRecords from the running system and issues the global
+/// real-time event sequence. Thread-safe.
+class Recorder {
+ public:
+  /// Issues the next real-time event sequence number. The counter is global
+  /// across all sites, so it linearizes "commit precedes first operation"
+  /// comparisons the way a wall clock would.
+  std::uint64_t NextEventSeq() {
+    return event_seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  void Record(TxnRecord record) {
+    std::lock_guard<std::mutex> lock(mu_);
+    record.order_id = records_.size();
+    records_.push_back(std::move(record));
+  }
+
+  std::vector<TxnRecord> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+
+ private:
+  std::atomic<std::uint64_t> event_seq_{0};
+  mutable std::mutex mu_;
+  std::vector<TxnRecord> records_;
+};
+
+}  // namespace history
+}  // namespace lazysi
+
+#endif  // LAZYSI_HISTORY_RECORDER_H_

@@ -1,0 +1,286 @@
+#include "history/si_checker.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lazysi {
+namespace history {
+
+SIChecker::SIChecker(std::vector<TxnRecord> records)
+    : records_(std::move(records)) {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    by_order_id_[records_[i].order_id] = i;
+  }
+  // Rebuild version histories from committed update transactions.
+  std::vector<const TxnRecord*> updates;
+  for (const auto& r : records_) {
+    if (r.commit_primary_ts != kInvalidTimestamp && !r.writes.empty()) {
+      updates.push_back(&r);
+    }
+  }
+  std::sort(updates.begin(), updates.end(),
+            [](const TxnRecord* a, const TxnRecord* b) {
+              return a->commit_primary_ts < b->commit_primary_ts;
+            });
+  for (const TxnRecord* r : updates) {
+    for (const auto& w : r->writes) {
+      versions_[w.key].push_back(
+          VersionEntry{r->commit_primary_ts, w.deleted, r->order_id});
+    }
+  }
+  for (const auto& r : records_) {
+    if (r.commit_primary_ts != kInvalidTimestamp) {
+      commit_events_.push_back(CommitEvent{r.commit_seq, r.commit_primary_ts,
+                                           r.label, r.order_id,
+                                           /*is_update=*/true});
+    } else {
+      // Read-only: the provable lower bound on its snapshot is the newest
+      // version it actually observed.
+      Timestamp floor = 0;
+      for (const auto& read : r.reads) {
+        if (read.found) floor = std::max(floor, read.version_primary_ts);
+      }
+      commit_events_.push_back(
+          CommitEvent{r.commit_seq, floor, r.label, r.order_id,
+                      /*is_update=*/false});
+    }
+  }
+  std::sort(commit_events_.begin(), commit_events_.end(),
+            [](const CommitEvent& a, const CommitEvent& b) {
+              return a.commit_seq < b.commit_seq;
+            });
+}
+
+SIChecker::IntervalSet SIChecker::ConstraintForRead(const RecordedRead& read,
+                                                    std::string* error) const {
+  auto it = versions_.find(read.key);
+  const std::vector<VersionEntry>* chain =
+      it == versions_.end() ? nullptr : &it->second;
+
+  if (read.found) {
+    if (chain == nullptr) {
+      *error = "read of key '" + read.key + "' observed a version but the key "
+               "was never written by a committed transaction";
+      return {};
+    }
+    auto v = std::find_if(chain->begin(), chain->end(),
+                          [&](const VersionEntry& e) {
+                            return e.ts == read.version_primary_ts;
+                          });
+    if (v == chain->end() || v->deleted) {
+      std::ostringstream os;
+      os << "read of key '" << read.key << "' observed version ts="
+         << read.version_primary_ts
+         << " which no committed transaction installed";
+      *error = os.str();
+      return {};
+    }
+    const Timestamp next =
+        (v + 1) == chain->end() ? kInfinity : (v + 1)->ts;
+    return {{v->ts, next}};
+  }
+
+  // Not found: every snapshot where the key is absent — before its first
+  // version, or while the newest visible version is a delete tombstone.
+  IntervalSet allowed;
+  if (chain == nullptr || chain->empty()) {
+    allowed.push_back({0, kInfinity});
+    return allowed;
+  }
+  allowed.push_back({0, chain->front().ts});
+  for (std::size_t i = 0; i < chain->size(); ++i) {
+    if ((*chain)[i].deleted) {
+      const Timestamp next =
+          i + 1 < chain->size() ? (*chain)[i + 1].ts : kInfinity;
+      allowed.push_back({(*chain)[i].ts, next});
+    }
+  }
+  return allowed;
+}
+
+SIChecker::IntervalSet SIChecker::Intersect(const IntervalSet& a,
+                                            const IntervalSet& b) {
+  IntervalSet out;
+  for (const auto& [alo, ahi] : a) {
+    for (const auto& [blo, bhi] : b) {
+      const Timestamp lo = std::max(alo, blo);
+      const Timestamp hi = std::min(ahi, bhi);
+      if (lo < hi) out.push_back({lo, hi});
+    }
+  }
+  return out;
+}
+
+SIChecker::IntervalSet SIChecker::SnapshotWindow(const TxnRecord& txn,
+                                                 std::string* error) const {
+  IntervalSet window{{0, kInfinity}};
+  for (const auto& read : txn.reads) {
+    std::string read_error;
+    IntervalSet c = ConstraintForRead(read, &read_error);
+    if (!read_error.empty()) {
+      *error = std::move(read_error);
+      return {};
+    }
+    window = Intersect(window, c);
+    if (window.empty()) {
+      *error = "no snapshot is consistent with all reads (non-snapshot read "
+               "set), first conflict at key '" + read.key + "'";
+      return {};
+    }
+  }
+  if (txn.commit_primary_ts != kInvalidTimestamp && !txn.writes.empty()) {
+    // First-committer-wins: the snapshot must include every other-writer
+    // version of this transaction's written keys that committed before it
+    // (otherwise the history contains a lost update).
+    Timestamp fcw_lo = 0;
+    for (const auto& w : txn.writes) {
+      auto it = versions_.find(w.key);
+      if (it == versions_.end()) continue;
+      for (const auto& v : it->second) {
+        if (v.ts >= txn.commit_primary_ts) break;
+        if (v.writer_order_id != txn.order_id) fcw_lo = std::max(fcw_lo, v.ts);
+      }
+    }
+    window = Intersect(window, {{fcw_lo, kInfinity}});
+    if (window.empty()) {
+      *error = "first-committer-wins violated: transaction overwrote a "
+               "concurrent committed write it did not see";
+    }
+  }
+  return window;
+}
+
+CheckReport SIChecker::CheckWeakSI() const {
+  CheckReport report;
+  for (const auto& txn : records_) {
+    std::string error;
+    IntervalSet window = SnapshotWindow(txn, &error);
+    ++report.checked;
+    if (window.empty()) {
+      report.ok = false;
+      std::ostringstream os;
+      os << "txn order_id=" << txn.order_id << " (label=" << txn.label
+         << ", site=" << txn.site << "): " << error;
+      report.violation = os.str();
+      return report;
+    }
+  }
+  return report;
+}
+
+CheckReport SIChecker::CheckStrong(bool same_session_only,
+                                   bool updates_only) const {
+  CheckReport report = CheckWeakSI();
+  if (!report.ok) return report;
+
+  // Prefix maxima of state floors over commit events ordered by real-time
+  // commit sequence; one sequence globally, or one per label.
+  struct PrefixEntry {
+    std::uint64_t commit_seq;
+    Timestamp max_commit_ts;
+  };
+  std::map<SessionLabel, std::vector<PrefixEntry>> by_label;
+  std::vector<PrefixEntry> global;
+  for (const auto& e : commit_events_) {
+    if (updates_only && !e.is_update) continue;
+    auto append = [&](std::vector<PrefixEntry>& vec) {
+      const Timestamp prev = vec.empty() ? 0 : vec.back().max_commit_ts;
+      vec.push_back(PrefixEntry{e.commit_seq, std::max(prev, e.state_floor)});
+    };
+    if (same_session_only) {
+      append(by_label[e.label]);
+    } else {
+      append(global);
+    }
+  }
+  auto required_min = [&](const TxnRecord& txn) -> Timestamp {
+    const std::vector<PrefixEntry>* vec = nullptr;
+    if (same_session_only) {
+      auto it = by_label.find(txn.label);
+      if (it == by_label.end()) return 0;
+      vec = &it->second;
+    } else {
+      vec = &global;
+    }
+    // Largest commit_ts among events with commit_seq < txn.first_op_seq.
+    auto it = std::lower_bound(
+        vec->begin(), vec->end(), txn.first_op_seq,
+        [](const PrefixEntry& e, std::uint64_t seq) {
+          return e.commit_seq < seq;
+        });
+    if (it == vec->begin()) return 0;
+    return std::prev(it)->max_commit_ts;
+  };
+
+  report.checked = 0;
+  for (const auto& txn : records_) {
+    ++report.checked;
+    std::string error;
+    IntervalSet window = SnapshotWindow(txn, &error);
+    const Timestamp need = required_min(txn);
+    window = Intersect(window, {{need, kInfinity}});
+    if (window.empty()) {
+      report.ok = false;
+      std::ostringstream os;
+      os << "txn order_id=" << txn.order_id << " (label=" << txn.label
+         << ", site=" << txn.site << ") saw a snapshot older than commit ts "
+         << need << " of a transaction that committed before its first "
+         << "operation"
+         << (same_session_only ? " in the same session" : "");
+      report.violation = os.str();
+      return report;
+    }
+  }
+  return report;
+}
+
+CheckReport SIChecker::CheckStrongSI() const {
+  return CheckStrong(/*same_session_only=*/false, /*updates_only=*/false);
+}
+
+CheckReport SIChecker::CheckStrongSessionSI() const {
+  return CheckStrong(/*same_session_only=*/true, /*updates_only=*/false);
+}
+
+CheckReport SIChecker::CheckPrefixConsistentSI() const {
+  return CheckStrong(/*same_session_only=*/true, /*updates_only=*/true);
+}
+
+std::size_t SIChecker::CountInversions(bool same_session_only) const {
+  // A transaction Tj is inverted iff for some key it read, a transaction Ti
+  // with commit_seq(Ti) < first_op_seq(Tj) (and same label, when scoped)
+  // installed a newer version than the one Tj observed.
+  std::size_t inverted = 0;
+  for (const auto& txn : records_) {
+    bool is_inverted = false;
+    for (const auto& read : txn.reads) {
+      auto it = versions_.find(read.key);
+      if (it == versions_.end()) continue;
+      for (const auto& v : it->second) {
+        if (v.ts <= read.version_primary_ts) continue;
+        // Find the writer's record to compare real-time order and label.
+        auto writer_it = by_order_id_.find(v.writer_order_id);
+        if (writer_it == by_order_id_.end()) continue;
+        const TxnRecord& writer = records_[writer_it->second];
+        if (writer.commit_seq >= txn.first_op_seq) continue;
+        if (same_session_only && writer.label != txn.label) continue;
+        is_inverted = true;
+        break;
+      }
+      if (is_inverted) break;
+    }
+    if (is_inverted) ++inverted;
+  }
+  return inverted;
+}
+
+std::size_t SIChecker::CountSessionInversions() const {
+  return CountInversions(/*same_session_only=*/true);
+}
+
+std::size_t SIChecker::CountGlobalInversions() const {
+  return CountInversions(/*same_session_only=*/false);
+}
+
+}  // namespace history
+}  // namespace lazysi

@@ -1,0 +1,110 @@
+#ifndef LAZYSI_HISTORY_SI_CHECKER_H_
+#define LAZYSI_HISTORY_SI_CHECKER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "history/recorder.h"
+
+namespace lazysi {
+namespace history {
+
+/// Result of one correctness check over a recorded history.
+struct CheckReport {
+  bool ok = true;
+  /// Human-readable description of the first violation found.
+  std::string violation;
+  /// Number of transactions examined.
+  std::size_t checked = 0;
+};
+
+/// Decides the Section 2 guarantees on a recorded execution history.
+///
+/// Method: rebuild the sequence of committed primary states from the update
+/// transactions' write sets and commit timestamps. For each transaction,
+/// compute the set of snapshot timestamps s consistent with *every* read it
+/// made (the version observed for each key must be the newest one with
+/// commit_ts <= s) and with first-committer-wins for its own writes. Then:
+///
+///  - weak SI (Def. of [3], Section 2.2 terminology) holds iff that set is
+///    non-empty for every transaction;
+///  - strong SI (Definition 2.1) additionally requires the set to contain an
+///    s >= commit(Ti) for every Ti whose commit preceded the transaction's
+///    first operation in real time;
+///  - strong session SI (Definition 2.2) restricts that requirement to
+///    transactions with the same session label.
+class SIChecker {
+ public:
+  explicit SIChecker(std::vector<TxnRecord> records);
+
+  CheckReport CheckWeakSI() const;
+  /// Full Definition 2.1 / 2.2 checks: the ordering constraint covers every
+  /// committed pair, including read-only -> read-only (a later read may not
+  /// see an older snapshot than an earlier same-session read provably saw).
+  CheckReport CheckStrongSI() const;
+  CheckReport CheckStrongSessionSI() const;
+  /// Prefix-consistent SI (Section 7, Elnikety et al): like strong session
+  /// SI but only the session's own *update* commits constrain later
+  /// transactions — read-read monotonicity is not required.
+  CheckReport CheckPrefixConsistentSI() const;
+
+  /// Observable transaction inversions: transactions Tj that read, for some
+  /// key, a version older than the one installed by a committed transaction
+  /// Ti whose commit preceded Tj's first operation. Counted per (Ti, Tj)
+  /// ordering scope:
+  std::size_t CountSessionInversions() const;  // Ti, Tj in the same session
+  std::size_t CountGlobalInversions() const;   // any Ti, Tj
+
+  std::size_t num_records() const { return records_.size(); }
+
+ private:
+  struct VersionEntry {
+    Timestamp ts;
+    bool deleted;
+    std::uint64_t writer_order_id;
+  };
+
+  /// Half-open timestamp intervals [lo, hi); kInfinity marks "unbounded".
+  static constexpr Timestamp kInfinity = ~static_cast<Timestamp>(0);
+  using Interval = std::pair<Timestamp, Timestamp>;
+  using IntervalSet = std::vector<Interval>;
+
+  /// Allowed snapshot interval(s) implied by one read.
+  IntervalSet ConstraintForRead(const RecordedRead& read,
+                                std::string* error) const;
+  /// Intersection of two interval sets.
+  static IntervalSet Intersect(const IntervalSet& a, const IntervalSet& b);
+
+  /// Snapshot candidates for one transaction (reads + FCW constraints);
+  /// empty `error` on success.
+  IntervalSet SnapshotWindow(const TxnRecord& txn, std::string* error) const;
+
+  /// Generic strong check: `same_session_only` selects Definition 2.2
+  /// vs 2.1; `updates_only` drops read-only contributions (PCSI).
+  CheckReport CheckStrong(bool same_session_only, bool updates_only) const;
+  std::size_t CountInversions(bool same_session_only) const;
+
+  std::vector<TxnRecord> records_;
+  /// order_id -> index into records_.
+  std::map<std::uint64_t, std::size_t> by_order_id_;
+  /// Version history per key, in increasing commit-timestamp order.
+  std::map<std::string, std::vector<VersionEntry>> versions_;
+  /// Committed transactions sorted by real-time commit sequence. For update
+  /// transactions `state_floor` is commit_p(T); for read-only transactions
+  /// it is the newest version timestamp the transaction provably observed
+  /// (the minimum snapshot consistent with its reads).
+  struct CommitEvent {
+    std::uint64_t commit_seq;
+    Timestamp state_floor;
+    SessionLabel label;
+    std::uint64_t order_id;
+    bool is_update;
+  };
+  std::vector<CommitEvent> commit_events_;
+};
+
+}  // namespace history
+}  // namespace lazysi
+
+#endif  // LAZYSI_HISTORY_SI_CHECKER_H_

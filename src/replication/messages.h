@@ -1,0 +1,58 @@
+#ifndef LAZYSI_REPLICATION_MESSAGES_H_
+#define LAZYSI_REPLICATION_MESSAGES_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "storage/write_set.h"
+
+namespace lazysi {
+namespace replication {
+
+/// start_p(T): propagated as soon as the propagator encounters it in the
+/// primary log, which keeps propagation live even while T is still running
+/// (Section 3.2).
+struct PropStart {
+  TxnId txn_id = kInvalidTxnId;
+  Timestamp start_ts = kInvalidTimestamp;
+};
+
+/// commit_p(T) together with T's complete update list. Updates ride with the
+/// commit record so that aborted transactions are never shipped or applied at
+/// secondaries (Algorithm 3.1, line 8).
+struct PropCommit {
+  TxnId txn_id = kInvalidTxnId;
+  Timestamp commit_ts = kInvalidTimestamp;
+  /// T's updates in execution order.
+  std::vector<storage::Write> updates;
+};
+
+/// abort_p(T): tells refreshers to abandon the refresh transaction they
+/// started when T's start record arrived.
+struct PropAbort {
+  TxnId txn_id = kInvalidTxnId;
+};
+
+/// One element of a secondary's FIFO update queue. Records arrive in primary
+/// timestamp order and, per the paper's assumption, are never lost or
+/// reordered in transit.
+using PropagationRecord = std::variant<PropStart, PropCommit, PropAbort>;
+
+/// Primary timestamp carried by a record (start_ts or commit_ts; 0 for
+/// aborts, which carry none).
+inline Timestamp RecordTimestamp(const PropagationRecord& record) {
+  if (const auto* s = std::get_if<PropStart>(&record)) return s->start_ts;
+  if (const auto* c = std::get_if<PropCommit>(&record)) return c->commit_ts;
+  return kInvalidTimestamp;
+}
+
+inline TxnId RecordTxnId(const PropagationRecord& record) {
+  return std::visit([](const auto& r) { return r.txn_id; }, record);
+}
+
+}  // namespace replication
+}  // namespace lazysi
+
+#endif  // LAZYSI_REPLICATION_MESSAGES_H_

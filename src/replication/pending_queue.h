@@ -1,0 +1,91 @@
+#ifndef LAZYSI_REPLICATION_PENDING_QUEUE_H_
+#define LAZYSI_REPLICATION_PENDING_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/timestamp.h"
+
+namespace lazysi {
+namespace replication {
+
+/// The FIFO pending queue through which the refresher and the applicator
+/// threads coordinate (Algorithms 3.2 and 3.3):
+///
+///  - the refresher appends commit_p(T) when it dequeues T's commit record,
+///    *before* handing T's updates to an applicator;
+///  - the refresher blocks processing of any later start record until the
+///    queue is empty (so a new refresh transaction sees every earlier refresh
+///    commit — relationship 2 of Section 3.1);
+///  - an applicator blocks until its own commit timestamp is at the head
+///    before committing, and removes it after committing (so refresh commits
+///    happen in primary commit order — relationship 3).
+class PendingQueue {
+ public:
+  /// Appends a commit timestamp at the tail. Refresher thread only.
+  void Append(Timestamp commit_ts) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.push_back(commit_ts);
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until the queue is empty or closed. Returns false when closed
+  /// before becoming empty.
+  bool WaitEmpty() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return entries_.empty() || closed_; });
+    return entries_.empty();
+  }
+
+  /// Blocks until `commit_ts` is at the head or the queue is closed.
+  /// Returns false when closed first.
+  bool WaitHead(Timestamp commit_ts) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return closed_ || (!entries_.empty() && entries_.front() == commit_ts);
+    });
+    return !closed_ && !entries_.empty() && entries_.front() == commit_ts;
+  }
+
+  /// Removes the head entry, which must equal `commit_ts` (the caller just
+  /// committed that refresh transaction).
+  void PopHead(Timestamp commit_ts) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!entries_.empty() && entries_.front() == commit_ts) {
+        entries_.pop_front();
+      }
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+  /// Wakes every blocked thread with a "closed" verdict; used at shutdown.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Timestamp> entries_;
+  bool closed_ = false;
+};
+
+}  // namespace replication
+}  // namespace lazysi
+
+#endif  // LAZYSI_REPLICATION_PENDING_QUEUE_H_

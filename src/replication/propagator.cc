@@ -1,0 +1,171 @@
+#include "replication/propagator.h"
+
+#include "common/logging.h"
+
+namespace lazysi {
+namespace replication {
+
+Propagator::Propagator(wal::LogicalLog* log, PropagatorOptions options)
+    : log_(log), options_(options) {}
+
+Propagator::~Propagator() { Stop(); }
+
+void Propagator::AttachSink(BlockingQueue<PropagationRecord>* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(sink);
+}
+
+Status Propagator::AttachSinkAt(BlockingQueue<PropagationRecord>* sink,
+                                std::size_t from_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t upto = position_.load(std::memory_order_acquire);
+  if (from_lsn > upto) {
+    return Status::InvalidArgument("from_lsn is ahead of the propagator");
+  }
+  // Rebuild update lists from the log slice and emit the records this sink
+  // missed. A commit whose start record is not inside the slice means the
+  // checkpoint was not quiesced.
+  std::map<TxnId, std::vector<storage::Write>> lists;
+  std::vector<PropagationRecord> replay;
+  for (std::size_t lsn = from_lsn; lsn < upto; ++lsn) {
+    auto rec = log_->At(lsn);
+    if (!rec.has_value()) {
+      return Status::Internal("log truncated below propagator position");
+    }
+    switch (rec->type) {
+      case wal::LogRecordType::kStart:
+        lists[rec->txn_id];  // mark txn as started inside the slice
+        replay.push_back(PropStart{rec->txn_id, rec->timestamp});
+        break;
+      case wal::LogRecordType::kUpdate:
+        if (!lists.count(rec->txn_id)) {
+          return Status::FailedPrecondition(
+              "checkpoint LSN is not quiesced: update of a transaction "
+              "started before the checkpoint");
+        }
+        lists[rec->txn_id].push_back(storage::Write{
+            rec->key, rec->value, rec->deleted});
+        break;
+      case wal::LogRecordType::kCommit: {
+        auto it = lists.find(rec->txn_id);
+        if (it == lists.end()) {
+          return Status::FailedPrecondition(
+              "checkpoint LSN is not quiesced: commit of a transaction "
+              "started before the checkpoint");
+        }
+        replay.push_back(
+            PropCommit{rec->txn_id, rec->timestamp, std::move(it->second)});
+        lists.erase(it);
+        break;
+      }
+      case wal::LogRecordType::kAbort:
+        lists.erase(rec->txn_id);
+        replay.push_back(PropAbort{rec->txn_id});
+        break;
+    }
+  }
+  for (auto& record : replay) sink->Push(std::move(record));
+  sinks_.push_back(sink);
+  return Status::OK();
+}
+
+void Propagator::DetachSink(BlockingQueue<PropagationRecord>* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase(sinks_, sink);
+}
+
+void Propagator::Start() {
+  if (started_) return;
+  started_ = true;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Propagator::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  started_ = false;
+}
+
+void Propagator::Run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (options_.batch_interval.count() > 0) {
+      // Batched cycles: think for one propagation delay *before* each drain
+      // (Table 1's propagation_delay is the propagator's think time), in
+      // small increments so Stop() stays responsive.
+      auto remaining = options_.batch_interval;
+      const auto step = std::chrono::milliseconds(10);
+      while (remaining.count() > 0 && !stop_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::min(step, remaining));
+        remaining -= step;
+      }
+    }
+    // Drain everything currently available, in log order.
+    bool drained_any = false;
+    while (true) {
+      auto rec = log_->At(position_.load(std::memory_order_acquire));
+      if (!rec.has_value()) break;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ProcessLocked(*rec);
+        position_.fetch_add(1, std::memory_order_release);
+      }
+      drained_any = true;
+    }
+    if (options_.batch_interval.count() == 0 && !drained_any) {
+      // Continuous mode: block until the next record appears.
+      auto rec = log_->WaitAt(position_.load(std::memory_order_acquire),
+                              std::chrono::milliseconds(50));
+      if (!rec.has_value() && log_->closed()) {
+        if (log_->Size() <= position_.load(std::memory_order_acquire)) break;
+      }
+    }
+  }
+  // Final drain so a Stop after workload completion loses nothing.
+  while (true) {
+    auto rec = log_->At(position_.load(std::memory_order_acquire));
+    if (!rec.has_value()) break;
+    std::lock_guard<std::mutex> lock(mu_);
+    ProcessLocked(*rec);
+    position_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void Propagator::ProcessLocked(const wal::LogRecord& record) {
+  switch (record.type) {
+    case wal::LogRecordType::kStart:
+      update_lists_[record.txn_id];
+      BroadcastLocked(PropStart{record.txn_id, record.timestamp});
+      break;
+    case wal::LogRecordType::kUpdate:
+      update_lists_[record.txn_id].push_back(
+          storage::Write{record.key, record.value, record.deleted});
+      break;
+    case wal::LogRecordType::kCommit: {
+      auto it = update_lists_.find(record.txn_id);
+      std::vector<storage::Write> updates;
+      if (it != update_lists_.end()) {
+        updates = std::move(it->second);
+        update_lists_.erase(it);
+      }
+      BroadcastLocked(
+          PropCommit{record.txn_id, record.timestamp, std::move(updates)});
+      commits_propagated_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    case wal::LogRecordType::kAbort:
+      update_lists_.erase(record.txn_id);
+      BroadcastLocked(PropAbort{record.txn_id});
+      break;
+  }
+}
+
+void Propagator::BroadcastLocked(const PropagationRecord& record) {
+  for (auto* sink : sinks_) {
+    sink->Push(record);
+  }
+}
+
+}  // namespace replication
+}  // namespace lazysi

@@ -1,0 +1,100 @@
+#ifndef LAZYSI_REPLICATION_PROPAGATOR_H_
+#define LAZYSI_REPLICATION_PROPAGATOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/status.h"
+#include "replication/messages.h"
+#include "wal/logical_log.h"
+
+namespace lazysi {
+namespace replication {
+
+struct PropagatorOptions {
+  /// 0 = continuous propagation (each log record forwarded as it appears).
+  /// > 0 = batched cycles: every interval, all records accumulated since the
+  /// last cycle are sent, modelling the paper's `propagation_delay`
+  /// (Table 1: 10 s propagator think time).
+  std::chrono::milliseconds batch_interval{0};
+};
+
+/// Algorithm 3.1: tails the primary's logical log as a "log sniffer"
+/// (Section 5 — it does not pass through the concurrency control), keeps an
+/// update list per in-flight transaction, and broadcasts records to every
+/// secondary's update queue in log (= timestamp) order:
+///
+///   - start records are forwarded immediately, which keeps propagation live
+///     even when an earlier-started transaction has not committed yet;
+///   - update records are buffered into the transaction's update list;
+///   - commit records are forwarded together with the full update list, so
+///     updates of transactions that abort are never shipped;
+///   - abort records drop the update list and are forwarded so refreshers
+///     can abandon the refresh transaction they already started.
+class Propagator {
+ public:
+  explicit Propagator(wal::LogicalLog* log,
+                      PropagatorOptions options = PropagatorOptions());
+  ~Propagator();
+
+  Propagator(const Propagator&) = delete;
+  Propagator& operator=(const Propagator&) = delete;
+
+  /// Adds a sink receiving every record from the propagator's *current*
+  /// position onward. Safe while running.
+  void AttachSink(BlockingQueue<PropagationRecord>* sink);
+
+  /// Adds a sink that first receives a replay of log records from `from_lsn`
+  /// up to the current position, then joins the live broadcast. `from_lsn`
+  /// must be a quiesced point (no transaction in flight across it), e.g. the
+  /// LSN of a Database::TakeCheckpoint — otherwise FailedPrecondition.
+  /// Used for secondary recovery (Section 3.4).
+  Status AttachSinkAt(BlockingQueue<PropagationRecord>* sink,
+                      std::size_t from_lsn);
+
+  /// Removes a sink (e.g. a failed secondary, before its queue is
+  /// destroyed). No-op when the sink is not attached.
+  void DetachSink(BlockingQueue<PropagationRecord>* sink);
+
+  void Start();
+  void Stop();
+
+  /// Next LSN the propagator will read.
+  std::size_t position() const {
+    return position_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t commits_propagated() const {
+    return commits_propagated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+  /// Consumes one log record: updates per-txn lists and broadcasts. Must be
+  /// called with mu_ held.
+  void ProcessLocked(const wal::LogRecord& record);
+  void BroadcastLocked(const PropagationRecord& record);
+
+  wal::LogicalLog* log_;
+  PropagatorOptions options_;
+
+  std::mutex mu_;  // guards sinks_, update_lists_ and record processing
+  std::vector<BlockingQueue<PropagationRecord>*> sinks_;
+  std::map<TxnId, std::vector<storage::Write>> update_lists_;
+
+  std::atomic<std::size_t> position_{0};
+  std::atomic<std::uint64_t> commits_propagated_{0};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace replication
+}  // namespace lazysi
+
+#endif  // LAZYSI_REPLICATION_PROPAGATOR_H_

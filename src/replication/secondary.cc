@@ -1,0 +1,159 @@
+#include "replication/secondary.h"
+
+#include "common/logging.h"
+
+namespace lazysi {
+namespace replication {
+
+Secondary::Secondary(engine::Database* db, SecondaryOptions options)
+    : db_(db), options_(options) {
+  if (options_.applicator_threads == 0) options_.applicator_threads = 1;
+  // Publish the local->primary commit-timestamp translation atomically with
+  // version visibility (the hook runs under the engine's timestamp mutex),
+  // so any reader whose snapshot includes a refresh commit can translate it.
+  db_->SetCommitHook([this](TxnId local_txn, Timestamp local_commit_ts) {
+    std::lock_guard<std::mutex> lock(translate_mu_);
+    auto it = pending_translation_.find(local_txn);
+    if (it != pending_translation_.end()) {
+      local_to_primary_[local_commit_ts] = it->second;
+      pending_translation_.erase(it);
+    }
+  });
+}
+
+Secondary::~Secondary() { Stop(); }
+
+void Secondary::Start() {
+  if (started_) return;
+  started_ = true;
+  refresher_ = std::thread([this] { RefresherLoop(); });
+  applicators_.reserve(options_.applicator_threads);
+  for (std::size_t i = 0; i < options_.applicator_threads; ++i) {
+    applicators_.emplace_back([this] { ApplicatorLoop(); });
+  }
+}
+
+void Secondary::Stop() {
+  if (!started_) return;
+  update_queue_.Close();
+  refresher_.join();
+  tasks_.Close();
+  pending_queue_.Close();
+  for (auto& t : applicators_) t.join();
+  applicators_.clear();
+  refresh_txns_.clear();  // aborts leftovers via RAII
+  started_ = false;
+}
+
+bool Secondary::WaitForSeq(Timestamp seq,
+                           std::chrono::milliseconds timeout) const {
+  if (applied_seq() >= seq) return true;
+  std::unique_lock<std::mutex> lock(seq_mu_);
+  return seq_cv_.wait_for(lock, timeout, [&] { return applied_seq() >= seq; });
+}
+
+void Secondary::InitializeSeq(Timestamp seq, Timestamp local_install_ts) {
+  {
+    std::lock_guard<std::mutex> lock(translate_mu_);
+    local_to_primary_[local_install_ts] = seq;
+  }
+  AdvanceSeq(seq);
+}
+
+Timestamp Secondary::TranslateLocalToPrimary(Timestamp local_ts) const {
+  std::lock_guard<std::mutex> lock(translate_mu_);
+  auto it = local_to_primary_.find(local_ts);
+  return it == local_to_primary_.end() ? kInvalidTimestamp : it->second;
+}
+
+void Secondary::AdvanceSeq(Timestamp primary_commit_ts) {
+  {
+    std::lock_guard<std::mutex> lock(seq_mu_);
+    Timestamp current = applied_seq_.load(std::memory_order_relaxed);
+    if (primary_commit_ts > current) {
+      applied_seq_.store(primary_commit_ts, std::memory_order_release);
+    }
+  }
+  seq_cv_.notify_all();
+}
+
+void Secondary::RefresherLoop() {
+  // Algorithm 3.2, one iteration per dequeued record.
+  while (auto record = update_queue_.Pop()) {
+    if (auto* start = std::get_if<PropStart>(&*record)) {
+      // Block until the pending queue is empty so the new refresh
+      // transaction's snapshot includes every refresh commit that precedes
+      // it in primary order.
+      if (!pending_queue_.WaitEmpty()) break;  // shutdown
+      refresh_txns_[start->txn_id] = db_->Begin(/*read_only=*/false);
+    } else if (auto* commit = std::get_if<PropCommit>(&*record)) {
+      std::unique_ptr<txn::Transaction> txn;
+      auto it = refresh_txns_.find(commit->txn_id);
+      if (it != refresh_txns_.end()) {
+        txn = std::move(it->second);
+        refresh_txns_.erase(it);
+      } else {
+        // Commit for a transaction whose start record we never saw. This
+        // happens only for sinks attached mid-stream without a quiesced
+        // checkpoint; recover by starting the refresh transaction now (its
+        // updates are value writes, so a later snapshot is safe).
+        LAZYSI_WARN("secondary: commit without start record, txn="
+                    << commit->txn_id);
+        if (!pending_queue_.WaitEmpty()) break;
+        txn = db_->Begin(/*read_only=*/false);
+      }
+      pending_queue_.Append(commit->commit_ts);
+      tasks_.Push(ApplyTask{std::move(txn), std::move(commit->updates),
+                            commit->commit_ts});
+    } else if (auto* abort = std::get_if<PropAbort>(&*record)) {
+      // Abandon the refresh transaction; Transaction's destructor aborts it.
+      refresh_txns_.erase(abort->txn_id);
+    }
+  }
+}
+
+void Secondary::ApplicatorLoop() {
+  // Algorithm 3.3, one iteration per task.
+  while (auto task = tasks_.Pop()) {
+    for (const auto& w : task->updates) {
+      Status s = w.deleted ? task->txn->Delete(w.key)
+                           : task->txn->Put(w.key, w.value);
+      if (!s.ok()) {
+        LAZYSI_ERROR("applicator: buffering update failed: " << s);
+      }
+    }
+    // Commit only when our primary commit timestamp reaches the head of the
+    // pending queue, so local refresh commit order equals primary commit
+    // order (Lemma 3.3).
+    if (!pending_queue_.WaitHead(task->commit_ts)) {
+      // Shutdown: abandon the refresh transaction.
+      task->txn->Abort();
+      continue;
+    }
+    {
+      // Stage the translation; the commit hook publishes it under the
+      // timestamp mutex when the commit installs its versions.
+      std::lock_guard<std::mutex> lock(translate_mu_);
+      pending_translation_[task->txn->id()] = task->commit_ts;
+    }
+    Status s = task->txn->Commit();
+    if (!s.ok()) {
+      // Cannot happen for refresh transactions: concurrent refreshes have
+      // disjoint write sets (conflicting primary transactions are never
+      // concurrent after FCW at the primary), and the local control is
+      // deadlock-free. Surface loudly if the invariant is ever broken.
+      LAZYSI_ERROR("applicator: refresh commit failed: " << s);
+      std::lock_guard<std::mutex> lock(translate_mu_);
+      pending_translation_.erase(task->txn->id());
+    } else {
+      refreshed_count_.fetch_add(1, std::memory_order_relaxed);
+      // seq(DBsec) := commit_p(T), then remove from the pending queue
+      // (Section 4's ordering: set before delete).
+      AdvanceSeq(task->commit_ts);
+    }
+    pending_queue_.PopHead(task->commit_ts);
+  }
+}
+
+}  // namespace replication
+}  // namespace lazysi

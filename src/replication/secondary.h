@@ -1,0 +1,126 @@
+#ifndef LAZYSI_REPLICATION_SECONDARY_H_
+#define LAZYSI_REPLICATION_SECONDARY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/timestamp.h"
+#include "engine/database.h"
+#include "replication/messages.h"
+#include "replication/pending_queue.h"
+
+namespace lazysi {
+namespace replication {
+
+struct SecondaryOptions {
+  /// Size of the fixed applicator thread pool (Section 3.3 suggests a fixed
+  /// pool rather than a fork per transaction).
+  std::size_t applicator_threads = 4;
+};
+
+/// A secondary site's refresh machinery: the FIFO update queue (kept outside
+/// the database to avoid FCW aborts on queue pages, Section 3.4), the
+/// refresher (Algorithm 3.2), the applicator pool (Algorithm 3.3), the
+/// pending queue, and the seq(DBsec) sequence number of Section 4.
+///
+/// The local database must guarantee strong SI (engine::Database does); the
+/// combination then installs refresh transactions so that their start and
+/// commit order matches the primary's (relationships 1–3 of Section 3.1),
+/// which is what Theorem 3.1's completeness proof requires.
+class Secondary {
+ public:
+  explicit Secondary(engine::Database* db,
+                     SecondaryOptions options = SecondaryOptions());
+  ~Secondary();
+
+  Secondary(const Secondary&) = delete;
+  Secondary& operator=(const Secondary&) = delete;
+
+  /// The update queue to attach to the primary's propagator.
+  BlockingQueue<PropagationRecord>* update_queue() { return &update_queue_; }
+
+  void Start();
+  /// Stops the pipeline. In-flight refresh transactions are aborted; call
+  /// WaitForSeq first if the test/workload needs everything applied.
+  void Stop();
+
+  /// seq(DBsec): the primary commit timestamp of the latest refresh
+  /// transaction committed here (Section 4).
+  Timestamp applied_seq() const {
+    return applied_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until seq(DBsec) >= seq or timeout. This is the blocking rule of
+  /// ALG-STRONG-SESSION-SI: a read-only transaction with session sequence
+  /// number seq(c) may not start while seq(c) > seq(DBsec).
+  bool WaitForSeq(Timestamp seq,
+                  std::chrono::milliseconds timeout =
+                      std::chrono::milliseconds(10000)) const;
+
+  /// Re-seeds seq(DBsec) after recovery: the checkpoint install corresponds
+  /// to the primary state `seq` (Section 4 does this with a dummy primary
+  /// transaction after failure).
+  void InitializeSeq(Timestamp seq, Timestamp local_install_ts);
+
+  /// Maps a local refresh-commit timestamp to the primary commit timestamp
+  /// it installed (kInvalidTimestamp if unknown). History recording uses
+  /// this to express secondary reads in primary-state coordinates.
+  Timestamp TranslateLocalToPrimary(Timestamp local_ts) const;
+
+  engine::Database* db() { return db_; }
+
+  std::uint64_t refreshed_count() const {
+    return refreshed_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t update_queue_depth() const { return update_queue_.size(); }
+
+ private:
+  struct ApplyTask {
+    std::unique_ptr<txn::Transaction> txn;
+    std::vector<storage::Write> updates;
+    Timestamp commit_ts = kInvalidTimestamp;  // primary commit_p(T)
+  };
+
+  void RefresherLoop();
+  void ApplicatorLoop();
+  void AdvanceSeq(Timestamp primary_commit_ts);
+
+  engine::Database* db_;
+  SecondaryOptions options_;
+
+  BlockingQueue<PropagationRecord> update_queue_;
+  PendingQueue pending_queue_;
+  BlockingQueue<ApplyTask> tasks_;
+
+  /// Refresh transactions begun on start records, keyed by primary TxnId.
+  /// Touched only by the refresher thread.
+  std::map<TxnId, std::unique_ptr<txn::Transaction>> refresh_txns_;
+
+  std::atomic<Timestamp> applied_seq_{0};
+  mutable std::mutex seq_mu_;
+  mutable std::condition_variable seq_cv_;
+
+  mutable std::mutex translate_mu_;
+  std::unordered_map<Timestamp, Timestamp> local_to_primary_;
+  /// Staged translations keyed by local TxnId, published by the commit hook.
+  std::unordered_map<TxnId, Timestamp> pending_translation_;
+
+  std::atomic<std::uint64_t> refreshed_count_{0};
+
+  std::thread refresher_;
+  std::vector<std::thread> applicators_;
+  bool started_ = false;
+};
+
+}  // namespace replication
+}  // namespace lazysi
+
+#endif  // LAZYSI_REPLICATION_SECONDARY_H_

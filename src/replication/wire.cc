@@ -1,0 +1,139 @@
+#include "replication/wire.h"
+
+namespace lazysi {
+namespace replication {
+
+namespace {
+
+constexpr std::uint8_t kTagStart = 1;
+constexpr std::uint8_t kTagCommit = 2;
+constexpr std::uint8_t kTagAbort = 3;
+
+void PutVarint(std::string* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(const std::string& data, std::size_t* offset,
+               std::uint64_t* out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (*offset < data.size() && shift <= 63) {
+    auto b = static_cast<unsigned char>(data[*offset]);
+    ++(*offset);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutVarint(out, s.size());
+  out->append(s);
+}
+
+bool GetString(const std::string& data, std::size_t* offset,
+               std::string* out) {
+  std::uint64_t len = 0;
+  if (!GetVarint(data, offset, &len)) return false;
+  if (*offset + len > data.size()) return false;
+  out->assign(data, *offset, len);
+  *offset += len;
+  return true;
+}
+
+}  // namespace
+
+void EncodeRecord(const PropagationRecord& record, std::string* out) {
+  if (const auto* s = std::get_if<PropStart>(&record)) {
+    out->push_back(static_cast<char>(kTagStart));
+    PutVarint(out, s->txn_id);
+    PutVarint(out, s->start_ts);
+  } else if (const auto* c = std::get_if<PropCommit>(&record)) {
+    out->push_back(static_cast<char>(kTagCommit));
+    PutVarint(out, c->txn_id);
+    PutVarint(out, c->commit_ts);
+    PutVarint(out, c->updates.size());
+    for (const auto& w : c->updates) {
+      PutString(out, w.key);
+      PutString(out, w.value);
+      out->push_back(w.deleted ? 1 : 0);
+    }
+  } else if (const auto* a = std::get_if<PropAbort>(&record)) {
+    out->push_back(static_cast<char>(kTagAbort));
+    PutVarint(out, a->txn_id);
+  }
+}
+
+Result<PropagationRecord> DecodeRecord(const std::string& data,
+                                       std::size_t* offset) {
+  if (*offset >= data.size()) {
+    return Status::InvalidArgument("wire: truncated tag");
+  }
+  const auto tag = static_cast<std::uint8_t>(data[*offset]);
+  ++(*offset);
+  std::uint64_t txn_id = 0;
+  if (!GetVarint(data, offset, &txn_id)) {
+    return Status::InvalidArgument("wire: truncated txn id");
+  }
+  switch (tag) {
+    case kTagStart: {
+      std::uint64_t ts = 0;
+      if (!GetVarint(data, offset, &ts)) {
+        return Status::InvalidArgument("wire: truncated start ts");
+      }
+      return PropagationRecord(PropStart{txn_id, ts});
+    }
+    case kTagCommit: {
+      std::uint64_t ts = 0, count = 0;
+      if (!GetVarint(data, offset, &ts) ||
+          !GetVarint(data, offset, &count)) {
+        return Status::InvalidArgument("wire: truncated commit header");
+      }
+      PropCommit commit{txn_id, ts, {}};
+      commit.updates.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        storage::Write w;
+        if (!GetString(data, offset, &w.key) ||
+            !GetString(data, offset, &w.value) || *offset >= data.size()) {
+          return Status::InvalidArgument("wire: truncated update");
+        }
+        w.deleted = data[*offset] != 0;
+        ++(*offset);
+        commit.updates.push_back(std::move(w));
+      }
+      return PropagationRecord(std::move(commit));
+    }
+    case kTagAbort:
+      return PropagationRecord(PropAbort{txn_id});
+    default:
+      return Status::InvalidArgument("wire: unknown tag");
+  }
+}
+
+std::string EncodeBatch(const std::vector<PropagationRecord>& records) {
+  std::string out;
+  for (const auto& r : records) EncodeRecord(r, &out);
+  return out;
+}
+
+Result<std::vector<PropagationRecord>> DecodeBatch(const std::string& data) {
+  std::vector<PropagationRecord> out;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    auto record = DecodeRecord(data, &offset);
+    if (!record.ok()) return record.status();
+    out.push_back(std::move(record).value());
+  }
+  return out;
+}
+
+}  // namespace replication
+}  // namespace lazysi

@@ -1,0 +1,59 @@
+#ifndef LAZYSI_SESSION_GUARANTEE_H_
+#define LAZYSI_SESSION_GUARANTEE_H_
+
+#include <string_view>
+
+namespace lazysi {
+namespace session {
+
+/// The three global transactional guarantees the paper evaluates
+/// (Section 6):
+///
+///  - kWeakSI (ALG-WEAK-SI): global weak snapshot isolation; read-only
+///    transactions run immediately against whatever snapshot their secondary
+///    holds. Transaction inversions are possible.
+///  - kStrongSessionSI (ALG-STRONG-SESSION-SI): weak SI plus the session
+///    ordering rule of Definition 2.2 — a transaction must see the effects
+///    of every earlier transaction in the *same session*. Inversions within
+///    a session are impossible.
+///  - kStrongSI (ALG-STRONG-SI): the same machinery with a single
+///    system-wide session, i.e. a total order constraint — equivalent to the
+///    strong SI of Definition 2.1.
+///  - kPrefixConsistentSI (ALG-PCSI): the comparison point from the paper's
+///    related work (Section 7, Elnikety et al): a session's reads must
+///    include the session's own earlier *updates*, but — unlike strong
+///    session SI — two read-only transactions in the same session need not
+///    see monotonically advancing snapshots. The difference is observable
+///    when a session's reads roam across secondaries.
+enum class Guarantee {
+  kWeakSI,
+  kStrongSessionSI,
+  kStrongSI,
+  kPrefixConsistentSI,
+};
+
+inline std::string_view GuaranteeName(Guarantee g) {
+  switch (g) {
+    case Guarantee::kWeakSI:
+      return "ALG-WEAK-SI";
+    case Guarantee::kStrongSessionSI:
+      return "ALG-STRONG-SESSION-SI";
+    case Guarantee::kStrongSI:
+      return "ALG-STRONG-SI";
+    case Guarantee::kPrefixConsistentSI:
+      return "ALG-PCSI";
+  }
+  return "?";
+}
+
+/// True when the guarantee requires a session's later reads to see
+/// snapshots at least as fresh as its earlier reads (Definition 2.2's
+/// read-read ordering; PCSI drops it, Section 7).
+inline bool RequiresReadMonotonicity(Guarantee g) {
+  return g == Guarantee::kStrongSessionSI || g == Guarantee::kStrongSI;
+}
+
+}  // namespace session
+}  // namespace lazysi
+
+#endif  // LAZYSI_SESSION_GUARANTEE_H_

@@ -1,0 +1,56 @@
+#ifndef LAZYSI_SIM_CONDITION_H_
+#define LAZYSI_SIM_CONDITION_H_
+
+#include <coroutine>
+#include <deque>
+
+#include "sim/simulator.h"
+
+namespace lazysi {
+namespace sim {
+
+/// CSIM-style broadcast condition: processes wait, someone notifies, all
+/// waiters are rescheduled at the current time. Use in a predicate loop:
+///
+///   while (seq_db < seq_c) co_await cond.Wait();
+///
+/// This is how the simulation model implements the seq(DBsec) >= seq(c)
+/// blocking rule of ALG-STRONG-SESSION-SI.
+class Condition {
+ public:
+  explicit Condition(Simulator* sim) : sim_(sim) {}
+
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  auto Wait() {
+    struct Awaiter {
+      Condition* cond;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        cond->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Wakes every current waiter (at the present virtual time).
+  void NotifyAll() {
+    while (!waiters_.empty()) {
+      sim_->Schedule(sim_->Now(), waiters_.front());
+      waiters_.pop_front();
+    }
+  }
+
+  std::size_t num_waiters() const { return waiters_.size(); }
+
+ private:
+  Simulator* sim_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace sim
+}  // namespace lazysi
+
+#endif  // LAZYSI_SIM_CONDITION_H_

@@ -1,0 +1,73 @@
+#ifndef LAZYSI_SIM_MAILBOX_H_
+#define LAZYSI_SIM_MAILBOX_H_
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace lazysi {
+namespace sim {
+
+/// CSIM-style mailbox: an unbounded FIFO channel between simulation
+/// processes. Send never blocks; Receive suspends until a value arrives.
+/// Values are handed directly to parked receivers, so delivery order is
+/// exactly send order. The simulated secondaries' update queues are
+/// mailboxes of propagation records.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulator* sim) : sim_(sim) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void Send(T value) {
+    if (!waiters_.empty()) {
+      ReceiveAwaiter* waiter = waiters_.front();
+      waiters_.pop_front();
+      waiter->value.emplace(std::move(value));
+      sim_->Schedule(sim_->Now(), waiter->handle);
+    } else {
+      values_.push_back(std::move(value));
+    }
+  }
+
+  struct ReceiveAwaiter {
+    Mailbox* mailbox;
+    std::optional<T> value;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      if (!mailbox->values_.empty()) {
+        value.emplace(std::move(mailbox->values_.front()));
+        mailbox->values_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      mailbox->waiters_.push_back(this);
+    }
+    T await_resume() { return std::move(*value); }
+  };
+
+  /// co_await mailbox.Receive() -> T
+  ReceiveAwaiter Receive() { return ReceiveAwaiter{this, std::nullopt, {}}; }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+ private:
+  Simulator* sim_;
+  std::deque<T> values_;
+  std::deque<ReceiveAwaiter*> waiters_;
+};
+
+}  // namespace sim
+}  // namespace lazysi
+
+#endif  // LAZYSI_SIM_MAILBOX_H_

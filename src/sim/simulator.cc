@@ -1,0 +1,87 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace lazysi {
+namespace sim {
+
+void Process::promise_type::FinalAwaiter::await_suspend(Handle h) noexcept {
+  // Unregister and destroy the frame. Destroying a coroutine suspended at
+  // its final suspend point is well-defined; after this the simulator holds
+  // no reference to it.
+  Simulator* sim = h.promise().sim;
+  if (sim != nullptr) {
+    sim->alive_processes_.erase(h.address());
+  }
+  h.destroy();
+}
+
+Simulator::~Simulator() {
+  // Destroy still-suspended processes. Copy first: frame destructors do not
+  // touch the registry (only FinalAwaiter does, and destroyed frames never
+  // reach it), but keep the iteration safe regardless.
+  std::vector<void*> leftover(alive_processes_.begin(),
+                              alive_processes_.end());
+  alive_processes_.clear();
+  for (void* address : leftover) {
+    Process::Handle::from_address(address).destroy();
+  }
+}
+
+void Simulator::Spawn(Process process) {
+  Process::Handle h = process.handle();
+  h.promise().sim = this;
+  alive_processes_.insert(h.address());
+  Schedule(now_, h);
+}
+
+void Simulator::Schedule(SimTime at, std::coroutine_handle<> h) {
+  assert(at >= now_);
+  events_.push(Event{at, next_seq_++, h, nullptr, 0});
+}
+
+std::uint64_t Simulator::ScheduleCallback(SimTime at,
+                                          std::function<void()> fn) {
+  assert(at >= now_);
+  const std::uint64_t id = next_callback_id_++;
+  events_.push(Event{at, next_seq_++, nullptr, std::move(fn), id});
+  return id;
+}
+
+void Simulator::CancelCallback(std::uint64_t id) { cancelled_.insert(id); }
+
+void Simulator::DispatchOne(Event event) {
+  now_ = event.time;
+  ++events_processed_;
+  if (event.handle) {
+    event.handle.resume();
+  } else if (event.fn) {
+    event.fn();
+  }
+}
+
+void Simulator::Run() {
+  while (!events_.empty()) {
+    Event event = events_.top();
+    events_.pop();
+    if (event.callback_id != 0 && cancelled_.erase(event.callback_id) > 0) {
+      continue;
+    }
+    DispatchOne(std::move(event));
+  }
+}
+
+void Simulator::RunUntil(SimTime until) {
+  while (!events_.empty() && events_.top().time <= until) {
+    Event event = events_.top();
+    events_.pop();
+    if (event.callback_id != 0 && cancelled_.erase(event.callback_id) > 0) {
+      continue;
+    }
+    DispatchOne(std::move(event));
+  }
+  now_ = until;
+}
+
+}  // namespace sim
+}  // namespace lazysi

@@ -1,0 +1,141 @@
+#ifndef LAZYSI_SIM_SIMULATOR_H_
+#define LAZYSI_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace lazysi {
+namespace sim {
+
+/// Virtual time, in seconds.
+using SimTime = double;
+
+class Simulator;
+
+/// A fire-and-forget simulation process, written as a C++20 coroutine:
+///
+///   sim::Process Client(sim::Simulator& sim, Model& m) {
+///     for (;;) {
+///       co_await sim.Delay(m.rng.Exponential(think_time));
+///       co_await m.server.Use(demand);
+///     }
+///   }
+///
+/// Processes are started with Simulator::Spawn and owned by the simulator;
+/// frames self-destroy on completion and any still-suspended frames are
+/// destroyed with the simulator. This plays the role of CSIM18's
+/// process-oriented modelling layer (Section 5 of the paper used CSIM).
+class Process {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    Simulator* sim = nullptr;
+
+    Process get_return_object() {
+      return Process{Handle::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      void await_suspend(Handle h) noexcept;
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  explicit Process(Handle handle) : handle_(handle) {}
+  Handle handle() const { return handle_; }
+
+ private:
+  Handle handle_;
+};
+
+/// Event-driven simulation core: a virtual clock and a time-ordered queue of
+/// coroutine resumptions and callbacks. Deterministic: ties in time are
+/// broken by scheduling order.
+class Simulator {
+ public:
+  Simulator() = default;
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  /// Starts a process; its body runs when the event loop reaches the
+  /// current time.
+  void Spawn(Process process);
+
+  /// Schedules a coroutine resumption at absolute time `at` (>= Now()).
+  void Schedule(SimTime at, std::coroutine_handle<> h);
+
+  /// Schedules a callback; returns an id usable with CancelCallback.
+  std::uint64_t ScheduleCallback(SimTime at, std::function<void()> fn);
+  void CancelCallback(std::uint64_t id);
+
+  /// Awaitable that suspends the calling process for `delay` virtual
+  /// seconds.
+  auto Delay(SimTime delay) {
+    struct Awaiter {
+      Simulator* sim;
+      SimTime delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->Schedule(sim->Now() + (delay > 0 ? delay : 0), h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, delay};
+  }
+
+  /// Runs until the event queue is empty.
+  void Run();
+  /// Runs all events with time <= until, then sets the clock to `until`.
+  void RunUntil(SimTime until);
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  friend struct Process::promise_type;
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break
+    std::coroutine_handle<> handle;
+    std::function<void()> fn;
+    std::uint64_t callback_id;  // 0 for coroutine events
+  };
+  struct EventCompare {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void DispatchOne(Event event);
+  void OnProcessFinished(Process::Handle h);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_callback_id_ = 1;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventCompare> events_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<void*> alive_processes_;
+};
+
+}  // namespace sim
+}  // namespace lazysi
+
+#endif  // LAZYSI_SIM_SIMULATOR_H_

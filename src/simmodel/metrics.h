@@ -1,0 +1,47 @@
+#ifndef LAZYSI_SIMMODEL_METRICS_H_
+#define LAZYSI_SIMMODEL_METRICS_H_
+
+#include <cstdint>
+
+namespace lazysi {
+namespace simmodel {
+
+/// Outputs of one simulation run, measured over the post-warm-up window.
+struct Metrics {
+  /// Transactions finishing within response_threshold, per second — the
+  /// "response time-related" throughput plotted in Figures 2, 5 and 8.
+  double throughput_fast = 0;
+  /// All completed transactions per second.
+  double throughput_total = 0;
+  /// Mean response time of read-only transactions (Figures 3, 6), seconds.
+  double ro_response_mean = 0;
+  /// Mean response time of update transactions (Figures 4, 7), seconds.
+  double upd_response_mean = 0;
+  /// 95th-percentile response times (supplements; the paper reports means).
+  double ro_response_p95 = 0;
+  double upd_response_p95 = 0;
+  /// Mean time read-only transactions spent blocked on the
+  /// seq(DBsec) >= seq(c) rule (0 under ALG-WEAK-SI).
+  double ro_block_mean = 0;
+
+  std::uint64_t ro_completed = 0;
+  std::uint64_t upd_completed = 0;
+  std::uint64_t upd_aborts = 0;
+
+  double primary_utilization = 0;
+  double mean_secondary_utilization = 0;
+  /// Mean replication lag observed at refresh commit: virtual time between
+  /// an update's primary commit and its refresh commit, averaged over
+  /// secondaries.
+  double mean_refresh_lag = 0;
+  std::uint64_t refreshes_applied = 0;
+  /// Read-only transactions whose snapshot was older than an earlier read
+  /// in the same session provably saw (possible under weak SI and PCSI with
+  /// roaming reads; never under strong session SI / strong SI).
+  std::uint64_t snapshot_regressions = 0;
+};
+
+}  // namespace simmodel
+}  // namespace lazysi
+
+#endif  // LAZYSI_SIMMODEL_METRICS_H_

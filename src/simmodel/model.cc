@@ -1,0 +1,320 @@
+#include "simmodel/model.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace lazysi {
+namespace simmodel {
+
+Model::SecondarySite::SecondarySite(sim::Simulator* sim, const Params& p,
+                                    std::size_t index)
+    : server(sim, "secondary-" + std::to_string(index), p.discipline,
+             p.rr_quantum),
+      update_queue(sim),
+      seq_cond(sim),
+      pending_cond(sim),
+      pool_cond(sim) {}
+
+Model::Model(const Params& params, std::uint64_t seed)
+    : params_(params), rng_(seed),
+      primary_server_(&sim_, "primary", params.discipline, params.rr_quantum) {
+  secondaries_.reserve(params_.num_secondaries);
+  for (std::size_t i = 0; i < params_.num_secondaries; ++i) {
+    secondaries_.push_back(
+        std::make_unique<SecondarySite>(&sim_, params_, i));
+  }
+}
+
+Model::~Model() = default;
+
+sim::Process Model::ClientProcess(std::size_t secondary_index, Rng rng) {
+  SecondarySite& home = *secondaries_[secondary_index];
+  // Desynchronize client start-up.
+  co_await sim_.Delay(rng.Uniform(0, 2.0 * params_.think_time));
+  for (;;) {
+    // One session: exponential duration, fresh session sequence number
+    // (ordering constraints do not cross sessions, Section 2.3).
+    const double session_end =
+        sim_.Now() + rng.Exponential(params_.session_time);
+    std::uint64_t seq_c = 0;
+    // Newest state an earlier read in this session provably saw; used for
+    // the read-read monotonicity of Definition 2.2 and for counting
+    // regressions when it is not enforced.
+    std::uint64_t read_floor = 0;
+    while (sim_.Now() < session_end) {
+      co_await sim_.Delay(rng.Exponential(params_.think_time));
+      const int size = static_cast<int>(
+          rng.UniformInt(params_.tran_size_min, params_.tran_size_max));
+      const double t0 = sim_.Now();
+      if (rng.Bernoulli(params_.update_tran_prob)) {
+        // ---- Update transaction: forwarded to the primary. ----
+        std::uint64_t commit_ts = 0;
+        for (;;) {  // retry loop: aborted updates restart immediately
+          int update_ops = 0;
+          for (int i = 0; i < size; ++i) {
+            if (rng.Bernoulli(params_.update_op_prob)) ++update_ops;
+          }
+          const std::uint64_t txn = ++next_txn_id_;
+          log_.push_back(PropRecord{PropRecord::Kind::kStart, txn,
+                                    ++primary_clock_, 0, 0});
+          for (int i = 0; i < size; ++i) {
+            co_await primary_server_.Use(params_.op_service_time);
+          }
+          if (rng.Bernoulli(params_.abort_prob)) {
+            log_.push_back(PropRecord{PropRecord::Kind::kAbort, txn, 0, 0, 0});
+            if (InWindow()) ++collect_.upd_aborts;
+            continue;  // first-committer-wins abort: restart to keep load
+          }
+          commit_ts = ++primary_clock_;
+          log_.push_back(PropRecord{PropRecord::Kind::kCommit, txn, commit_ts,
+                                    update_ops, sim_.Now()});
+          break;
+        }
+        // seq(c) := commit_p(T); ALG-STRONG-SI keeps one global session.
+        if (params_.guarantee == session::Guarantee::kStrongSI) {
+          global_session_seq_ = commit_ts;
+        } else {
+          seq_c = commit_ts;
+        }
+        const double rt = sim_.Now() - t0;
+        if (InWindow()) {
+          collect_.upd_response.Add(rt);
+          collect_.upd_histogram.Add(rt);
+          if (rt <= params_.response_threshold) ++collect_.fast_completions;
+        }
+      } else {
+        // ---- Read-only transaction: runs at a secondary (the client's
+        // home site, or a random one in the roaming ablation). ----
+        SecondarySite& sec =
+            params_.roam_reads
+                ? *secondaries_[rng.Next(secondaries_.size())]
+                : home;
+        std::uint64_t needed = 0;
+        switch (params_.guarantee) {
+          case session::Guarantee::kWeakSI:
+            needed = 0;  // ALG-WEAK-SI never blocks
+            break;
+          case session::Guarantee::kStrongSessionSI:
+            // Definition 2.2: both the session's own updates AND its
+            // earlier reads' snapshots order this read.
+            needed = std::max(seq_c, read_floor);
+            break;
+          case session::Guarantee::kStrongSI:
+            needed = std::max(global_session_seq_, read_floor);
+            break;
+          case session::Guarantee::kPrefixConsistentSI:
+            needed = seq_c;  // updates only; reads may regress (Section 7)
+            break;
+        }
+        const double block_start = sim_.Now();
+        while (sec.seq_db < needed) co_await sec.seq_cond.Wait();
+        const double blocked = sim_.Now() - block_start;
+        const std::uint64_t snapshot = sec.seq_db;
+        if (InWindow() && snapshot < read_floor) {
+          ++collect_.snapshot_regressions;
+        }
+        read_floor = std::max(read_floor, snapshot);
+        for (int i = 0; i < size; ++i) {
+          co_await sec.server.Use(params_.op_service_time);
+        }
+        const double rt = sim_.Now() - t0;
+        if (InWindow()) {
+          collect_.ro_response.Add(rt);
+          collect_.ro_histogram.Add(rt);
+          collect_.ro_block.Add(blocked);
+          if (rt <= params_.response_threshold) ++collect_.fast_completions;
+        }
+      }
+    }
+  }
+}
+
+sim::Process Model::PropagatorProcess() {
+  // Section 3.2 / Table 1: a log-sniffer with think time propagation_delay;
+  // each cycle broadcasts everything accumulated since the last cycle, in
+  // timestamp order.
+  for (;;) {
+    co_await sim_.Delay(params_.propagation_delay);
+    while (propagated_upto_ < log_.size()) {
+      const PropRecord& record = log_[propagated_upto_++];
+      for (auto& sec : secondaries_) {
+        sec->update_queue.Send(record);
+      }
+    }
+  }
+}
+
+sim::Process Model::RefresherProcess(SecondarySite& sec) {
+  // Algorithm 3.2.
+  for (;;) {
+    PropRecord record = co_await sec.update_queue.Receive();
+    switch (record.kind) {
+      case PropRecord::Kind::kStart:
+        // Block until the pending queue is empty, so the refresh
+        // transaction's snapshot includes every earlier refresh commit.
+        while (!sec.pending.empty()) co_await sec.pending_cond.Wait();
+        sec.started.insert(record.txn_id);
+        break;
+      case PropRecord::Kind::kCommit:
+        sec.started.erase(record.txn_id);
+        sec.pending.push_back(record.ts);
+        sim_.Spawn(ApplicatorProcess(sec, record));
+        break;
+      case PropRecord::Kind::kAbort:
+        sec.started.erase(record.txn_id);
+        break;
+    }
+  }
+}
+
+sim::Process Model::ApplicatorProcess(SecondarySite& sec, PropRecord record) {
+  // Bounded pool (Section 3.3 suggests a fixed pool of applicator threads):
+  // acquire a slot in commit order before doing any work.
+  if (params_.applicator_pool_size > 0) {
+    sec.admission.push_back(record.ts);
+    while (sec.admission.front() != record.ts ||
+           sec.active_applicators >= params_.applicator_pool_size) {
+      co_await sec.pool_cond.Wait();
+    }
+    sec.admission.pop_front();
+    ++sec.active_applicators;
+    sec.pool_cond.NotifyAll();
+  }
+  // Algorithm 3.3: apply the update list, then commit in primary commit
+  // order (wait until our timestamp heads the pending queue).
+  for (int i = 0; i < record.update_ops; ++i) {
+    co_await sec.server.Use(params_.op_service_time);
+  }
+  while (sec.pending.empty() || sec.pending.front() != record.ts) {
+    co_await sec.pending_cond.Wait();
+  }
+  sec.seq_db = record.ts;  // seq(DBsec) := commit_p(T)
+  sec.seq_cond.NotifyAll();
+  if (InWindow()) {
+    collect_.refresh_lag.Add(sim_.Now() - record.commit_time);
+    ++collect_.refreshes;
+  }
+  sec.pending.pop_front();
+  sec.pending_cond.NotifyAll();
+  if (params_.applicator_pool_size > 0) {
+    --sec.active_applicators;
+    sec.pool_cond.NotifyAll();
+  }
+}
+
+Metrics Model::Run() {
+  const std::size_t clients = params_.total_clients();
+  for (std::size_t c = 0; c < clients; ++c) {
+    // Clients are distributed uniformly over the secondaries (Section 5).
+    sim_.Spawn(ClientProcess(c % params_.num_secondaries, rng_.Fork()));
+  }
+  sim_.Spawn(PropagatorProcess());
+  for (auto& sec : secondaries_) {
+    sim_.Spawn(RefresherProcess(*sec));
+  }
+  // End of warm-up: reset all measurement state.
+  sim_.ScheduleCallback(params_.warmup_time, [this] {
+    collect_ = Collectors{};
+    primary_server_.ResetStats();
+    for (auto& sec : secondaries_) sec->server.ResetStats();
+  });
+
+  sim_.RunUntil(params_.warmup_time + params_.measure_time);
+
+  Metrics m;
+  const double window = params_.measure_time;
+  const std::uint64_t total =
+      collect_.ro_response.count() + collect_.upd_response.count();
+  m.throughput_fast = static_cast<double>(collect_.fast_completions) / window;
+  m.throughput_total = static_cast<double>(total) / window;
+  m.ro_response_mean = collect_.ro_response.mean();
+  m.upd_response_mean = collect_.upd_response.mean();
+  m.ro_response_p95 = collect_.ro_histogram.Quantile(0.95);
+  m.upd_response_p95 = collect_.upd_histogram.Quantile(0.95);
+  m.ro_block_mean = collect_.ro_block.mean();
+  m.ro_completed = collect_.ro_response.count();
+  m.upd_completed = collect_.upd_response.count();
+  m.upd_aborts = collect_.upd_aborts;
+  m.primary_utilization = primary_server_.Utilization();
+  double sec_util = 0;
+  for (auto& sec : secondaries_) sec_util += sec->server.Utilization();
+  m.mean_secondary_utilization =
+      secondaries_.empty() ? 0 : sec_util / secondaries_.size();
+  m.mean_refresh_lag = collect_.refresh_lag.mean();
+  m.refreshes_applied = collect_.refreshes;
+  m.snapshot_regressions = collect_.snapshot_regressions;
+  return m;
+}
+
+ReplicatedResult RunReplications(const Params& params, int replications) {
+  std::vector<Metrics> results(replications);
+  std::atomic<int> next{0};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned workers =
+      std::min<unsigned>(hw, static_cast<unsigned>(replications));
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= replications) return;
+        Model model(params, params.seed + static_cast<std::uint64_t>(i));
+        results[i] = model.Run();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  RunningStat tf, tt, ro, upd, rop95, updp95, blk, util, lag, reg;
+  for (const Metrics& m : results) {
+    tf.Add(m.throughput_fast);
+    tt.Add(m.throughput_total);
+    ro.Add(m.ro_response_mean);
+    upd.Add(m.upd_response_mean);
+    rop95.Add(m.ro_response_p95);
+    updp95.Add(m.upd_response_p95);
+    blk.Add(m.ro_block_mean);
+    util.Add(m.primary_utilization);
+    lag.Add(m.mean_refresh_lag);
+    reg.Add(m.ro_completed == 0
+                ? 0.0
+                : 1000.0 * static_cast<double>(m.snapshot_regressions) /
+                      static_cast<double>(m.ro_completed));
+  }
+  auto summarize = [](const RunningStat& s) {
+    return Summary{s.mean(), s.ConfidenceHalfWidth95()};
+  };
+  ReplicatedResult r;
+  r.throughput_fast = summarize(tf);
+  r.throughput_total = summarize(tt);
+  r.ro_response = summarize(ro);
+  r.upd_response = summarize(upd);
+  r.ro_response_p95 = summarize(rop95);
+  r.upd_response_p95 = summarize(updp95);
+  r.ro_block = summarize(blk);
+  r.primary_utilization = summarize(util);
+  r.refresh_lag = summarize(lag);
+  r.regressions_per_k = summarize(reg);
+  return r;
+}
+
+int DefaultReplications() {
+  if (const char* env = std::getenv("LAZYSI_REPS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 5;
+}
+
+double TimeScale() {
+  if (const char* env = std::getenv("LAZYSI_TIME_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0 && v <= 1.0) return v;
+  }
+  return 1.0;
+}
+
+}  // namespace simmodel
+}  // namespace lazysi

@@ -1,0 +1,151 @@
+#ifndef LAZYSI_SIMMODEL_MODEL_H_
+#define LAZYSI_SIMMODEL_MODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "simmodel/metrics.h"
+#include "simmodel/params.h"
+#include "sim/condition.h"
+#include "sim/mailbox.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace lazysi {
+namespace simmodel {
+
+/// One propagated log record in the simulation model. Mirrors
+/// replication::PropagationRecord but carries only what the performance
+/// model needs: the timestamp schedule and the refresh CPU demand.
+struct PropRecord {
+  enum class Kind { kStart, kCommit, kAbort };
+  Kind kind = Kind::kStart;
+  std::uint64_t txn_id = 0;
+  /// start_p(T) or commit_p(T) (one logical clock, as in the engine).
+  std::uint64_t ts = 0;
+  /// Number of update operations — the refresh transaction's CPU demand in
+  /// ops (kCommit only).
+  int update_ops = 0;
+  /// Virtual time of the primary commit, for replication-lag statistics.
+  double commit_time = 0;
+};
+
+/// The simulation model of Section 5: the weak SI system of Section 3 plus
+/// the ALG-WEAK-SI / ALG-STRONG-SESSION-SI / ALG-STRONG-SI read-blocking
+/// rules of Sections 4 and 6, driven by the TPC-W-derived client workload of
+/// Table 1. One Model instance is one independent replication.
+class Model {
+ public:
+  Model(const Params& params, std::uint64_t seed);
+  ~Model();
+
+  /// Runs warm-up plus measurement window and returns the metrics.
+  Metrics Run();
+
+ private:
+  struct SecondarySite {
+    explicit SecondarySite(sim::Simulator* sim, const Params& p,
+                           std::size_t index);
+
+    sim::Resource server;
+    sim::Mailbox<PropRecord> update_queue;
+    /// seq(DBsec): primary commit timestamp of the latest refresh commit.
+    std::uint64_t seq_db = 0;
+    sim::Condition seq_cond;
+    /// Pending queue of Algorithm 3.2/3.3 (commit timestamps, FIFO).
+    std::deque<std::uint64_t> pending;
+    sim::Condition pending_cond;
+    /// Refresh transactions begun (start record processed, not resolved).
+    std::set<std::uint64_t> started;
+    /// Applicator pool gate (ablation): admission is FIFO in commit order so
+    /// the pending-queue head always holds a slot (no starvation).
+    std::deque<std::uint64_t> admission;
+    std::size_t active_applicators = 0;
+    sim::Condition pool_cond;
+  };
+
+  /// Measurement collectors, reset at the end of warm-up.
+  struct Collectors {
+    Collectors()
+        : ro_histogram(0.0, 120.0, 2400), upd_histogram(0.0, 120.0, 2400) {}
+    RunningStat ro_response;
+    RunningStat upd_response;
+    /// 50 ms buckets to 120 s for percentile supplements.
+    Histogram ro_histogram;
+    Histogram upd_histogram;
+    RunningStat ro_block;
+    RunningStat refresh_lag;
+    std::uint64_t fast_completions = 0;
+    std::uint64_t upd_aborts = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t snapshot_regressions = 0;
+  };
+
+  sim::Process ClientProcess(std::size_t secondary_index, Rng rng);
+  sim::Process PropagatorProcess();
+  sim::Process RefresherProcess(SecondarySite& sec);
+  sim::Process ApplicatorProcess(SecondarySite& sec, PropRecord record);
+
+  bool InWindow() const { return sim_.Now() >= params_.warmup_time; }
+
+  Params params_;
+  Rng rng_;
+  sim::Simulator sim_;
+
+  sim::Resource primary_server_;
+  /// Primary logical clock issuing start and commit timestamps.
+  std::uint64_t primary_clock_ = 0;
+  std::uint64_t next_txn_id_ = 0;
+  /// The primary's logical log, in timestamp order.
+  std::vector<PropRecord> log_;
+  std::size_t propagated_upto_ = 0;
+  /// seq for ALG-STRONG-SI's single system-wide session.
+  std::uint64_t global_session_seq_ = 0;
+
+  std::vector<std::unique_ptr<SecondarySite>> secondaries_;
+  Collectors collect_;
+};
+
+/// Cross-replication summary of one metric: mean and 95% confidence
+/// half-width over independent runs (Section 6.1 style).
+struct Summary {
+  double mean = 0;
+  double ci95 = 0;
+};
+
+/// All figure metrics summarized across replications.
+struct ReplicatedResult {
+  Summary throughput_fast;
+  Summary throughput_total;
+  Summary ro_response;
+  Summary upd_response;
+  Summary ro_response_p95;
+  Summary upd_response_p95;
+  Summary ro_block;
+  Summary primary_utilization;
+  Summary refresh_lag;
+  /// Snapshot regressions per 1000 read-only transactions.
+  Summary regressions_per_k;
+};
+
+/// Runs `replications` independent Model runs (seeds seed, seed+1, ...) and
+/// aggregates. Runs use multiple OS threads when available; each replication
+/// is fully deterministic given its seed.
+ReplicatedResult RunReplications(const Params& params, int replications);
+
+/// Replication count: LAZYSI_REPS env override, else 5 (the paper's count).
+int DefaultReplications();
+
+/// Measurement-window scale factor: LAZYSI_TIME_SCALE env override in (0,1],
+/// else 1.0. Lets CI runs shrink the 30-minute window proportionally.
+double TimeScale();
+
+}  // namespace simmodel
+}  // namespace lazysi
+
+#endif  // LAZYSI_SIMMODEL_MODEL_H_

@@ -1,0 +1,30 @@
+#include "simmodel/params.h"
+
+#include <sstream>
+
+namespace lazysi {
+namespace simmodel {
+
+std::string Params::ToTableString() const {
+  std::ostringstream os;
+  os << "Simulation parameters (Table 1):\n"
+     << "  num_sec            " << num_secondaries << "\n"
+     << "  num_clients        " << total_clients() << " ("
+     << clients_per_secondary << "/secondary)\n"
+     << "  think_time         " << think_time << " s\n"
+     << "  session_time       " << session_time / 60.0 << " min\n"
+     << "  update_tran_prob   " << update_tran_prob * 100 << "%\n"
+     << "  abort_prob         " << abort_prob * 100 << "%\n"
+     << "  tran_size          " << tran_size_min << ".." << tran_size_max
+     << " ops (mean " << (tran_size_min + tran_size_max) / 2.0 << ")\n"
+     << "  op_service_time    " << op_service_time << " s\n"
+     << "  update_op_prob     " << update_op_prob * 100 << "%\n"
+     << "  propagation_delay  " << propagation_delay << " s\n"
+     << "  guarantee          " << session::GuaranteeName(guarantee) << "\n"
+     << "  warmup/measure     " << warmup_time / 60.0 << " min / "
+     << measure_time / 60.0 << " min\n";
+  return os.str();
+}
+
+}  // namespace simmodel
+}  // namespace lazysi

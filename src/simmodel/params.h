@@ -1,0 +1,85 @@
+#ifndef LAZYSI_SIMMODEL_PARAMS_H_
+#define LAZYSI_SIMMODEL_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "session/guarantee.h"
+#include "sim/resource.h"
+
+namespace lazysi {
+namespace simmodel {
+
+/// Simulation model parameters — Table 1 of the paper, plus the run-control
+/// values from Section 6.1. Defaults are exactly the paper's defaults.
+struct Params {
+  /// num_sec: number of secondary sites (the paper varies this).
+  std::size_t num_secondaries = 5;
+  /// num_clients: 20 per secondary by default.
+  std::size_t clients_per_secondary = 20;
+  /// Overrides clients_per_secondary * num_secondaries when non-zero, for
+  /// the fixed-site load sweeps of Figures 2-4.
+  std::size_t total_clients_override = 0;
+  /// think_time: mean client think time between transactions (s).
+  double think_time = 7.0;
+  /// session_time: mean session duration (s); 15 minutes.
+  double session_time = 15.0 * 60.0;
+  /// update_tran_prob: probability a transaction is an update (TPC-W
+  /// "shopping" mix 80/20 by default; Figure 8 uses "browsing" 95/5).
+  double update_tran_prob = 0.20;
+  /// abort_prob: update transactions abort with this probability at commit
+  /// and are restarted immediately to maintain primary load.
+  double abort_prob = 0.01;
+  /// tran_size: operations per transaction, uniform in [min,max], mean 10.
+  int tran_size_min = 5;
+  int tran_size_max = 15;
+  /// op_service_time: CPU demand per operation (s).
+  double op_service_time = 0.02;
+  /// update_op_prob: probability an update transaction's operation is an
+  /// update (determines refresh demand at secondaries).
+  double update_op_prob = 0.30;
+  /// propagation_delay: propagator think time per cycle (s).
+  double propagation_delay = 10.0;
+
+  // --- Run control (Section 6.1) ---
+  /// Warm-up discarded from statistics (5 simulated minutes).
+  double warmup_time = 5.0 * 60.0;
+  /// Measurement window (runs last 35 minutes total).
+  double measure_time = 30.0 * 60.0;
+  /// "Response-time-related" throughput counts transactions finishing
+  /// within this bound (3 s).
+  double response_threshold = 3.0;
+
+  /// Which of the Section 6 algorithms (plus ALG-PCSI from Section 7)
+  /// governs read-only starts.
+  session::Guarantee guarantee = session::Guarantee::kStrongSessionSI;
+  /// Route each read-only transaction to a uniformly random secondary
+  /// instead of the client's home site (ablation: exposes the PCSI vs
+  /// strong-session-SI difference in snapshot monotonicity).
+  bool roam_reads = false;
+  /// Cap on concurrently executing applicators per secondary; 0 = unbounded
+  /// (ablation for Section 3.3's concurrent-refresh design).
+  std::size_t applicator_pool_size = 0;
+  /// CPU scheduling at each site; PS is the fast equivalent of the paper's
+  /// 1 ms round-robin (see sim::Resource).
+  sim::Resource::Discipline discipline =
+      sim::Resource::Discipline::kProcessorSharing;
+  /// Round-robin slice, used when discipline == kRoundRobin.
+  double rr_quantum = 0.001;
+
+  std::uint64_t seed = 42;
+
+  std::size_t total_clients() const {
+    return total_clients_override != 0
+               ? total_clients_override
+               : clients_per_secondary * num_secondaries;
+  }
+
+  /// Renders the Table-1 parameter block (printed by bench binaries).
+  std::string ToTableString() const;
+};
+
+}  // namespace simmodel
+}  // namespace lazysi
+
+#endif  // LAZYSI_SIMMODEL_PARAMS_H_

@@ -1,0 +1,123 @@
+#include "storage/versioned_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+namespace lazysi {
+namespace storage {
+
+const VersionedStore::Version* VersionedStore::VisibleVersion(
+    const Chain& chain, Timestamp snapshot) {
+  // Chains are in increasing commit_ts order; binary search for the newest
+  // version with commit_ts <= snapshot.
+  auto it = std::upper_bound(
+      chain.begin(), chain.end(), snapshot,
+      [](Timestamp s, const Version& v) { return s < v.commit_ts; });
+  if (it == chain.begin()) return nullptr;
+  return &*std::prev(it);
+}
+
+Result<VersionedValue> VersionedStore::Get(const std::string& key,
+                                           Timestamp snapshot) const {
+  std::shared_lock lock(mu_);
+  auto it = chains_.find(key);
+  if (it == chains_.end()) return Status::NotFound();
+  const Version* v = VisibleVersion(it->second, snapshot);
+  if (v == nullptr || v->deleted) return Status::NotFound();
+  return VersionedValue{v->value, v->commit_ts};
+}
+
+bool VersionedStore::HasCommitAfter(const std::string& key,
+                                    Timestamp since) const {
+  std::shared_lock lock(mu_);
+  auto it = chains_.find(key);
+  if (it == chains_.end()) return false;
+  const Chain& chain = it->second;
+  return !chain.empty() && chain.back().commit_ts > since;
+}
+
+void VersionedStore::Apply(const WriteSet& writes, Timestamp commit_ts) {
+  std::unique_lock lock(mu_);
+  for (const auto& [key, w] : writes.entries()) {
+    Chain& chain = chains_[key];
+    assert(chain.empty() || chain.back().commit_ts < commit_ts);
+    chain.push_back(Version{commit_ts, w.value, w.deleted});
+  }
+}
+
+std::vector<std::pair<std::string, VersionedValue>> VersionedStore::Scan(
+    const std::string& begin, const std::string& end,
+    Timestamp snapshot) const {
+  std::shared_lock lock(mu_);
+  std::vector<std::pair<std::string, VersionedValue>> out;
+  auto it = chains_.lower_bound(begin);
+  for (; it != chains_.end(); ++it) {
+    if (!end.empty() && it->first >= end) break;
+    const Version* v = VisibleVersion(it->second, snapshot);
+    if (v != nullptr && !v->deleted) {
+      out.emplace_back(it->first, VersionedValue{v->value, v->commit_ts});
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> VersionedStore::Materialize(
+    Timestamp snapshot) const {
+  std::shared_lock lock(mu_);
+  std::map<std::string, std::string> out;
+  for (const auto& [key, chain] : chains_) {
+    const Version* v = VisibleVersion(chain, snapshot);
+    if (v != nullptr && !v->deleted) out[key] = v->value;
+  }
+  return out;
+}
+
+std::size_t VersionedStore::PruneVersions(Timestamp horizon) {
+  std::unique_lock lock(mu_);
+  std::size_t dropped = 0;
+  for (auto it = chains_.begin(); it != chains_.end();) {
+    Chain& chain = it->second;
+    // Keep the newest version with commit_ts <= horizon plus everything
+    // newer than the horizon.
+    auto keep = std::upper_bound(
+        chain.begin(), chain.end(), horizon,
+        [](Timestamp s, const Version& v) { return s < v.commit_ts; });
+    if (keep != chain.begin()) --keep;  // retain the visible-at-horizon one
+    dropped += static_cast<std::size_t>(keep - chain.begin());
+    chain.erase(chain.begin(), keep);
+    if (chain.empty() ||
+        (chain.size() == 1 && chain[0].deleted &&
+         chain[0].commit_ts <= horizon)) {
+      dropped += chain.size();
+      it = chains_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+void VersionedStore::InstallClone(const std::map<std::string, std::string>& state,
+                                  Timestamp commit_ts) {
+  std::unique_lock lock(mu_);
+  chains_.clear();
+  for (const auto& [key, value] : state) {
+    chains_[key].push_back(Version{commit_ts, value, /*deleted=*/false});
+  }
+}
+
+std::size_t VersionedStore::KeyCount() const {
+  std::shared_lock lock(mu_);
+  return chains_.size();
+}
+
+std::size_t VersionedStore::VersionCount() const {
+  std::shared_lock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, chain] : chains_) n += chain.size();
+  return n;
+}
+
+}  // namespace storage
+}  // namespace lazysi

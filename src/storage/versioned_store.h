@@ -1,0 +1,92 @@
+#ifndef LAZYSI_STORAGE_VERSIONED_STORE_H_
+#define LAZYSI_STORAGE_VERSIONED_STORE_H_
+
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "storage/write_set.h"
+
+namespace lazysi {
+namespace storage {
+
+/// A value observed by a snapshot read, together with the commit timestamp of
+/// the version it came from. The history checkers use the timestamp to decide
+/// which committed state a reader saw.
+struct VersionedValue {
+  std::string value;
+  Timestamp commit_ts = kInvalidTimestamp;
+};
+
+/// Multi-version key-value store: each key maps to a chain of versions in
+/// increasing commit-timestamp order. Reads at snapshot `s` return the newest
+/// version with commit_ts <= s and are therefore never blocked by writers —
+/// the property the paper identifies as SI's key benefit (Section 1).
+///
+/// Thread safety: all operations are safe for concurrent use. Version
+/// installation (`Apply`) is expected to be serialized by the caller's commit
+/// protocol (the TxnManager holds its commit mutex), which guarantees that
+/// chains grow in timestamp order.
+class VersionedStore {
+ public:
+  /// Snapshot read. NotFound when the key has no version visible at `snapshot`
+  /// (never written, written later, or deleted at the snapshot).
+  Result<VersionedValue> Get(const std::string& key, Timestamp snapshot) const;
+
+  /// True if any committed version of `key` has commit_ts > `since`. This is
+  /// the first-committer-wins validation primitive: transaction T aborts iff
+  /// some overlapping committed transaction wrote a key T also wrote
+  /// (Section 2.1).
+  bool HasCommitAfter(const std::string& key, Timestamp since) const;
+
+  /// Installs all writes of one committed transaction atomically with the
+  /// given commit timestamp. Must be called with commit timestamps in
+  /// increasing order (enforced by the TxnManager's commit mutex).
+  void Apply(const WriteSet& writes, Timestamp commit_ts);
+
+  /// Key-ordered scan of all keys in [begin, end) visible at `snapshot`.
+  /// An empty `end` means "to the end of the keyspace".
+  std::vector<std::pair<std::string, VersionedValue>> Scan(
+      const std::string& begin, const std::string& end,
+      Timestamp snapshot) const;
+
+  /// Materializes the full latest-version state (used for recovery clones,
+  /// Section 3.4, and for test assertions). Deleted keys are omitted.
+  std::map<std::string, std::string> Materialize(Timestamp snapshot) const;
+
+  /// Drops all versions that are shadowed by a newer version with
+  /// commit_ts <= horizon; the newest such version is kept so reads at or
+  /// after `horizon` still succeed. Returns the number of versions dropped.
+  std::size_t PruneVersions(Timestamp horizon);
+
+  /// Replaces the entire contents with `state`, all versions stamped
+  /// `commit_ts`. Used when installing a recovery clone at a secondary.
+  void InstallClone(const std::map<std::string, std::string>& state,
+                    Timestamp commit_ts);
+
+  std::size_t KeyCount() const;
+  std::size_t VersionCount() const;
+
+ private:
+  struct Version {
+    Timestamp commit_ts;
+    std::string value;
+    bool deleted;
+  };
+  using Chain = std::vector<Version>;
+
+  /// Newest version in `chain` visible at `snapshot`, or nullptr.
+  static const Version* VisibleVersion(const Chain& chain, Timestamp snapshot);
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Chain> chains_;
+};
+
+}  // namespace storage
+}  // namespace lazysi
+
+#endif  // LAZYSI_STORAGE_VERSIONED_STORE_H_

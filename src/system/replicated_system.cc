@@ -1,0 +1,438 @@
+#include "system/replicated_system.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace lazysi {
+namespace system {
+
+// ---------------------------------------------------------------------------
+// SystemTransaction
+
+SystemTransaction::SystemTransaction(
+    ReplicatedSystem* sys, std::shared_ptr<session::Session> session,
+    std::unique_ptr<txn::Transaction> txn, replication::Secondary* secondary,
+    SiteId site, bool read_only, std::uint64_t first_op_seq)
+    : sys_(sys), session_(std::move(session)), txn_(std::move(txn)),
+      secondary_(secondary), site_(site), read_only_(read_only),
+      first_op_seq_(first_op_seq) {}
+
+SystemTransaction::~SystemTransaction() {
+  if (!finished_) Abort();
+}
+
+void SystemTransaction::RecordRead(const std::string& key,
+                                   Timestamp local_version_ts, bool found,
+                                   bool own_write) {
+  if (own_write) return;
+  Timestamp primary_ts = local_version_ts;
+  if (secondary_ != nullptr && found) {
+    // Express the observed version in primary-state coordinates.
+    primary_ts = secondary_->TranslateLocalToPrimary(local_version_ts);
+  }
+  if (found && primary_ts > snapshot_floor_) snapshot_floor_ = primary_ts;
+  if (sys_->config().record_history) {
+    recorded_reads_.push_back(history::RecordedRead{key, primary_ts, found});
+  }
+}
+
+Result<std::string> SystemTransaction::Get(const std::string& key) {
+  const std::size_t before = txn_->reads().size();
+  auto result = txn_->Get(key);
+  // The underlying transaction appended exactly one observation.
+  if (txn_->reads().size() == before + 1) {
+    const auto& obs = txn_->reads().back();
+    RecordRead(key, obs.version_commit_ts, obs.found, obs.from_own_write);
+  }
+  return result;
+}
+
+Status SystemTransaction::Put(const std::string& key, std::string value) {
+  if (read_only_) {
+    return Status::InvalidArgument(
+        "updates must go through BeginUpdate (read-only transaction)");
+  }
+  return txn_->Put(key, std::move(value));
+}
+
+Status SystemTransaction::Delete(const std::string& key) {
+  if (read_only_) {
+    return Status::InvalidArgument(
+        "updates must go through BeginUpdate (read-only transaction)");
+  }
+  return txn_->Delete(key);
+}
+
+Result<std::vector<std::pair<std::string, std::string>>>
+SystemTransaction::Scan(const std::string& begin, const std::string& end) {
+  const std::size_t before = txn_->reads().size();
+  auto result = txn_->Scan(begin, end);
+  if (result.ok()) {
+    for (std::size_t i = before; i < txn_->reads().size(); ++i) {
+      const auto& obs = txn_->reads()[i];
+      RecordRead(obs.key, obs.version_commit_ts, obs.found,
+                 obs.from_own_write);
+    }
+  }
+  return result;
+}
+
+Status SystemTransaction::Commit() {
+  if (finished_) return Status::FailedPrecondition("transaction finished");
+  Status s = txn_->Commit();
+  finished_ = true;
+  if (!s.ok()) return s;
+  if (!read_only_) {
+    commit_primary_ts_ = txn_->commit_ts();
+    // seq(c) := commit_p(T) (Section 4).
+    session_->AdvanceSeq(commit_primary_ts_);
+  } else if (sys_->session_manager()->ReadsAdvanceSessionSeq()) {
+    // Definition 2.2 also orders read-read pairs: fold the snapshot this
+    // read provably saw into seq(c) so a later read in the session (possibly
+    // at another secondary) can never regress. PCSI skips this (Section 7).
+    session_->AdvanceSeq(snapshot_floor_);
+  }
+  if (sys_->config().record_history) {
+    history::TxnRecord record;
+    record.label = session_->label();
+    record.site = site_;
+    record.read_only = read_only_;
+    record.first_op_seq = first_op_seq_;
+    record.commit_seq = sys_->recorder()->NextEventSeq();
+    record.commit_primary_ts = read_only_ ? kInvalidTimestamp
+                                          : commit_primary_ts_;
+    record.reads = std::move(recorded_reads_);
+    record.writes = txn_->write_set().ToVector();
+    sys_->recorder()->Record(std::move(record));
+  }
+  return Status::OK();
+}
+
+void SystemTransaction::Abort() {
+  if (finished_) return;
+  txn_->Abort();
+  finished_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// ClientConnection
+
+Result<std::unique_ptr<SystemTransaction>> ClientConnection::BeginRead() {
+  std::size_t read_index = secondary_index_;
+  ReplicatedSystem::SecondarySite* site = nullptr;
+  if (sys_->config().roam_reads) {
+    // Roaming mode: each read-only transaction goes to the next *live*
+    // secondary round-robin. The session guarantee machinery must then do
+    // all the ordering work (Section 7's PCSI-vs-strong-session-SI
+    // distinction).
+    for (std::size_t attempt = 0; attempt < sys_->num_secondaries();
+         ++attempt) {
+      read_index =
+          sys_->next_secondary_.fetch_add(1, std::memory_order_relaxed) %
+          sys_->num_secondaries();
+      site = sys_->site(read_index);
+      if (site != nullptr) break;
+    }
+  } else {
+    site = sys_->site(read_index);
+  }
+  if (site == nullptr) {
+    return Status::Unavailable("secondary has failed");
+  }
+  // The transaction's place in the real-time order is its submission point;
+  // taken before the blocking wait so the recorded history never demands
+  // visibility of commits that arrived only while we were already waiting.
+  const std::uint64_t first_op_seq =
+      sys_->config().record_history ? sys_->recorder()->NextEventSeq() : 0;
+  if (sys_->session_manager()->ReadsBlockOnSessionSeq()) {
+    // ALG-STRONG-SESSION-SI blocking rule: a read-only transaction in
+    // session c waits while seq(c) > seq(DBsec). Under ALG-STRONG-SI the
+    // session is global and may advance while we wait, so re-read it until
+    // the predicate is stable.
+    for (;;) {
+      const Timestamp target = session_->seq();
+      if (!site->replica->WaitForSeq(target,
+                                     sys_->config().read_block_timeout)) {
+        return Status::TimedOut("secondary did not catch up to seq(c)");
+      }
+      if (session_->seq() == target) break;
+    }
+  }
+  auto txn = site->db->Begin(/*read_only=*/true);
+  return std::unique_ptr<SystemTransaction>(new SystemTransaction(
+      sys_, session_, std::move(txn), site->replica.get(),
+      static_cast<SiteId>(read_index + 1), /*read_only=*/true,
+      first_op_seq));
+}
+
+Result<std::unique_ptr<SystemTransaction>> ClientConnection::BeginUpdate() {
+  // Update transactions are forwarded to the primary (Figure 1). The primary
+  // guarantees strong SI locally, so no blocking is ever needed here
+  // (Theorem 4.1, case 1).
+  const std::uint64_t first_op_seq =
+      sys_->config().record_history ? sys_->recorder()->NextEventSeq() : 0;
+  auto txn = sys_->primary_db()->Begin(/*read_only=*/false);
+  return std::unique_ptr<SystemTransaction>(new SystemTransaction(
+      sys_, session_, std::move(txn), /*secondary=*/nullptr, kPrimarySiteId,
+      /*read_only=*/false, first_op_seq));
+}
+
+Status ClientConnection::ExecuteUpdate(
+    const std::function<Status(SystemTransaction&)>& body, int max_attempts) {
+  Status last = Status::Internal("no attempts made");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    auto txn = BeginUpdate();
+    if (!txn.ok()) return txn.status();
+    Status s = body(**txn);
+    if (!s.ok()) {
+      (*txn)->Abort();
+      return s;
+    }
+    last = (*txn)->Commit();
+    if (last.ok()) return last;
+    if (!last.IsWriteConflict()) return last;
+    // First-committer-wins abort: retry with a fresh snapshot.
+  }
+  return last;
+}
+
+Status ClientConnection::ExecuteRead(
+    const std::function<Status(SystemTransaction&)>& body) {
+  auto txn = BeginRead();
+  if (!txn.ok()) return txn.status();
+  Status s = body(**txn);
+  if (!s.ok()) {
+    (*txn)->Abort();
+    return s;
+  }
+  return (*txn)->Commit();
+}
+
+// ---------------------------------------------------------------------------
+// ReplicatedSystem
+
+ReplicatedSystem::ReplicatedSystem(SystemConfig config)
+    : config_(config),
+      primary_db_(engine::DatabaseOptions{kPrimarySiteId, "primary",
+                                          config.record_state_chain}),
+      primary_(&primary_db_,
+               replication::PropagatorOptions{
+                   config.propagation_batch_interval}),
+      sessions_(config.guarantee) {
+  for (std::size_t i = 0; i < config_.num_secondaries; ++i) {
+    auto site = std::make_unique<SecondarySite>();
+    site->db = std::make_unique<engine::Database>(engine::DatabaseOptions{
+        static_cast<SiteId>(i + 1), "secondary-" + std::to_string(i),
+        config_.record_state_chain});
+    site->replica = std::make_unique<replication::Secondary>(
+        site->db.get(),
+        replication::SecondaryOptions{config_.applicator_threads});
+    if (config_.network_latency.count() > 0 ||
+        config_.network_jitter.count() > 0) {
+      // WAN model: the propagator feeds a latency channel which feeds the
+      // secondary's update queue.
+      site->channel = std::make_unique<replication::LatencyChannel>(
+          site->replica->update_queue(),
+          replication::LatencyChannel::Options{config_.network_latency,
+                                               config_.network_jitter,
+                                               1000 + i});
+      primary_.propagator()->AttachSink(site->channel->inlet());
+    } else {
+      primary_.AttachSecondary(site->replica.get());
+    }
+    secondaries_.push_back(std::move(site));
+  }
+}
+
+ReplicatedSystem::~ReplicatedSystem() { Stop(); }
+
+void ReplicatedSystem::Start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& site : secondaries_) {
+    site->replica->Start();
+    if (site->channel) site->channel->Start();
+  }
+  primary_.Start();
+}
+
+void ReplicatedSystem::Stop() {
+  if (!started_) return;
+  primary_.Stop();
+  for (auto& site : secondaries_) {
+    if (site->channel) site->channel->Stop();
+    site->replica->Stop();
+  }
+  started_ = false;
+}
+
+std::unique_ptr<ClientConnection> ReplicatedSystem::Connect() {
+  const std::size_t index =
+      next_secondary_.fetch_add(1, std::memory_order_relaxed) %
+      secondaries_.size();
+  return ConnectTo(index);
+}
+
+std::unique_ptr<ClientConnection> ReplicatedSystem::ConnectTo(
+    std::size_t secondary_index) {
+  return std::unique_ptr<ClientConnection>(new ClientConnection(
+      this, sessions_.CreateSession(), secondary_index));
+}
+
+replication::Secondary* ReplicatedSystem::secondary(std::size_t i) {
+  auto* s = site(i);
+  return s == nullptr ? nullptr : s->replica.get();
+}
+
+engine::Database* ReplicatedSystem::secondary_db(std::size_t i) {
+  auto* s = site(i);
+  return s == nullptr ? nullptr : s->db.get();
+}
+
+ReplicatedSystem::SecondarySite* ReplicatedSystem::site(std::size_t i) {
+  std::shared_lock lock(sites_mu_);
+  if (i >= secondaries_.size()) return nullptr;
+  auto* s = secondaries_[i].get();
+  if (s->failed.load(std::memory_order_acquire)) return nullptr;
+  return s;
+}
+
+std::string ReplicatedSystem::SystemStats::ToString() const {
+  std::ostringstream os;
+  os << "primary: latest_commit_ts=" << primary_latest_commit_ts
+     << " committed=" << primary_committed << " aborted=" << primary_aborted
+     << " propagated=" << commits_propagated << "\n";
+  for (const auto& s : secondaries) {
+    os << "secondary " << s.index << ": "
+       << (s.failed ? "FAILED"
+                    : "seq=" + std::to_string(s.applied_seq) +
+                          " lag=" + std::to_string(s.lag) +
+                          " refreshed=" + std::to_string(s.refreshed_count) +
+                          " queue=" + std::to_string(s.update_queue_depth))
+       << "\n";
+  }
+  return os.str();
+}
+
+ReplicatedSystem::SystemStats ReplicatedSystem::Stats() {
+  SystemStats stats;
+  stats.primary_latest_commit_ts = primary_db_.LatestCommitTs();
+  stats.primary_committed = primary_db_.txn_manager()->CommittedCount();
+  stats.primary_aborted = primary_db_.txn_manager()->AbortedCount();
+  stats.commits_propagated = primary_.propagator()->commits_propagated();
+  std::shared_lock lock(sites_mu_);
+  for (std::size_t i = 0; i < secondaries_.size(); ++i) {
+    auto* s = secondaries_[i].get();
+    SecondaryStats sec;
+    sec.index = i;
+    sec.failed = s->failed.load(std::memory_order_acquire);
+    if (!sec.failed) {
+      sec.applied_seq = s->replica->applied_seq();
+      sec.lag = stats.primary_latest_commit_ts > sec.applied_seq
+                    ? stats.primary_latest_commit_ts - sec.applied_seq
+                    : 0;
+      sec.refreshed_count = s->replica->refreshed_count();
+      sec.update_queue_depth = s->replica->update_queue_depth();
+    }
+    stats.secondaries.push_back(sec);
+  }
+  return stats;
+}
+
+std::size_t ReplicatedSystem::GarbageCollectAll() {
+  std::size_t reclaimed = primary_db_.GarbageCollect();
+  std::shared_lock lock(sites_mu_);
+  for (auto& s : secondaries_) {
+    if (s->failed.load(std::memory_order_acquire)) continue;
+    reclaimed += s->db->GarbageCollect();
+  }
+  return reclaimed;
+}
+
+bool ReplicatedSystem::WaitForReplication(std::chrono::milliseconds timeout) {
+  const Timestamp target = primary_db_.LatestCommitTs();
+  std::shared_lock lock(sites_mu_);
+  for (auto& s : secondaries_) {
+    if (s->failed.load(std::memory_order_acquire)) continue;
+    if (!s->replica->WaitForSeq(target, timeout)) return false;
+  }
+  return true;
+}
+
+Status ReplicatedSystem::FailSecondary(std::size_t i) {
+  std::unique_lock lock(sites_mu_);
+  if (i >= secondaries_.size()) {
+    return Status::InvalidArgument("no such secondary");
+  }
+  auto* s = secondaries_[i].get();
+  if (s->failed.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("secondary already failed");
+  }
+  s->failed.store(true, std::memory_order_release);
+  // Crash: the pipeline stops; queued updates and refresh state are lost
+  // along with the site's database (Section 3.4). Detach from the
+  // propagator first so broadcasts never touch the dead queue.
+  if (s->channel) {
+    primary_.propagator()->DetachSink(s->channel->inlet());
+    s->channel->Stop();
+  } else {
+    primary_.propagator()->DetachSink(s->replica->update_queue());
+  }
+  s->replica->Stop();
+  return Status::OK();
+}
+
+Status ReplicatedSystem::RecoverSecondary(std::size_t i) {
+  std::unique_lock lock(sites_mu_);
+  if (i >= secondaries_.size()) {
+    return Status::InvalidArgument("no such secondary");
+  }
+  auto* s = secondaries_[i].get();
+  if (!s->failed.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("secondary has not failed");
+  }
+
+  // Fresh copy of the primary database (Section 3.4's periodic quiesced
+  // copy, taken on demand here).
+  engine::Database::Checkpoint checkpoint = primary_db_.TakeCheckpoint();
+
+  auto fresh_db = std::make_unique<engine::Database>(engine::DatabaseOptions{
+      static_cast<SiteId>(i + 1), "secondary-" + std::to_string(i) + "-r",
+      config_.record_state_chain});
+  auto install = fresh_db->InstallCheckpoint(checkpoint);
+  if (!install.ok()) return install.status();
+
+  auto fresh_replica = std::make_unique<replication::Secondary>(
+      fresh_db.get(),
+      replication::SecondaryOptions{config_.applicator_threads});
+  // Dummy-transaction re-seed of seq(DBsec) (Section 4): the checkpoint
+  // corresponds to the primary state checkpoint.as_of.
+  const Timestamp seq = checkpoint.as_of;
+  fresh_replica->InitializeSeq(seq, *install);
+  fresh_replica->Start();
+  std::unique_ptr<replication::LatencyChannel> fresh_channel;
+  if (config_.network_latency.count() > 0 ||
+      config_.network_jitter.count() > 0) {
+    fresh_channel = std::make_unique<replication::LatencyChannel>(
+        fresh_replica->update_queue(),
+        replication::LatencyChannel::Options{config_.network_latency,
+                                             config_.network_jitter,
+                                             2000 + i});
+    fresh_channel->Start();
+    LAZYSI_RETURN_NOT_OK(primary_.propagator()->AttachSinkAt(
+        fresh_channel->inlet(), checkpoint.lsn));
+  } else {
+    LAZYSI_RETURN_NOT_OK(
+        primary_.AttachSecondaryAt(fresh_replica.get(), checkpoint.lsn));
+  }
+
+  s->db = std::move(fresh_db);
+  s->replica = std::move(fresh_replica);
+  s->channel = std::move(fresh_channel);
+  s->failed.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace system
+}  // namespace lazysi

@@ -1,0 +1,253 @@
+#ifndef LAZYSI_SYSTEM_REPLICATED_SYSTEM_H_
+#define LAZYSI_SYSTEM_REPLICATED_SYSTEM_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "history/recorder.h"
+#include "replication/primary.h"
+#include "replication/secondary.h"
+#include "replication/transport.h"
+#include "session/session.h"
+
+namespace lazysi {
+namespace system {
+
+struct SystemConfig {
+  std::size_t num_secondaries = 1;
+  /// Which global guarantee client transactions get (Section 6's three
+  /// algorithms).
+  session::Guarantee guarantee = session::Guarantee::kStrongSessionSI;
+  /// Applicator pool size at each secondary (Section 3.3).
+  std::size_t applicator_threads = 4;
+  /// 0 = continuous propagation; > 0 models the paper's propagation_delay.
+  std::chrono::milliseconds propagation_batch_interval{0};
+  /// Per-record network latency on the primary -> secondary path (a
+  /// LatencyChannel per secondary); models WAN replicas in the real system.
+  std::chrono::milliseconds network_latency{0};
+  /// Uniform extra network delay in [0, jitter]; FIFO order is preserved.
+  std::chrono::milliseconds network_jitter{0};
+  /// How long a blocked read-only transaction waits for seq(DBsec) to catch
+  /// up before giving up with TimedOut.
+  std::chrono::milliseconds read_block_timeout{10000};
+  /// Record every committed transaction for offline SI checking.
+  bool record_history = false;
+  /// Route each read-only transaction to a round-robin secondary instead of
+  /// the session's home secondary. Exposes the strong-session-SI vs PCSI
+  /// difference (Section 7): under PCSI a roaming session's snapshots may
+  /// regress between reads; under strong session SI they cannot.
+  bool roam_reads = false;
+  /// Keep per-commit state-hash chains (Theorem 3.1 assertions).
+  bool record_state_chain = true;
+};
+
+class ReplicatedSystem;
+class ClientConnection;
+
+/// A client transaction routed through the middleware: read-only
+/// transactions run at the client's secondary, update transactions at the
+/// primary (Figure 1). Obtained from ClientConnection::BeginRead/BeginUpdate.
+class SystemTransaction {
+ public:
+  ~SystemTransaction();
+
+  SystemTransaction(const SystemTransaction&) = delete;
+  SystemTransaction& operator=(const SystemTransaction&) = delete;
+
+  bool read_only() const { return read_only_; }
+  /// Primary commit timestamp after a successful update commit.
+  Timestamp commit_primary_ts() const { return commit_primary_ts_; }
+
+  Result<std::string> Get(const std::string& key);
+  Status Put(const std::string& key, std::string value);
+  Status Delete(const std::string& key);
+  Result<std::vector<std::pair<std::string, std::string>>> Scan(
+      const std::string& begin, const std::string& end);
+
+  /// Commits; on update transactions advances seq(c) to commit_p(T)
+  /// (ALG-STRONG-SESSION-SI, Section 4) and may fail with WriteConflict
+  /// under first-committer-wins.
+  Status Commit();
+  void Abort();
+
+ private:
+  friend class ClientConnection;
+  SystemTransaction(ReplicatedSystem* sys,
+                    std::shared_ptr<session::Session> session,
+                    std::unique_ptr<txn::Transaction> txn,
+                    replication::Secondary* secondary, SiteId site,
+                    bool read_only, std::uint64_t first_op_seq);
+
+  void RecordRead(const std::string& key, Timestamp local_version_ts,
+                  bool found, bool own_write);
+
+  ReplicatedSystem* sys_;
+  std::shared_ptr<session::Session> session_;
+  std::unique_ptr<txn::Transaction> txn_;
+  replication::Secondary* secondary_;  // nullptr for primary transactions
+  SiteId site_;
+  bool read_only_;
+  Timestamp commit_primary_ts_ = kInvalidTimestamp;
+  std::uint64_t first_op_seq_ = 0;
+  /// Largest primary commit timestamp provably contained in this read-only
+  /// transaction's snapshot (max over observed versions). Folded into
+  /// seq(c) at commit when the guarantee requires read-read monotonicity.
+  Timestamp snapshot_floor_ = 0;
+  std::vector<history::RecordedRead> recorded_reads_;
+  bool finished_ = false;
+};
+
+/// A client's connection: bound to one secondary site, owning one session
+/// (label + seq(c)). All of the client's transactions flow through here, as
+/// in the paper's model where each client submits to a single secondary.
+class ClientConnection {
+ public:
+  /// Begins a read-only transaction at the bound secondary. Under
+  /// ALG-STRONG-SESSION-SI / ALG-STRONG-SI this blocks until
+  /// seq(DBsec) >= seq(c); TimedOut if the secondary cannot catch up within
+  /// the configured timeout, Unavailable if the secondary has failed.
+  Result<std::unique_ptr<SystemTransaction>> BeginRead();
+
+  /// Begins an update transaction, forwarded to the primary.
+  Result<std::unique_ptr<SystemTransaction>> BeginUpdate();
+
+  /// Runs `body` inside an update transaction, retrying on first-committer-
+  /// wins conflicts up to `max_attempts` times. `body` returning non-OK
+  /// aborts and propagates that status.
+  Status ExecuteUpdate(
+      const std::function<Status(SystemTransaction&)>& body,
+      int max_attempts = 5);
+
+  /// Runs `body` inside a read-only transaction.
+  Status ExecuteRead(const std::function<Status(SystemTransaction&)>& body);
+
+  session::Session* session() { return session_.get(); }
+  std::size_t secondary_index() const { return secondary_index_; }
+
+ private:
+  friend class ReplicatedSystem;
+  ClientConnection(ReplicatedSystem* sys,
+                   std::shared_ptr<session::Session> session,
+                   std::size_t secondary_index)
+      : sys_(sys), session_(std::move(session)),
+        secondary_index_(secondary_index) {}
+
+  ReplicatedSystem* sys_;
+  std::shared_ptr<session::Session> session_;
+  std::size_t secondary_index_;
+};
+
+/// The complete lazy-master replicated system of Figure 1: one primary, N
+/// secondaries, lazy update propagation, and the configured global
+/// transactional guarantee.
+class ReplicatedSystem {
+ public:
+  explicit ReplicatedSystem(SystemConfig config = SystemConfig());
+  ~ReplicatedSystem();
+
+  ReplicatedSystem(const ReplicatedSystem&) = delete;
+  ReplicatedSystem& operator=(const ReplicatedSystem&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Connects a new client, bound round-robin to a secondary.
+  std::unique_ptr<ClientConnection> Connect();
+  /// Connects to a specific secondary.
+  std::unique_ptr<ClientConnection> ConnectTo(std::size_t secondary_index);
+
+  engine::Database* primary_db() { return &primary_db_; }
+  replication::Primary* primary() { return &primary_; }
+  std::size_t num_secondaries() const { return secondaries_.size(); }
+  replication::Secondary* secondary(std::size_t i);
+  engine::Database* secondary_db(std::size_t i);
+
+  const SystemConfig& config() const { return config_; }
+  history::Recorder* recorder() { return &recorder_; }
+  session::SessionManager* session_manager() { return &sessions_; }
+
+  /// Point-in-time monitoring snapshot of one secondary.
+  struct SecondaryStats {
+    std::size_t index = 0;
+    bool failed = false;
+    /// seq(DBsec), in primary commit timestamps.
+    Timestamp applied_seq = 0;
+    /// primary latest commit ts minus applied_seq (staleness, in
+    /// timestamp units; 0 when fully caught up).
+    Timestamp lag = 0;
+    std::uint64_t refreshed_count = 0;
+    std::size_t update_queue_depth = 0;
+  };
+
+  /// Point-in-time monitoring snapshot of the whole system.
+  struct SystemStats {
+    Timestamp primary_latest_commit_ts = 0;
+    std::uint64_t primary_committed = 0;
+    std::uint64_t primary_aborted = 0;
+    std::uint64_t commits_propagated = 0;
+    std::vector<SecondaryStats> secondaries;
+
+    std::string ToString() const;
+  };
+  SystemStats Stats();
+
+  /// Version garbage collection across the primary and every live
+  /// secondary; each site prunes at its own safe horizon (oldest active
+  /// snapshot). Returns the total number of versions reclaimed. Pruning
+  /// never affects replication: the propagator ships update *records* from
+  /// the log, not store versions.
+  std::size_t GarbageCollectAll();
+
+  /// Blocks until every live secondary has applied all updates committed at
+  /// the primary so far. Returns false on timeout.
+  bool WaitForReplication(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+  /// Simulates a crash of secondary `i`: its pipeline stops and its queued
+  /// updates and refresh state are lost (Section 3.4's failure model).
+  Status FailSecondary(std::size_t i);
+
+  /// Recovers secondary `i` from a fresh primary checkpoint: installs the
+  /// checkpoint into a new local database, re-seeds seq(DBsec) via the
+  /// dummy-transaction technique of Section 4, replays the missed log
+  /// suffix, and rejoins live propagation. The primary must be quiesced (no
+  /// in-flight update transactions) when this is called.
+  Status RecoverSecondary(std::size_t i);
+
+ private:
+  friend class ClientConnection;
+  friend class SystemTransaction;
+
+  struct SecondarySite {
+    std::unique_ptr<engine::Database> db;
+    std::unique_ptr<replication::Secondary> replica;
+    /// Present only when the config models network latency.
+    std::unique_ptr<replication::LatencyChannel> channel;
+    std::atomic<bool> failed{false};
+  };
+
+  /// Looks up a live secondary site; nullptr when failed.
+  SecondarySite* site(std::size_t i);
+
+  SystemConfig config_;
+  engine::Database primary_db_;
+  replication::Primary primary_;
+  std::shared_mutex sites_mu_;
+  std::vector<std::unique_ptr<SecondarySite>> secondaries_;
+  session::SessionManager sessions_;
+  history::Recorder recorder_;
+  std::atomic<std::size_t> next_secondary_{0};
+  bool started_ = false;
+};
+
+}  // namespace system
+}  // namespace lazysi
+
+#endif  // LAZYSI_SYSTEM_REPLICATED_SYSTEM_H_

@@ -1,0 +1,95 @@
+#ifndef LAZYSI_TXN_TRANSACTION_H_
+#define LAZYSI_TXN_TRANSACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "storage/versioned_store.h"
+#include "storage/write_set.h"
+
+namespace lazysi {
+namespace txn {
+
+class TxnManager;
+
+/// One observed read: which key, and the commit timestamp of the version the
+/// snapshot produced (kInvalidTimestamp when the key was absent). History
+/// checkers use these observations to validate the SI guarantees of
+/// Section 2 on real executions.
+struct ReadObservation {
+  std::string key;
+  Timestamp version_commit_ts = kInvalidTimestamp;
+  bool found = false;
+  bool from_own_write = false;
+};
+
+/// A transaction handle running under the site's local strong SI control.
+///
+/// Lifecycle: Begin (via TxnManager) -> Get/Put/Delete/Scan -> Commit or
+/// Abort. A handle may be passed between threads (the refresher begins a
+/// refresh transaction and an applicator finishes it, Algorithms 3.2/3.3) but
+/// must not be used from two threads concurrently.
+class Transaction {
+ public:
+  ~Transaction();
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  /// start_p(T): the snapshot this transaction reads. Under strong SI this is
+  /// the latest committed state at Begin time (Definition 2.1).
+  Timestamp start_ts() const { return start_ts_; }
+  /// commit_p(T); kInvalidTimestamp until committed.
+  Timestamp commit_ts() const { return commit_ts_; }
+  bool read_only() const { return read_only_; }
+
+  enum class State { kActive, kCommitted, kAborted };
+  State state() const { return state_; }
+
+  /// Snapshot read; sees the transaction's own buffered writes first
+  /// (SI requires a transaction to see its own updates, Section 2.1).
+  Result<std::string> Get(const std::string& key);
+
+  /// Buffers an update. InvalidArgument on read-only transactions,
+  /// FailedPrecondition once no longer active.
+  Status Put(const std::string& key, std::string value);
+  Status Delete(const std::string& key);
+
+  /// Key-ordered snapshot scan of [begin, end), own writes overlaid.
+  Result<std::vector<std::pair<std::string, std::string>>> Scan(
+      const std::string& begin, const std::string& end);
+
+  /// First-committer-wins validation and atomic version installation.
+  /// Returns WriteConflict (and the transaction is aborted) when an
+  /// overlapping committed transaction wrote one of this transaction's keys.
+  Status Commit();
+
+  /// Voluntary abort; idempotent on non-active transactions.
+  void Abort();
+
+  const storage::WriteSet& write_set() const { return write_set_; }
+  const std::vector<ReadObservation>& reads() const { return reads_; }
+
+ private:
+  friend class TxnManager;
+  Transaction(TxnManager* manager, TxnId id, Timestamp start_ts,
+              bool read_only);
+
+  TxnManager* manager_;
+  TxnId id_;
+  Timestamp start_ts_;
+  Timestamp commit_ts_ = kInvalidTimestamp;
+  bool read_only_;
+  State state_ = State::kActive;
+  storage::WriteSet write_set_;
+  std::vector<ReadObservation> reads_;
+};
+
+}  // namespace txn
+}  // namespace lazysi
+
+#endif  // LAZYSI_TXN_TRANSACTION_H_

@@ -1,0 +1,130 @@
+#include "txn/txn_manager.h"
+
+#include <cassert>
+
+namespace lazysi {
+namespace txn {
+
+TxnManager::TxnManager(storage::VersionedStore* store, TxnObserver* observer)
+    : store_(store), observer_(observer) {}
+
+std::unique_ptr<Transaction> TxnManager::Begin(bool read_only) {
+  const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  Timestamp start_ts;
+  {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    // Strong SI: the snapshot is the latest committed state. The start
+    // timestamp still advances the clock so that start/commit order is
+    // totally ordered and log order can mirror it.
+    start_ts = ++clock_;
+    if (!read_only && observer_ != nullptr) {
+      observer_->OnStart(id, start_ts);
+    }
+  }
+  TrackActive(start_ts);
+  return std::unique_ptr<Transaction>(
+      new Transaction(this, id, start_ts, read_only));
+}
+
+Result<std::unique_ptr<Transaction>> TxnManager::BeginAtSnapshot(
+    Timestamp snapshot) {
+  {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    if (snapshot > clock_) {
+      return Status::InvalidArgument(
+          "snapshot is in the future of this site's clock");
+    }
+  }
+  const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  TrackActive(snapshot);
+  return std::unique_ptr<Transaction>(
+      new Transaction(this, id, snapshot, /*read_only=*/true));
+}
+
+void TxnManager::TrackActive(Timestamp snapshot) {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  active_snapshots_.insert(snapshot);
+}
+
+void TxnManager::UntrackActive(Timestamp snapshot) {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  auto it = active_snapshots_.find(snapshot);
+  if (it != active_snapshots_.end()) active_snapshots_.erase(it);
+}
+
+Timestamp TxnManager::MinActiveSnapshot() const {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  const Timestamp latest = latest_commit_ts_.load(std::memory_order_acquire);
+  if (active_snapshots_.empty()) return latest;
+  return std::min(latest, *active_snapshots_.begin());
+}
+
+Status TxnManager::CommitTxn(Transaction* t) {
+  assert(t->state() == Transaction::State::kActive);
+  if (t->write_set().empty()) {
+    // Read-only (or empty) commit: no validation, no new database state.
+    // Update-declared transactions still emit a commit record so their
+    // refresh transactions at the secondaries are resolved.
+    if (!t->read_only()) {
+      std::lock_guard<std::mutex> lock(clock_mu_);
+      const Timestamp commit_ts = ++clock_;
+      t->commit_ts_ = commit_ts;
+      if (observer_ != nullptr) {
+        observer_->OnCommit(t->id(), commit_ts, t->write_set());
+      }
+      latest_commit_ts_.store(commit_ts, std::memory_order_release);
+      committed_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    t->state_ = Transaction::State::kCommitted;
+    UntrackActive(t->start_ts());
+    return Status::OK();
+  }
+
+  std::unique_lock<std::mutex> lock(clock_mu_);
+  // First-committer-wins (Section 2.1): T aborts iff some committed
+  // transaction whose lifespan overlapped T's wrote a key T also wrote.
+  // "Committed with commit_ts > start(T)" is exactly lifespan overlap, since
+  // anything committed before start(T) is in T's snapshot.
+  for (const auto& [key, w] : t->write_set().entries()) {
+    if (store_->HasCommitAfter(key, t->start_ts())) {
+      lock.unlock();
+      AbortTxn(t);
+      return Status::WriteConflict("key '" + key +
+                                   "' written by a concurrent committed txn");
+    }
+  }
+  const Timestamp commit_ts = ++clock_;
+  store_->Apply(t->write_set(), commit_ts);
+  t->commit_ts_ = commit_ts;
+  if (observer_ != nullptr) {
+    observer_->OnCommit(t->id(), commit_ts, t->write_set());
+  }
+  latest_commit_ts_.store(commit_ts, std::memory_order_release);
+  committed_count_.fetch_add(1, std::memory_order_relaxed);
+  t->state_ = Transaction::State::kCommitted;
+  lock.unlock();
+  UntrackActive(t->start_ts());
+  return Status::OK();
+}
+
+void TxnManager::AbortTxn(Transaction* t) {
+  if (t->state() != Transaction::State::kActive) return;
+  t->state_ = Transaction::State::kAborted;
+  UntrackActive(t->start_ts());
+  if (!t->read_only()) {
+    // Only update-transaction aborts are interesting (FCW losers and client
+    // rollbacks); dropped read-only handles are routine.
+    aborted_count_.fetch_add(1, std::memory_order_relaxed);
+    if (observer_ != nullptr) observer_->OnAbort(t->id());
+  }
+}
+
+void TxnManager::NotifyUpdate(TxnId id, const std::string& key,
+                              const std::string& value, bool deleted) {
+  if (observer_ != nullptr) {
+    observer_->OnUpdate(id, key, value, deleted);
+  }
+}
+
+}  // namespace txn
+}  // namespace lazysi

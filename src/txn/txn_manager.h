@@ -1,0 +1,111 @@
+#ifndef LAZYSI_TXN_TXN_MANAGER_H_
+#define LAZYSI_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "storage/versioned_store.h"
+#include "txn/transaction.h"
+#include "txn/txn_observer.h"
+
+namespace lazysi {
+namespace txn {
+
+/// Local concurrency control providing **strong SI** with the
+/// first-committer-wins rule — the contract the paper assumes of every site's
+/// DBMS (Section 3: "a local concurrency controller that guarantees strong SI
+/// and is deadlock-free").
+///
+/// Design:
+///  - One logical clock issues both start and commit timestamps, so every
+///    commit timestamp is larger than all previously issued start/commit
+///    timestamps (operational SI definition, Section 2.1).
+///  - Begin assigns start(T) = the current clock value, i.e. the latest
+///    committed snapshot — this is what makes the guarantee *strong* SI
+///    (Definition 2.1: start(T2) > commit(T1) whenever T1 committed before
+///    T2 started).
+///  - Writers buffer updates; Commit validates FCW (no committed version of
+///    any written key newer than start(T)) and installs all versions
+///    atomically under the commit mutex. Readers never block and are never
+///    blocked.
+///  - Purely optimistic, lock-free data access: no waits-for graph exists,
+///    so the control is trivially deadlock-free.
+class TxnManager {
+ public:
+  /// `observer` may be nullptr; it is not owned.
+  TxnManager(storage::VersionedStore* store, TxnObserver* observer = nullptr);
+
+  /// Starts a transaction at the latest committed snapshot. Update
+  /// transactions (read_only = false) emit a start record to the observer
+  /// under the timestamp mutex.
+  std::unique_ptr<Transaction> Begin(bool read_only = false);
+
+  /// Starts a *read-only* transaction pinned to the historical snapshot
+  /// `snapshot` (time travel over the version chains — weak SI explicitly
+  /// allows reading any earlier committed state; the paper's related work
+  /// [18, 25] builds exactly this on SI engines). `snapshot` must not
+  /// exceed the current clock; versions below the prune horizon may be
+  /// gone, in which case reads return NotFound.
+  Result<std::unique_ptr<Transaction>> BeginAtSnapshot(Timestamp snapshot);
+
+  /// Timestamp of the most recently committed update transaction; the
+  /// snapshot new transactions will see.
+  Timestamp LatestCommitTs() const {
+    return latest_commit_ts_.load(std::memory_order_acquire);
+  }
+
+  /// Oldest snapshot any active transaction may read, i.e. the safe version
+  /// garbage-collection horizon: versions shadowed by a newer version at or
+  /// below this timestamp can never be read again. Equals LatestCommitTs()
+  /// when no transaction is active.
+  Timestamp MinActiveSnapshot() const;
+
+  /// Total committed update transactions (used by tests and stats).
+  std::uint64_t CommittedCount() const {
+    return committed_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t AbortedCount() const {
+    return aborted_count_.load(std::memory_order_relaxed);
+  }
+
+  storage::VersionedStore* store() { return store_; }
+
+ private:
+  friend class Transaction;
+
+  /// Commit protocol; called by Transaction::Commit.
+  Status CommitTxn(Transaction* t);
+  /// Abort path; called by Transaction::Abort and failed commits.
+  void AbortTxn(Transaction* t);
+
+  void NotifyUpdate(TxnId id, const std::string& key, const std::string& value,
+                    bool deleted);
+
+  storage::VersionedStore* store_;
+  TxnObserver* observer_;
+
+  /// Guards the logical clock, commit validation + version installation and
+  /// the observer's OnStart/OnCommit, keeping log order == timestamp order.
+  std::mutex clock_mu_;
+  Timestamp clock_ = 0;
+
+  /// Snapshots of in-flight transactions, for the GC horizon.
+  mutable std::mutex active_mu_;
+  std::multiset<Timestamp> active_snapshots_;
+  void TrackActive(Timestamp snapshot);
+  void UntrackActive(Timestamp snapshot);
+
+  std::atomic<Timestamp> latest_commit_ts_{0};
+  std::atomic<TxnId> next_txn_id_{1};
+  std::atomic<std::uint64_t> committed_count_{0};
+  std::atomic<std::uint64_t> aborted_count_{0};
+};
+
+}  // namespace txn
+}  // namespace lazysi
+
+#endif  // LAZYSI_TXN_TXN_MANAGER_H_

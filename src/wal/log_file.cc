@@ -1,0 +1,98 @@
+#include "wal/log_file.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace lazysi {
+namespace wal {
+
+namespace {
+
+void AppendLE64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t ReadLE64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Status WriteFileAtomically(const std::string& path,
+                           const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + tmp + "' for writing");
+  }
+  const std::size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != contents.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(f);
+  return contents;
+}
+
+}  // namespace
+
+constexpr char LogFile::kMagic[8];
+
+Status LogFile::Write(const LogicalLog& log, const std::string& path,
+                      std::size_t from_lsn) {
+  const std::string payload = log.EncodeFrom(from_lsn);
+  std::string file;
+  file.append(kMagic, sizeof(kMagic));
+  file.append(payload);
+  AppendLE64(&file, Fnv1a64(payload));
+  return WriteFileAtomically(path, file);
+}
+
+Result<std::vector<LogRecord>> LogFile::Read(const std::string& path) {
+  auto contents = ReadWholeFile(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& file = *contents;
+  if (file.size() < sizeof(kMagic) + 8 ||
+      std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a lazysi log file");
+  }
+  const std::string payload =
+      file.substr(sizeof(kMagic), file.size() - sizeof(kMagic) - 8);
+  const std::uint64_t stored =
+      ReadLE64(file.data() + file.size() - 8);
+  if (Fnv1a64(payload) != stored) {
+    return Status::InvalidArgument("'" + path + "' failed checksum");
+  }
+  return LogicalLog::DecodeAll(payload);
+}
+
+}  // namespace wal
+}  // namespace lazysi

@@ -1,0 +1,42 @@
+#ifndef LAZYSI_WAL_LOG_FILE_H_
+#define LAZYSI_WAL_LOG_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "wal/logical_log.h"
+
+namespace lazysi {
+namespace wal {
+
+/// Durable serialization of a logical log segment.
+///
+/// File format:
+///   8 bytes  magic "LZSILOG1"
+///   payload  concatenated LogRecord encodings (self-delimiting)
+///   8 bytes  FNV-1a 64 checksum of the payload, little-endian
+///
+/// Files are written to a temporary name and renamed into place, so readers
+/// never observe a half-written file. Together with checkpoint files this
+/// gives a site a full restart story: install the checkpoint, then replay
+/// the log suffix (engine/recovery.h).
+class LogFile {
+ public:
+  /// Serializes records [from_lsn, log.Size()) of `log` to `path`.
+  static Status Write(const LogicalLog& log, const std::string& path,
+                      std::size_t from_lsn = 0);
+
+  /// Reads and validates a log file; returns the records in order.
+  /// InvalidArgument on bad magic, truncation or checksum mismatch.
+  static Result<std::vector<LogRecord>> Read(const std::string& path);
+
+ private:
+  static constexpr char kMagic[8] = {'L', 'Z', 'S', 'I', 'L', 'O', 'G', '1'};
+};
+
+}  // namespace wal
+}  // namespace lazysi
+
+#endif  // LAZYSI_WAL_LOG_FILE_H_

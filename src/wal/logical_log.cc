@@ -1,0 +1,71 @@
+#include "wal/logical_log.h"
+
+namespace lazysi {
+namespace wal {
+
+std::size_t LogicalLog::Append(LogRecord record) {
+  std::size_t lsn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lsn = records_.size();
+    records_.push_back(std::move(record));
+  }
+  cv_.notify_all();
+  return lsn;
+}
+
+std::size_t LogicalLog::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::optional<LogRecord> LogicalLog::At(std::size_t lsn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lsn >= records_.size()) return std::nullopt;
+  return records_[lsn];
+}
+
+std::optional<LogRecord> LogicalLog::WaitAt(
+    std::size_t lsn, std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout,
+               [&] { return lsn < records_.size() || closed_; });
+  if (lsn < records_.size()) return records_[lsn];
+  return std::nullopt;
+}
+
+void LogicalLog::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool LogicalLog::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::string LogicalLog::EncodeFrom(std::size_t from) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (std::size_t i = from; i < records_.size(); ++i) {
+    records_[i].EncodeTo(&out);
+  }
+  return out;
+}
+
+Result<std::vector<LogRecord>> LogicalLog::DecodeAll(const std::string& data) {
+  std::vector<LogRecord> out;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    auto rec = LogRecord::Decode(data, &offset);
+    if (!rec.ok()) return rec.status();
+    out.push_back(std::move(rec).value());
+  }
+  return out;
+}
+
+}  // namespace wal
+}  // namespace lazysi

@@ -1,0 +1,64 @@
+#ifndef LAZYSI_WAL_LOGICAL_LOG_H_
+#define LAZYSI_WAL_LOGICAL_LOG_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "wal/log_record.h"
+
+namespace lazysi {
+namespace wal {
+
+/// Append-only logical log of one site. The primary's transaction manager
+/// appends under its timestamp mutex, so the log order of start and commit
+/// records equals timestamp order — the property Section 3 assumes ("start
+/// and commit timestamps are consistent with the actual order of start and
+/// commit operations at the site").
+///
+/// The propagator tails the log through a LogCursor (a "log sniffer" in the
+/// paper's terms, Section 5: it does not go through the concurrency control).
+class LogicalLog {
+ public:
+  /// Appends a record; wakes blocked cursors. Returns the record's log
+  /// sequence number (LSN, 0-based).
+  std::size_t Append(LogRecord record);
+
+  /// Number of records appended so far.
+  std::size_t Size() const;
+
+  /// Returns the record at `lsn` if it exists.
+  std::optional<LogRecord> At(std::size_t lsn) const;
+
+  /// Blocks until a record with LSN >= `lsn` exists or the log is closed or
+  /// `timeout` elapses. Returns the record, or nullopt on close/timeout.
+  std::optional<LogRecord> WaitAt(
+      std::size_t lsn,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(100)) const;
+
+  /// Closes the log (site shutdown); blocked readers wake with nullopt.
+  void Close();
+  bool closed() const;
+
+  /// Serializes records [from, Size()) to a byte string (for checkpointing
+  /// and for shipping a recovery delta, Section 3.4).
+  std::string EncodeFrom(std::size_t from) const;
+
+  /// Parses a byte string produced by EncodeFrom.
+  static Result<std::vector<LogRecord>> DecodeAll(const std::string& data);
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::deque<LogRecord> records_;
+  bool closed_ = false;
+};
+
+}  // namespace wal
+}  // namespace lazysi
+
+#endif  // LAZYSI_WAL_LOGICAL_LOG_H_

@@ -1,0 +1,76 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace lazysi {
+namespace {
+
+TEST(Fnv1aTest, KnownValues) {
+  // FNV-1a 64-bit reference vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1aTest, SeedChaining) {
+  const auto h1 = Fnv1a64("ab");
+  const auto h2 = Fnv1a64("b", Fnv1a64("a"));
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(HashMixTest, OrderSensitive) {
+  const auto a = HashMix(HashMix(0, 1), 2);
+  const auto b = HashMix(HashMix(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(StateChainTest, SameWritesSameOrderSameChain) {
+  StateChain a, b;
+  for (StateChain* c : {&a, &b}) {
+    c->FoldWrite("x", "1", false);
+    c->SealTransaction();
+    c->FoldWrite("y", "2", false);
+    c->FoldWrite("z", "3", true);
+    c->SealTransaction();
+  }
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(StateChainTest, DifferentCommitOrderDiverges) {
+  StateChain a, b;
+  a.FoldWrite("x", "1", false);
+  a.SealTransaction();
+  a.FoldWrite("y", "2", false);
+  a.SealTransaction();
+
+  b.FoldWrite("y", "2", false);
+  b.SealTransaction();
+  b.FoldWrite("x", "1", false);
+  b.SealTransaction();
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(StateChainTest, DeleteFlagMatters) {
+  StateChain a, b;
+  a.FoldWrite("x", "", false);
+  a.SealTransaction();
+  b.FoldWrite("x", "", true);
+  b.SealTransaction();
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(StateChainTest, TransactionBoundaryMatters) {
+  // Two writes in one transaction vs the same writes in two transactions.
+  StateChain a, b;
+  a.FoldWrite("x", "1", false);
+  a.FoldWrite("y", "2", false);
+  a.SealTransaction();
+
+  b.FoldWrite("x", "1", false);
+  b.SealTransaction();
+  b.FoldWrite("y", "2", false);
+  b.SealTransaction();
+  EXPECT_NE(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace lazysi

@@ -1,0 +1,95 @@
+#include "common/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace lazysi {
+namespace {
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BlockingQueueTest, TryPopEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+  q.Push(1);
+  EXPECT_EQ(q.TryPop(), 1);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueueTest, CloseWakesConsumers) {
+  BlockingQueue<int> q;
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    auto v = q.Pop();
+    EXPECT_FALSE(v.has_value());
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(done);
+}
+
+TEST(BlockingQueueTest, CloseDrainsRemaining) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // rejected after close
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, SizeTracksContents) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  q.Push(1);
+  q.Push(2);
+  EXPECT_EQ(q.size(), 2u);
+  q.Pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BlockingQueueTest, ConcurrentProducersConsumers) {
+  BlockingQueue<int> q;
+  constexpr int kPerProducer = 1000;
+  constexpr int kProducers = 4;
+  std::atomic<long> sum{0};
+  std::atomic<int> received{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum += *v;
+        ++received;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  for (int i = 2; i < 2 + kProducers; ++i) threads[i].join();
+  q.Close();
+  threads[0].join();
+  threads[1].join();
+  EXPECT_EQ(received.load(), kProducers * kPerProducer);
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace lazysi

@@ -1,0 +1,76 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace lazysi {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1 << 30) == b.UniformInt(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(42);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(7.0);
+  EXPECT_NEAR(sum / kN, 7.0, 0.1);
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(42);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.UniformInt(5, 15);
+    ASSERT_GE(v, 5);
+    ASSERT_LE(v, 15);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 15);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, TransactionSizeMeanIsTen) {
+  // Table 1: tran_size uniform 5..15, mean 10.
+  Rng rng(1);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.UniformInt(5, 15));
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(9);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.2) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(kN), 0.2, 0.01);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng parent(5);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  // Children seeded differently from each other.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.UniformInt(0, 1 << 30) == child2.UniformInt(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace lazysi

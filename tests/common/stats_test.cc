@@ -1,0 +1,92 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace lazysi {
+namespace {
+
+TEST(RunningStatTest, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ConfidenceHalfWidth95(), 0.0);
+}
+
+TEST(RunningStatTest, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, ConfidenceIntervalFiveRuns) {
+  // The paper averages five runs; df = 4 -> t = 2.776.
+  RunningStat s;
+  for (double x : {10.0, 11.0, 9.0, 10.5, 9.5}) s.Add(x);
+  const double se = s.stddev() / std::sqrt(5.0);
+  EXPECT_NEAR(s.ConfidenceHalfWidth95(), 2.776 * se, 1e-9);
+}
+
+TEST(RunningStatTest, MergeMatchesCombined) {
+  Rng rng(7);
+  RunningStat a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Uniform(0, 10);
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(TCriticalTest, TableValues) {
+  EXPECT_NEAR(TCritical95(1), 12.706, 1e-3);
+  EXPECT_NEAR(TCritical95(4), 2.776, 1e-3);
+  EXPECT_NEAR(TCritical95(30), 2.042, 1e-3);
+  EXPECT_NEAR(TCritical95(1000), 1.96, 1e-3);
+}
+
+TEST(HistogramTest, CountsAndMean) {
+  Histogram h(0, 10, 10);
+  for (double x : {0.5, 1.5, 2.5, 3.5, 9.5}) h.Add(x);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.5);
+}
+
+TEST(HistogramTest, FractionAtOrBelow) {
+  Histogram h(0, 10, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i * 0.1);  // 0.0 .. 9.9 uniform
+  EXPECT_NEAR(h.FractionAtOrBelow(5.0), 0.5, 0.02);
+  EXPECT_EQ(h.FractionAtOrBelow(-1), 0.0);
+  EXPECT_EQ(h.FractionAtOrBelow(100), 1.0);
+}
+
+TEST(HistogramTest, OverflowUnderflow) {
+  Histogram h(0, 1, 4);
+  h.Add(-5);
+  h.Add(0.5);
+  h.Add(42);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.FractionAtOrBelow(0.9), 2.0 / 3.0, 0.2);
+}
+
+TEST(HistogramTest, QuantileRoughlyCorrect) {
+  Histogram h(0, 100, 200);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.Uniform(0, 100));
+  EXPECT_NEAR(h.Quantile(0.5), 50, 3);
+  EXPECT_NEAR(h.Quantile(0.95), 95, 3);
+}
+
+}  // namespace
+}  // namespace lazysi

@@ -1,0 +1,68 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lazysi {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCodes) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::WriteConflict().IsWriteConflict());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::TimedOut().IsTimedOut());
+  EXPECT_TRUE(Status::Unavailable().IsUnavailable());
+  EXPECT_TRUE(Status::Inverted("x").IsInverted());
+  EXPECT_FALSE(Status::Internal("x").ok());
+  EXPECT_FALSE(Status::InvalidArgument("x").ok());
+  EXPECT_FALSE(Status::FailedPrecondition("x").ok());
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status s = Status::WriteConflict("key 'a' conflicts");
+  EXPECT_EQ(s.message(), "key 'a' conflicts");
+  EXPECT_EQ(s.ToString(), "WriteConflict: key 'a' conflicts");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kWriteConflict), "WriteConflict");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInverted), "Inverted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kTimedOut), "TimedOut");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::Aborted());
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::TimedOut("waited 5s");
+  EXPECT_EQ(os.str(), "TimedOut: waited 5s");
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  auto fails = []() -> Status {
+    LAZYSI_RETURN_NOT_OK(Status::Aborted("inner"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsAborted());
+  auto succeeds = []() -> Status {
+    LAZYSI_RETURN_NOT_OK(Status::OK());
+    return Status::NotFound();
+  };
+  EXPECT_TRUE(succeeds().IsNotFound());
+}
+
+}  // namespace
+}  // namespace lazysi

@@ -1,0 +1,182 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+namespace lazysi {
+namespace engine {
+namespace {
+
+TEST(DatabaseTest, AutoCommitPutGet) {
+  Database db;
+  ASSERT_TRUE(db.Put("k", "v").ok());
+  EXPECT_EQ(db.Get("k").value(), "v");
+  ASSERT_TRUE(db.Delete("k").ok());
+  EXPECT_TRUE(db.Get("k").status().IsNotFound());
+}
+
+TEST(DatabaseTest, LogReceivesLifecycleRecords) {
+  Database db;
+  auto t = db.Begin();
+  ASSERT_TRUE(t->Put("a", "1").ok());
+  ASSERT_TRUE(t->Put("b", "2").ok());
+  ASSERT_TRUE(t->Commit().ok());
+
+  // Expect START, UPDATE, UPDATE, COMMIT.
+  ASSERT_EQ(db.log()->Size(), 4u);
+  EXPECT_EQ(db.log()->At(0)->type, wal::LogRecordType::kStart);
+  EXPECT_EQ(db.log()->At(1)->type, wal::LogRecordType::kUpdate);
+  EXPECT_EQ(db.log()->At(2)->type, wal::LogRecordType::kUpdate);
+  EXPECT_EQ(db.log()->At(3)->type, wal::LogRecordType::kCommit);
+  EXPECT_EQ(db.log()->At(0)->timestamp, t->start_ts());
+  EXPECT_EQ(db.log()->At(3)->timestamp, t->commit_ts());
+}
+
+TEST(DatabaseTest, ReadOnlyTxnsNotLogged) {
+  Database db;
+  auto t = db.Begin(/*read_only=*/true);
+  (void)t->Get("x");
+  ASSERT_TRUE(t->Commit().ok());
+  EXPECT_EQ(db.log()->Size(), 0u);
+}
+
+TEST(DatabaseTest, AbortLogged) {
+  Database db;
+  auto t = db.Begin();
+  ASSERT_TRUE(t->Put("a", "1").ok());
+  t->Abort();
+  ASSERT_EQ(db.log()->Size(), 3u);  // START, UPDATE, ABORT
+  EXPECT_EQ(db.log()->At(2)->type, wal::LogRecordType::kAbort);
+}
+
+TEST(DatabaseTest, LogOrderMatchesTimestampOrder) {
+  Database db;
+  // Interleave two transactions; start/commit records must appear in the
+  // log in increasing timestamp order (the propagator's key assumption).
+  auto t1 = db.Begin();
+  auto t2 = db.Begin();
+  ASSERT_TRUE(t2->Put("b", "2").ok());
+  ASSERT_TRUE(t2->Commit().ok());
+  ASSERT_TRUE(t1->Put("a", "1").ok());
+  ASSERT_TRUE(t1->Commit().ok());
+
+  Timestamp last_ts = 0;
+  for (std::size_t lsn = 0; lsn < db.log()->Size(); ++lsn) {
+    auto r = db.log()->At(lsn);
+    if (r->type == wal::LogRecordType::kStart ||
+        r->type == wal::LogRecordType::kCommit) {
+      EXPECT_GT(r->timestamp, last_ts);
+      last_ts = r->timestamp;
+    }
+  }
+}
+
+TEST(DatabaseTest, StateChainAdvancesPerCommit) {
+  Database db;
+  const auto h0 = db.StateHash();
+  ASSERT_TRUE(db.Put("a", "1").ok());
+  const auto h1 = db.StateHash();
+  ASSERT_TRUE(db.Put("a", "2").ok());
+  const auto h2 = db.StateHash();
+  EXPECT_NE(h0, h1);
+  EXPECT_NE(h1, h2);
+  ASSERT_EQ(db.StateChainHistory().size(), 2u);
+  EXPECT_EQ(db.StateChainHistory()[1].hash, h2);
+}
+
+TEST(DatabaseTest, IdenticalWorkloadsProduceIdenticalChains) {
+  Database a, b;
+  for (Database* db : {&a, &b}) {
+    ASSERT_TRUE(db->Put("x", "1").ok());
+    ASSERT_TRUE(db->Put("y", "2").ok());
+    auto t = db->Begin();
+    ASSERT_TRUE(t->Put("x", "3").ok());
+    ASSERT_TRUE(t->Delete("y").ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  EXPECT_EQ(a.StateHash(), b.StateHash());
+  ASSERT_EQ(a.StateChainHistory().size(), b.StateChainHistory().size());
+  for (std::size_t i = 0; i < a.StateChainHistory().size(); ++i) {
+    EXPECT_EQ(a.StateChainHistory()[i].hash, b.StateChainHistory()[i].hash);
+  }
+}
+
+TEST(DatabaseTest, StateChainDisabledByOption) {
+  DatabaseOptions options;
+  options.record_state_chain = false;
+  Database db(options);
+  ASSERT_TRUE(db.Put("a", "1").ok());
+  EXPECT_TRUE(db.StateChainHistory().empty());
+  EXPECT_NE(db.StateHash(), 0u);  // the running hash still advances
+}
+
+TEST(DatabaseTest, CheckpointRoundTrip) {
+  Database primary;
+  ASSERT_TRUE(primary.Put("a", "1").ok());
+  ASSERT_TRUE(primary.Put("b", "2").ok());
+  auto cp = primary.TakeCheckpoint();
+  EXPECT_EQ(cp.state.size(), 2u);
+  EXPECT_EQ(cp.lsn, primary.log()->Size());
+  EXPECT_EQ(cp.as_of, primary.LatestCommitTs());
+
+  Database restored;
+  auto install_ts = restored.InstallCheckpoint(cp);
+  ASSERT_TRUE(install_ts.ok());
+  EXPECT_EQ(restored.Get("a").value(), "1");
+  EXPECT_EQ(restored.Get("b").value(), "2");
+  EXPECT_EQ(restored.store()->Materialize(*install_ts),
+            primary.store()->Materialize(cp.as_of));
+}
+
+TEST(DatabaseTest, GarbageCollectRespectsActiveSnapshots) {
+  Database db;
+  ASSERT_TRUE(db.Put("k", "v1").ok());
+  auto pinned = db.Begin(/*read_only=*/true);  // pins v1
+  ASSERT_TRUE(db.Put("k", "v2").ok());
+  ASSERT_TRUE(db.Put("k", "v3").ok());
+
+  // The reader's snapshot caps the horizon at v1: nothing below it is
+  // shadowed, so nothing is reclaimed while the reader lives.
+  EXPECT_EQ(db.GarbageCollect(), 0u);
+  EXPECT_EQ(pinned->Get("k").value(), "v1");
+  ASSERT_TRUE(pinned->Commit().ok());
+
+  // Horizon advances once the reader finishes: v1 and v2 both go.
+  EXPECT_EQ(db.GarbageCollect(), 2u);
+  EXPECT_EQ(db.Get("k").value(), "v3");
+  EXPECT_EQ(db.store()->VersionCount(), 1u);
+}
+
+TEST(DatabaseTest, GarbageCollectIdleDropsAllShadowed) {
+  Database db;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.Put("k", std::to_string(i)).ok());
+  }
+  EXPECT_EQ(db.store()->VersionCount(), 10u);
+  EXPECT_EQ(db.GarbageCollect(), 9u);
+  EXPECT_EQ(db.Get("k").value(), "9");
+}
+
+TEST(DatabaseTest, TimeTravelReaderPinsHorizon) {
+  Database db;
+  ASSERT_TRUE(db.Put("k", "v1").ok());
+  const Timestamp ts1 = db.LatestCommitTs();
+  ASSERT_TRUE(db.Put("k", "v2").ok());
+  auto historical = db.BeginAtSnapshot(ts1);
+  ASSERT_TRUE(historical.ok());
+  db.GarbageCollect();
+  EXPECT_EQ((*historical)->Get("k").value(), "v1");  // still there
+}
+
+TEST(DatabaseTest, LatestCommitTsAdvances) {
+  Database db;
+  EXPECT_EQ(db.LatestCommitTs(), 0u);
+  ASSERT_TRUE(db.Put("a", "1").ok());
+  const Timestamp first = db.LatestCommitTs();
+  EXPECT_GT(first, 0u);
+  ASSERT_TRUE(db.Put("b", "2").ok());
+  EXPECT_GT(db.LatestCommitTs(), first);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace lazysi

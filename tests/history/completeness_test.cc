@@ -1,0 +1,52 @@
+#include "history/completeness.h"
+
+#include <gtest/gtest.h>
+
+namespace lazysi {
+namespace history {
+namespace {
+
+engine::StateChainEntry E(Timestamp ts, std::uint64_t hash) {
+  return engine::StateChainEntry{ts, hash};
+}
+
+TEST(CompletenessTest, EmptySecondaryIsPrefix) {
+  EXPECT_TRUE(CheckCompleteness({E(1, 11), E(2, 22)}, {}).ok);
+}
+
+TEST(CompletenessTest, ExactMatchPasses) {
+  auto report = CheckCompleteness({E(1, 11), E(2, 22)},
+                                  {E(5, 11), E(6, 22)});  // local ts differ
+  EXPECT_TRUE(report.ok) << report.violation;
+  EXPECT_EQ(report.checked, 2u);
+}
+
+TEST(CompletenessTest, LaggingSecondaryPasses) {
+  EXPECT_TRUE(
+      CheckCompleteness({E(1, 11), E(2, 22), E(3, 33)}, {E(9, 11)}).ok);
+}
+
+TEST(CompletenessTest, DivergentStateFails) {
+  auto report =
+      CheckCompleteness({E(1, 11), E(2, 22)}, {E(9, 11), E(10, 99)});
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violation.find("state 1"), std::string::npos);
+}
+
+TEST(CompletenessTest, ReorderedCommitsFail) {
+  // Same states installed in a different order: hashes chain differently.
+  auto report =
+      CheckCompleteness({E(1, 11), E(2, 22)}, {E(9, 22), E(10, 11)});
+  EXPECT_FALSE(report.ok);
+}
+
+TEST(CompletenessTest, SecondaryAheadFails) {
+  auto report = CheckCompleteness({E(1, 11)}, {E(9, 11), E(10, 22)});
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violation.find("primary only installed"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace history
+}  // namespace lazysi

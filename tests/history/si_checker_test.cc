@@ -1,0 +1,243 @@
+#include "history/si_checker.h"
+
+#include <gtest/gtest.h>
+
+namespace lazysi {
+namespace history {
+namespace {
+
+TxnRecord Update(std::uint64_t order_id, SessionLabel label,
+                 std::uint64_t first_op, std::uint64_t commit_seq,
+                 Timestamp commit_ts,
+                 std::vector<storage::Write> writes,
+                 std::vector<RecordedRead> reads = {}) {
+  TxnRecord r;
+  r.order_id = order_id;
+  r.label = label;
+  r.read_only = false;
+  r.first_op_seq = first_op;
+  r.commit_seq = commit_seq;
+  r.commit_primary_ts = commit_ts;
+  r.writes = std::move(writes);
+  r.reads = std::move(reads);
+  return r;
+}
+
+TxnRecord Reader(std::uint64_t order_id, SessionLabel label,
+                 std::uint64_t first_op, std::uint64_t commit_seq,
+                 std::vector<RecordedRead> reads) {
+  TxnRecord r;
+  r.order_id = order_id;
+  r.label = label;
+  r.read_only = true;
+  r.first_op_seq = first_op;
+  r.commit_seq = commit_seq;
+  r.reads = std::move(reads);
+  return r;
+}
+
+storage::Write W(const std::string& key, const std::string& value) {
+  return storage::Write{key, value, false};
+}
+
+RecordedRead R(const std::string& key, Timestamp ts) {
+  return RecordedRead{key, ts, ts != kInvalidTimestamp};
+}
+
+RecordedRead NotFoundRead(const std::string& key) {
+  return RecordedRead{key, kInvalidTimestamp, false};
+}
+
+TEST(SICheckerTest, EmptyHistoryIsEverything) {
+  SIChecker checker({});
+  EXPECT_TRUE(checker.CheckWeakSI().ok);
+  EXPECT_TRUE(checker.CheckStrongSI().ok);
+  EXPECT_TRUE(checker.CheckStrongSessionSI().ok);
+  EXPECT_EQ(checker.CountGlobalInversions(), 0u);
+}
+
+TEST(SICheckerTest, ConsistentSnapshotPasses) {
+  // U1 installs {x=1,y=1}@10; U2 installs {x=2,y=2}@20. A reader that saw
+  // both keys from the same snapshot is weak SI.
+  SIChecker checker({
+      Update(0, 1, 1, 2, 10, {W("x", "1"), W("y", "1")}),
+      Update(1, 1, 3, 4, 20, {W("x", "2"), W("y", "2")}),
+      Reader(2, 2, 5, 6, {R("x", 10), R("y", 10)}),
+      Reader(3, 2, 7, 8, {R("x", 20), R("y", 20)}),
+  });
+  auto report = checker.CheckWeakSI();
+  EXPECT_TRUE(report.ok) << report.violation;
+}
+
+TEST(SICheckerTest, TornSnapshotFailsWeakSI) {
+  // Reading x from state 10 and y from state 20 is not any single snapshot.
+  SIChecker checker({
+      Update(0, 1, 1, 2, 10, {W("x", "1"), W("y", "1")}),
+      Update(1, 1, 3, 4, 20, {W("x", "2"), W("y", "2")}),
+      Reader(2, 2, 5, 6, {R("x", 10), R("y", 20)}),
+  });
+  auto report = checker.CheckWeakSI();
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violation.find("no snapshot"), std::string::npos);
+}
+
+TEST(SICheckerTest, PhantomVersionFailsWeakSI) {
+  SIChecker checker({
+      Update(0, 1, 1, 2, 10, {W("x", "1")}),
+      Reader(1, 2, 3, 4, {R("x", 999)}),  // no such version
+  });
+  EXPECT_FALSE(checker.CheckWeakSI().ok);
+}
+
+TEST(SICheckerTest, StaleSnapshotPassesWeakButFailsStrong) {
+  // The reader's first operation happens after U2's commit (commit_seq 4 <
+  // first_op 5) yet it reads the pre-U2 state: allowed by weak SI, a
+  // transaction inversion under strong SI (Definition 2.1).
+  std::vector<TxnRecord> records{
+      Update(0, 1, 1, 2, 10, {W("x", "1")}),
+      Update(1, 1, 3, 4, 20, {W("x", "2")}),
+      Reader(2, 2, 5, 6, {R("x", 10)}),
+  };
+  SIChecker checker(records);
+  EXPECT_TRUE(checker.CheckWeakSI().ok);
+  auto strong = checker.CheckStrongSI();
+  EXPECT_FALSE(strong.ok);
+  // Different session labels: strong *session* SI tolerates it.
+  EXPECT_TRUE(checker.CheckStrongSessionSI().ok);
+  EXPECT_EQ(checker.CountGlobalInversions(), 1u);
+  EXPECT_EQ(checker.CountSessionInversions(), 0u);
+}
+
+TEST(SICheckerTest, SameSessionInversionFailsSessionSI) {
+  // Same as above but the writer and reader share a session: the classic
+  // Tbuy/Tcheck example from the introduction.
+  SIChecker checker({
+      Update(0, 7, 1, 2, 10, {W("order", "none")}),
+      Update(1, 7, 3, 4, 20, {W("order", "books")}),  // Tbuy
+      Reader(2, 7, 5, 6, {R("order", 10)}),           // Tcheck sees stale
+  });
+  EXPECT_TRUE(checker.CheckWeakSI().ok);
+  EXPECT_FALSE(checker.CheckStrongSessionSI().ok);
+  EXPECT_EQ(checker.CountSessionInversions(), 1u);
+}
+
+TEST(SICheckerTest, ConcurrentReaderNotInverted) {
+  // The reader's first operation precedes U2's commit; seeing the old state
+  // is fine even under strong SI.
+  SIChecker checker({
+      Update(0, 1, 1, 2, 10, {W("x", "1")}),
+      Update(1, 1, 3, 6, 20, {W("x", "2")}),
+      Reader(2, 1, 4, 5, {R("x", 10)}),  // first_op 4 < commit_seq 6
+  });
+  EXPECT_TRUE(checker.CheckStrongSI().ok);
+  EXPECT_TRUE(checker.CheckStrongSessionSI().ok);
+  EXPECT_EQ(checker.CountGlobalInversions(), 0u);
+}
+
+TEST(SICheckerTest, NotFoundReadConstrainsSnapshot) {
+  // Key written at ts 10; a reader that did NOT find it but started after
+  // the writer committed is inverted under strong SI.
+  SIChecker checker({
+      Update(0, 1, 1, 2, 10, {W("x", "1")}),
+      Reader(1, 1, 3, 4, {NotFoundRead("x")}),
+  });
+  EXPECT_TRUE(checker.CheckWeakSI().ok);  // snapshot before ts 10 works
+  EXPECT_FALSE(checker.CheckStrongSessionSI().ok);
+  EXPECT_EQ(checker.CountSessionInversions(), 1u);
+}
+
+TEST(SICheckerTest, DeletedKeyNotFoundIsConsistent) {
+  SIChecker checker({
+      Update(0, 1, 1, 2, 10, {W("x", "1")}),
+      Update(1, 1, 3, 4, 20, {storage::Write{"x", "", true}}),  // delete
+      Reader(2, 1, 5, 6, {NotFoundRead("x")}),
+  });
+  auto weak = checker.CheckWeakSI();
+  EXPECT_TRUE(weak.ok) << weak.violation;
+  auto session = checker.CheckStrongSessionSI();
+  EXPECT_TRUE(session.ok) << session.violation;  // snapshot at ts 20 works
+}
+
+TEST(SICheckerTest, LostUpdateFailsWeakSI) {
+  // U2 wrote x at ts 20 while its reads show it never saw U1's ts-10
+  // version: first-committer-wins would have aborted it, so this history is
+  // not SI (a lost update).
+  SIChecker checker({
+      Update(0, 1, 1, 2, 10, {W("x", "1")}),
+      Update(1, 2, 1, 4, 20, {W("x", "2")}, {NotFoundRead("x")}),
+  });
+  auto report = checker.CheckWeakSI();
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.violation.find("first-committer-wins"), std::string::npos);
+}
+
+TEST(SICheckerTest, WriteSkewPassesWeakSI) {
+  // T1 reads x,y writes y; T2 reads x,y writes x; both from the initial
+  // state: SI admits this (P5).
+  SIChecker checker({
+      Update(0, 1, 1, 2, 10, {W("x", "0"), W("y", "0")}),
+      Update(1, 2, 3, 5, 20, {W("y", "t1")}, {R("x", 10), R("y", 10)}),
+      Update(2, 3, 4, 6, 30, {W("x", "t2")}, {R("x", 10), R("y", 10)}),
+  });
+  auto report = checker.CheckWeakSI();
+  EXPECT_TRUE(report.ok) << report.violation;
+}
+
+TEST(SICheckerTest, ReadReadRegressionFailsSessionSIButPassesPCSI) {
+  // Section 7's distinction: two read-only transactions in one session, the
+  // second seeing an *older* snapshot than the first. Definition 2.2
+  // (strong session SI) forbids it; prefix-consistent SI allows it because
+  // only the session's own update commits constrain later transactions.
+  SIChecker checker({
+      Update(0, 1, 1, 2, 10, {W("x", "1")}),
+      Update(1, 1, 3, 4, 20, {W("x", "2")}),
+      Reader(2, 9, 5, 6, {R("x", 20)}),  // saw the fresh state...
+      Reader(3, 9, 7, 8, {R("x", 10)}),  // ...then regressed to the old one
+  });
+  EXPECT_TRUE(checker.CheckWeakSI().ok);
+  auto session = checker.CheckStrongSessionSI();
+  EXPECT_FALSE(session.ok);
+  auto pcsi = checker.CheckPrefixConsistentSI();
+  EXPECT_TRUE(pcsi.ok) << pcsi.violation;
+}
+
+TEST(SICheckerTest, PCSIStillRequiresOwnUpdatesVisible) {
+  // PCSI's defining requirement: a session's reads include the session's
+  // earlier updates.
+  SIChecker checker({
+      Update(0, 9, 1, 2, 10, {W("x", "1")}),
+      Reader(1, 9, 3, 4, {NotFoundRead("x")}),  // missed its own update
+  });
+  EXPECT_FALSE(checker.CheckPrefixConsistentSI().ok);
+}
+
+TEST(SICheckerTest, CrossSessionReadRegressionPassesSessionSI) {
+  // The same regression across *different* sessions is fine under strong
+  // session SI (that is the whole point of sessions, Section 2.3) but not
+  // under strong SI.
+  SIChecker checker({
+      Update(0, 1, 1, 2, 10, {W("x", "1")}),
+      Update(1, 1, 3, 4, 20, {W("x", "2")}),
+      Reader(2, 8, 5, 6, {R("x", 20)}),
+      Reader(3, 9, 7, 8, {R("x", 10)}),  // other session: allowed
+  });
+  auto session = checker.CheckStrongSessionSI();
+  EXPECT_TRUE(session.ok) << session.violation;
+  EXPECT_FALSE(checker.CheckStrongSI().ok);
+}
+
+TEST(SICheckerTest, UpdateReadingOwnSnapshotPassesStrongSession) {
+  // An update transaction that saw the freshest state passes everything.
+  SIChecker checker({
+      Update(0, 1, 1, 2, 10, {W("x", "1")}),
+      Update(1, 1, 3, 4, 20, {W("x", "2")}, {R("x", 10)}),
+      Reader(2, 1, 5, 6, {R("x", 20)}),
+  });
+  EXPECT_TRUE(checker.CheckStrongSI().ok);
+  EXPECT_TRUE(checker.CheckStrongSessionSI().ok);
+  EXPECT_EQ(checker.CountGlobalInversions(), 0u);
+}
+
+}  // namespace
+}  // namespace history
+}  // namespace lazysi

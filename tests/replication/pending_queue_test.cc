@@ -1,0 +1,106 @@
+#include "replication/pending_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lazysi {
+namespace replication {
+namespace {
+
+TEST(PendingQueueTest, WaitEmptyImmediateWhenEmpty) {
+  PendingQueue q;
+  EXPECT_TRUE(q.WaitEmpty());
+}
+
+TEST(PendingQueueTest, WaitEmptyBlocksUntilDrained) {
+  PendingQueue q;
+  q.Append(10);
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(q.WaitEmpty());
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke);
+  q.PopHead(10);
+  waiter.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(PendingQueueTest, WaitHeadOnlyForMatchingTimestamp) {
+  PendingQueue q;
+  q.Append(10);
+  q.Append(20);
+  EXPECT_TRUE(q.WaitHead(10));
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(q.WaitHead(20));
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke);  // 20 is not at the head yet
+  q.PopHead(10);
+  waiter.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(PendingQueueTest, PopHeadIgnoresMismatch) {
+  PendingQueue q;
+  q.Append(10);
+  q.PopHead(99);  // not the head: no-op
+  EXPECT_EQ(q.Size(), 1u);
+  q.PopHead(10);
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(PendingQueueTest, CloseWakesAllWaiters) {
+  PendingQueue q;
+  q.Append(1);
+  std::vector<std::thread> waiters;
+  std::atomic<int> woken{0};
+  waiters.emplace_back([&] {
+    EXPECT_FALSE(q.WaitHead(2));
+    ++woken;
+  });
+  waiters.emplace_back([&] {
+    EXPECT_FALSE(q.WaitEmpty());
+    ++woken;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(woken, 2);
+}
+
+TEST(PendingQueueTest, EnforcesCommitOrderAcrossThreads) {
+  // N workers each wait for their own timestamp to reach the head; the
+  // completion order must equal the append order regardless of the order in
+  // which workers become ready (the Lemma 3.3 mechanism).
+  PendingQueue q;
+  constexpr int kN = 16;
+  for (int i = 1; i <= kN; ++i) q.Append(i);
+  std::vector<int> completion_order;
+  std::mutex mu;
+  std::vector<std::thread> workers;
+  for (int i = kN; i >= 1; --i) {  // start in reverse order
+    workers.emplace_back([&, i] {
+      EXPECT_TRUE(q.WaitHead(i));
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        completion_order.push_back(i);
+      }
+      q.PopHead(i);
+    });
+  }
+  for (auto& t : workers) t.join();
+  ASSERT_EQ(completion_order.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(completion_order[i], i + 1);
+}
+
+}  // namespace
+}  // namespace replication
+}  // namespace lazysi

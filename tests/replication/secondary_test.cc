@@ -1,0 +1,137 @@
+#include "replication/secondary.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "replication/primary.h"
+
+namespace lazysi {
+namespace replication {
+namespace {
+
+class SecondaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    primary_db_ = std::make_unique<engine::Database>();
+    primary_ = std::make_unique<Primary>(primary_db_.get());
+    secondary_db_ = std::make_unique<engine::Database>(
+        engine::DatabaseOptions{1, "sec", true});
+    secondary_ = std::make_unique<Secondary>(secondary_db_.get());
+    primary_->AttachSecondary(secondary_.get());
+    secondary_->Start();
+    primary_->Start();
+  }
+
+  void TearDown() override {
+    primary_->Stop();
+    secondary_->Stop();
+  }
+
+  bool Sync() {
+    return secondary_->WaitForSeq(primary_db_->LatestCommitTs(),
+                                  std::chrono::milliseconds(5000));
+  }
+
+  std::unique_ptr<engine::Database> primary_db_;
+  std::unique_ptr<Primary> primary_;
+  std::unique_ptr<engine::Database> secondary_db_;
+  std::unique_ptr<Secondary> secondary_;
+};
+
+TEST_F(SecondaryTest, SingleUpdatePropagates) {
+  ASSERT_TRUE(primary_db_->Put("k", "v").ok());
+  ASSERT_TRUE(Sync());
+  EXPECT_EQ(secondary_db_->Get("k").value(), "v");
+  EXPECT_EQ(secondary_->applied_seq(), primary_db_->LatestCommitTs());
+  EXPECT_EQ(secondary_->refreshed_count(), 1u);
+}
+
+TEST_F(SecondaryTest, DeletesPropagate) {
+  ASSERT_TRUE(primary_db_->Put("k", "v").ok());
+  ASSERT_TRUE(primary_db_->Delete("k").ok());
+  ASSERT_TRUE(Sync());
+  EXPECT_TRUE(secondary_db_->Get("k").status().IsNotFound());
+}
+
+TEST_F(SecondaryTest, MultiKeyTransactionAppliedAtomically) {
+  auto t = primary_db_->Begin();
+  ASSERT_TRUE(t->Put("a", "1").ok());
+  ASSERT_TRUE(t->Put("b", "2").ok());
+  ASSERT_TRUE(t->Commit().ok());
+  ASSERT_TRUE(Sync());
+  // Both keys installed by one refresh transaction: same local commit ts.
+  auto a = secondary_db_->store()->Get("a", secondary_db_->LatestCommitTs());
+  auto b = secondary_db_->store()->Get("b", secondary_db_->LatestCommitTs());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->commit_ts, b->commit_ts);
+}
+
+TEST_F(SecondaryTest, AbortedTxnNotApplied) {
+  auto t = primary_db_->Begin();
+  ASSERT_TRUE(t->Put("gone", "x").ok());
+  t->Abort();
+  ASSERT_TRUE(primary_db_->Put("present", "y").ok());
+  ASSERT_TRUE(Sync());
+  EXPECT_TRUE(secondary_db_->Get("gone").status().IsNotFound());
+  EXPECT_EQ(secondary_db_->Get("present").value(), "y");
+}
+
+TEST_F(SecondaryTest, ManyTransactionsStateConverges) {
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        primary_db_->Put("k" + std::to_string(i % 17), std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(Sync());
+  EXPECT_EQ(secondary_db_->store()->Materialize(
+                secondary_db_->LatestCommitTs()),
+            primary_db_->store()->Materialize(primary_db_->LatestCommitTs()));
+  // Completeness (Theorem 3.1): the state chain matches hash-for-hash.
+  auto p_chain = primary_db_->StateChainHistory();
+  auto s_chain = secondary_db_->StateChainHistory();
+  ASSERT_EQ(p_chain.size(), s_chain.size());
+  for (std::size_t i = 0; i < p_chain.size(); ++i) {
+    ASSERT_EQ(p_chain[i].hash, s_chain[i].hash) << "state " << i;
+  }
+}
+
+TEST_F(SecondaryTest, WaitForSeqTimesOutWhenAhead) {
+  EXPECT_FALSE(secondary_->WaitForSeq(primary_db_->LatestCommitTs() + 100,
+                                      std::chrono::milliseconds(50)));
+}
+
+TEST_F(SecondaryTest, TranslateLocalToPrimary) {
+  ASSERT_TRUE(primary_db_->Put("k", "v").ok());
+  const Timestamp primary_ts = primary_db_->LatestCommitTs();
+  ASSERT_TRUE(Sync());
+  auto read = secondary_db_->store()->Get("k", secondary_db_->LatestCommitTs());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(secondary_->TranslateLocalToPrimary(read->commit_ts), primary_ts);
+  EXPECT_EQ(secondary_->TranslateLocalToPrimary(9999), kInvalidTimestamp);
+}
+
+TEST_F(SecondaryTest, ConcurrentPrimaryWritersReplicateCompletely) {
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < 50; ++i) {
+        // Disjoint key ranges: no FCW aborts.
+        auto t = primary_db_->Begin();
+        ASSERT_TRUE(
+            t->Put("w" + std::to_string(w) + "/" + std::to_string(i), "v")
+                .ok());
+        ASSERT_TRUE(t->Commit().ok());
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  ASSERT_TRUE(Sync());
+  EXPECT_EQ(secondary_db_->store()->KeyCount(), 200u);
+  // Refresh commit order equals primary commit order (Lemma 3.3) =>
+  // identical chains.
+  EXPECT_EQ(secondary_db_->StateHash(), primary_db_->StateHash());
+}
+
+}  // namespace
+}  // namespace replication
+}  // namespace lazysi

@@ -1,0 +1,110 @@
+#include "replication/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace lazysi {
+namespace replication {
+namespace {
+
+TEST(WireTest, StartRoundTrip) {
+  std::string buf;
+  EncodeRecord(PropStart{7, 100}, &buf);
+  std::size_t offset = 0;
+  auto r = DecodeRecord(buf, &offset);
+  ASSERT_TRUE(r.ok());
+  auto* s = std::get_if<PropStart>(&*r);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->txn_id, 7u);
+  EXPECT_EQ(s->start_ts, 100u);
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(WireTest, CommitWithUpdatesRoundTrip) {
+  PropCommit commit{9, 42, {{"a", "1", false}, {"b", "", true}}};
+  std::string buf;
+  EncodeRecord(PropagationRecord(commit), &buf);
+  std::size_t offset = 0;
+  auto r = DecodeRecord(buf, &offset);
+  ASSERT_TRUE(r.ok());
+  auto* c = std::get_if<PropCommit>(&*r);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->commit_ts, 42u);
+  ASSERT_EQ(c->updates.size(), 2u);
+  EXPECT_EQ(c->updates[0].key, "a");
+  EXPECT_FALSE(c->updates[0].deleted);
+  EXPECT_TRUE(c->updates[1].deleted);
+}
+
+TEST(WireTest, AbortRoundTrip) {
+  std::string buf;
+  EncodeRecord(PropAbort{13}, &buf);
+  std::size_t offset = 0;
+  auto r = DecodeRecord(buf, &offset);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(RecordTxnId(*r), 13u);
+  EXPECT_TRUE(std::holds_alternative<PropAbort>(*r));
+}
+
+TEST(WireTest, BatchRoundTripRandomized) {
+  Rng rng(55);
+  std::vector<PropagationRecord> batch;
+  for (int i = 0; i < 300; ++i) {
+    switch (rng.Next(3)) {
+      case 0:
+        batch.push_back(PropStart{rng.Next(1 << 20), rng.Next(1 << 30)});
+        break;
+      case 1: {
+        PropCommit c{rng.Next(1 << 20), rng.Next(1 << 30), {}};
+        const auto n = rng.Next(5);
+        for (std::uint64_t u = 0; u < n; ++u) {
+          c.updates.push_back(storage::Write{
+              "key" + std::to_string(rng.Next(100)),
+              std::string(rng.Next(50), 'v'), rng.Bernoulli(0.2)});
+        }
+        batch.push_back(std::move(c));
+        break;
+      }
+      default:
+        batch.push_back(PropAbort{rng.Next(1 << 20)});
+    }
+  }
+  const std::string encoded = EncodeBatch(batch);
+  auto decoded = DecodeBatch(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(RecordTxnId((*decoded)[i]), RecordTxnId(batch[i]));
+    EXPECT_EQ(RecordTimestamp((*decoded)[i]), RecordTimestamp(batch[i]));
+    EXPECT_EQ((*decoded)[i].index(), batch[i].index());
+  }
+}
+
+TEST(WireTest, TruncationDetected) {
+  PropCommit commit{9, 42, {{"key", "a long enough value", false}}};
+  std::string buf;
+  EncodeRecord(PropagationRecord(commit), &buf);
+  for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+    std::size_t offset = 0;
+    auto r = DecodeRecord(buf.substr(0, cut), &offset);
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(WireTest, UnknownTagRejected) {
+  std::string buf = "\x7f\x01";
+  std::size_t offset = 0;
+  EXPECT_FALSE(DecodeRecord(buf, &offset).ok());
+}
+
+TEST(WireTest, RecordTimestampHelper) {
+  EXPECT_EQ(RecordTimestamp(PropagationRecord(PropStart{1, 5})), 5u);
+  EXPECT_EQ(RecordTimestamp(PropagationRecord(PropCommit{1, 9, {}})), 9u);
+  EXPECT_EQ(RecordTimestamp(PropagationRecord(PropAbort{1})),
+            kInvalidTimestamp);
+}
+
+}  // namespace
+}  // namespace replication
+}  // namespace lazysi

@@ -1,0 +1,100 @@
+#include "sim/condition.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace lazysi {
+namespace sim {
+namespace {
+
+struct SharedState {
+  int seq = 0;
+};
+
+Process Waiter(Simulator& sim, Condition& cond, SharedState& state,
+               int needed, std::vector<double>& done) {
+  while (state.seq < needed) co_await cond.Wait();
+  done.push_back(sim.Now());
+}
+
+Process Advancer(Simulator& sim, Condition& cond, SharedState& state,
+                 double interval, int upto) {
+  while (state.seq < upto) {
+    co_await sim.Delay(interval);
+    ++state.seq;
+    cond.NotifyAll();
+  }
+}
+
+TEST(ConditionTest, WaiterWakesWhenPredicateHolds) {
+  Simulator sim;
+  Condition cond(&sim);
+  SharedState state;
+  std::vector<double> done;
+  sim.Spawn(Waiter(sim, cond, state, 3, done));
+  sim.Spawn(Advancer(sim, cond, state, 1.0, 5));
+  sim.Run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0], 3.0);  // woke exactly when seq reached 3
+}
+
+TEST(ConditionTest, SatisfiedPredicateNeverWaits) {
+  Simulator sim;
+  Condition cond(&sim);
+  SharedState state;
+  state.seq = 10;
+  std::vector<double> done;
+  sim.Spawn(Waiter(sim, cond, state, 3, done));
+  sim.Run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0], 0.0);
+}
+
+TEST(ConditionTest, NotifyAllWakesEveryWaiter) {
+  Simulator sim;
+  Condition cond(&sim);
+  SharedState state;
+  std::vector<double> done;
+  for (int i = 0; i < 5; ++i) sim.Spawn(Waiter(sim, cond, state, 1, done));
+  sim.Spawn(Advancer(sim, cond, state, 2.0, 1));
+  sim.Run();
+  EXPECT_EQ(done.size(), 5u);
+  for (double t : done) EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(ConditionTest, WaitersWithDifferentThresholds) {
+  Simulator sim;
+  Condition cond(&sim);
+  SharedState state;
+  std::vector<double> done1, done3, done5;
+  sim.Spawn(Waiter(sim, cond, state, 1, done1));
+  sim.Spawn(Waiter(sim, cond, state, 3, done3));
+  sim.Spawn(Waiter(sim, cond, state, 5, done5));
+  sim.Spawn(Advancer(sim, cond, state, 1.0, 5));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(done1[0], 1.0);
+  EXPECT_DOUBLE_EQ(done3[0], 3.0);
+  EXPECT_DOUBLE_EQ(done5[0], 5.0);
+}
+
+TEST(ConditionTest, NumWaitersTracksQueue) {
+  Simulator sim;
+  Condition cond(&sim);
+  SharedState state;
+  std::vector<double> done;
+  sim.Spawn(Waiter(sim, cond, state, 1, done));
+  sim.RunUntil(0.5);
+  EXPECT_EQ(cond.num_waiters(), 1u);
+  state.seq = 1;
+  cond.NotifyAll();
+  sim.RunUntil(1.0);
+  EXPECT_EQ(cond.num_waiters(), 0u);
+  EXPECT_EQ(done.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace lazysi

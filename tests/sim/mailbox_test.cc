@@ -1,0 +1,89 @@
+#include "sim/mailbox.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace lazysi {
+namespace sim {
+namespace {
+
+Process Receiver(Simulator& sim, Mailbox<int>& mb, std::vector<int>& got,
+                 int count) {
+  for (int i = 0; i < count; ++i) {
+    int v = co_await mb.Receive();
+    got.push_back(v);
+    (void)sim;
+  }
+}
+
+Process DelayedSender(Simulator& sim, Mailbox<int>& mb, double delay,
+                      int value) {
+  co_await sim.Delay(delay);
+  mb.Send(value);
+}
+
+TEST(MailboxTest, ValuesBeforeReceiversFifo) {
+  Simulator sim;
+  Mailbox<int> mb(&sim);
+  mb.Send(1);
+  mb.Send(2);
+  mb.Send(3);
+  std::vector<int> got;
+  sim.Spawn(Receiver(sim, mb, got, 3));
+  sim.Run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(MailboxTest, ReceiverBlocksUntilSend) {
+  Simulator sim;
+  Mailbox<int> mb(&sim);
+  std::vector<int> got;
+  sim.Spawn(Receiver(sim, mb, got, 1));
+  sim.Spawn(DelayedSender(sim, mb, 5.0, 42));
+  sim.Run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 42);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(MailboxTest, InterleavedSendsPreserveOrder) {
+  Simulator sim;
+  Mailbox<int> mb(&sim);
+  std::vector<int> got;
+  sim.Spawn(Receiver(sim, mb, got, 4));
+  sim.Spawn(DelayedSender(sim, mb, 1.0, 1));
+  sim.Spawn(DelayedSender(sim, mb, 2.0, 2));
+  sim.Spawn(DelayedSender(sim, mb, 3.0, 3));
+  sim.Spawn(DelayedSender(sim, mb, 4.0, 4));
+  sim.Run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(MailboxTest, MultipleReceiversEachGetOneValue) {
+  Simulator sim;
+  Mailbox<int> mb(&sim);
+  std::vector<int> got_a, got_b;
+  sim.Spawn(Receiver(sim, mb, got_a, 1));
+  sim.Spawn(Receiver(sim, mb, got_b, 1));
+  sim.Spawn(DelayedSender(sim, mb, 1.0, 10));
+  sim.Spawn(DelayedSender(sim, mb, 2.0, 20));
+  sim.Run();
+  EXPECT_EQ(got_a.size() + got_b.size(), 2u);
+}
+
+TEST(MailboxTest, SizeReflectsBufferedValues) {
+  Simulator sim;
+  Mailbox<std::string> mb(&sim);
+  EXPECT_TRUE(mb.empty());
+  mb.Send("a");
+  mb.Send("b");
+  EXPECT_EQ(mb.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace lazysi

@@ -1,0 +1,114 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lazysi {
+namespace sim {
+namespace {
+
+Process Appender(Simulator& sim, std::vector<double>& log, double delay,
+                 int count) {
+  for (int i = 0; i < count; ++i) {
+    co_await sim.Delay(delay);
+    log.push_back(sim.Now());
+  }
+}
+
+TEST(SimulatorTest, VirtualTimeAdvancesWithDelays) {
+  Simulator sim;
+  std::vector<double> log;
+  sim.Spawn(Appender(sim, log, 1.5, 3));
+  sim.Run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log[0], 1.5);
+  EXPECT_DOUBLE_EQ(log[1], 3.0);
+  EXPECT_DOUBLE_EQ(log[2], 4.5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 4.5);
+}
+
+TEST(SimulatorTest, ProcessesInterleaveByTime) {
+  Simulator sim;
+  std::vector<double> a, b;
+  sim.Spawn(Appender(sim, a, 2.0, 3));  // 2, 4, 6
+  sim.Spawn(Appender(sim, b, 3.0, 2));  // 3, 6
+  sim.Run();
+  EXPECT_EQ(a, (std::vector<double>{2, 4, 6}));
+  EXPECT_EQ(b, (std::vector<double>{3, 6}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<double> log;
+  sim.Spawn(Appender(sim, log, 1.0, 100));
+  sim.RunUntil(5.0);
+  EXPECT_EQ(log.size(), 5u);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+  sim.RunUntil(7.5);
+  EXPECT_EQ(log.size(), 7u);
+  EXPECT_DOUBLE_EQ(sim.Now(), 7.5);
+}
+
+TEST(SimulatorTest, CallbacksFireAtScheduledTime) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.ScheduleCallback(2.0, [&] { fired.push_back(sim.Now()); });
+  sim.ScheduleCallback(1.0, [&] { fired.push_back(sim.Now()); });
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(SimulatorTest, CancelledCallbackNeverFires) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.ScheduleCallback(1.0, [&] { fired = true; });
+  sim.CancelCallback(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleCallback(1.0, [&] { order.push_back(1); });
+  sim.ScheduleCallback(1.0, [&] { order.push_back(2); });
+  sim.ScheduleCallback(1.0, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, UnfinishedProcessesDestroyedSafely) {
+  // A process suspended forever must be cleaned up by the simulator's
+  // destructor without leaks or crashes (checked by ASAN-like tooling; here
+  // we just exercise the path).
+  auto forever = [](Simulator& sim) -> Process {
+    for (;;) co_await sim.Delay(1.0);
+  };
+  Simulator sim;
+  sim.Spawn(forever(sim));
+  sim.RunUntil(10.0);
+  // Destructor runs at scope exit.
+}
+
+TEST(SimulatorTest, EventCountTracked) {
+  Simulator sim;
+  std::vector<double> log;
+  sim.Spawn(Appender(sim, log, 1.0, 5));
+  sim.Run();
+  EXPECT_GE(sim.events_processed(), 5u);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  std::vector<double> log;
+  sim.Spawn(Appender(sim, log, 0.0, 2));
+  sim.Run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log[0], 0.0);
+  EXPECT_DOUBLE_EQ(log[1], 0.0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace lazysi

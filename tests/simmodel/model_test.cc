@@ -1,0 +1,223 @@
+#include "simmodel/model.h"
+
+#include <gtest/gtest.h>
+
+namespace lazysi {
+namespace simmodel {
+namespace {
+
+Params FastParams(session::Guarantee g, std::size_t secondaries = 3,
+                  std::size_t clients = 60) {
+  Params p;
+  p.num_secondaries = secondaries;
+  p.total_clients_override = clients;
+  p.guarantee = g;
+  // Shorter window keeps the test quick; still hundreds of transactions.
+  p.warmup_time = 120;
+  p.measure_time = 600;
+  return p;
+}
+
+TEST(ModelTest, DeterministicGivenSeed) {
+  Metrics a = Model(FastParams(session::Guarantee::kStrongSessionSI), 7).Run();
+  Metrics b = Model(FastParams(session::Guarantee::kStrongSessionSI), 7).Run();
+  EXPECT_EQ(a.throughput_total, b.throughput_total);
+  EXPECT_EQ(a.ro_response_mean, b.ro_response_mean);
+  EXPECT_EQ(a.upd_response_mean, b.upd_response_mean);
+  EXPECT_EQ(a.refreshes_applied, b.refreshes_applied);
+}
+
+TEST(ModelTest, DifferentSeedsDiffer) {
+  Metrics a = Model(FastParams(session::Guarantee::kWeakSI), 1).Run();
+  Metrics b = Model(FastParams(session::Guarantee::kWeakSI), 2).Run();
+  EXPECT_NE(a.throughput_total, b.throughput_total);
+}
+
+TEST(ModelTest, ThroughputInPlausibleRange) {
+  // 60 clients, ~7s think + ~0.5s service => roughly 8 tps total.
+  Metrics m = Model(FastParams(session::Guarantee::kWeakSI), 3).Run();
+  EXPECT_GT(m.throughput_total, 4.0);
+  EXPECT_LT(m.throughput_total, 12.0);
+  EXPECT_GT(m.ro_completed, 100u);
+  EXPECT_GT(m.upd_completed, 20u);
+}
+
+TEST(ModelTest, PercentilesDominateMeans) {
+  Metrics m = Model(FastParams(session::Guarantee::kStrongSessionSI), 3).Run();
+  EXPECT_GE(m.ro_response_p95, m.ro_response_mean);
+  EXPECT_GE(m.upd_response_p95, m.upd_response_mean);
+  EXPECT_GT(m.ro_response_p95, 0.0);
+}
+
+TEST(ModelTest, WeakSINeverBlocksReads) {
+  Metrics m = Model(FastParams(session::Guarantee::kWeakSI), 3).Run();
+  EXPECT_EQ(m.ro_block_mean, 0.0);
+}
+
+TEST(ModelTest, StrongSIBlocksReadsNearPropagationDelay) {
+  Metrics m = Model(FastParams(session::Guarantee::kStrongSI), 3).Run();
+  // Every read waits for the latest global update to be applied; with a
+  // 10 s propagation cycle the mean block is several seconds.
+  EXPECT_GT(m.ro_block_mean, 2.0);
+  EXPECT_LT(m.ro_block_mean, 15.0);
+}
+
+TEST(ModelTest, SessionSIBlocksLessThanStrongSI) {
+  Metrics session =
+      Model(FastParams(session::Guarantee::kStrongSessionSI), 3).Run();
+  Metrics strong = Model(FastParams(session::Guarantee::kStrongSI), 3).Run();
+  EXPECT_LT(session.ro_block_mean, strong.ro_block_mean);
+  EXPECT_GT(session.throughput_fast, strong.throughput_fast);
+}
+
+TEST(ModelTest, SessionSIThroughputCloseToWeakSI) {
+  // The paper's headline: strong session SI costs almost nothing vs weak SI.
+  Metrics weak = Model(FastParams(session::Guarantee::kWeakSI), 3).Run();
+  Metrics session =
+      Model(FastParams(session::Guarantee::kStrongSessionSI), 3).Run();
+  EXPECT_GT(session.throughput_fast, 0.75 * weak.throughput_fast);
+}
+
+TEST(ModelTest, RefreshLagDominatedByPropagationDelay) {
+  Metrics m = Model(FastParams(session::Guarantee::kWeakSI), 3).Run();
+  // Records wait up to one 10 s cycle; mean lag around half that plus
+  // queueing.
+  EXPECT_GT(m.mean_refresh_lag, 2.0);
+  EXPECT_LT(m.mean_refresh_lag, 12.0);
+  EXPECT_GT(m.refreshes_applied, 0u);
+}
+
+TEST(ModelTest, AbortsHappenAtConfiguredRate) {
+  Params p = FastParams(session::Guarantee::kWeakSI);
+  p.abort_prob = 0.2;  // exaggerate to measure reliably
+  Metrics m = Model(p, 3).Run();
+  // Aborts restart immediately, so aborts/(commits+aborts) ~ abort_prob.
+  const double rate =
+      static_cast<double>(m.upd_aborts) /
+      static_cast<double>(m.upd_completed + m.upd_aborts);
+  EXPECT_NEAR(rate, 0.2, 0.05);
+}
+
+TEST(ModelTest, PrimarySaturatesWithScale) {
+  // Fixing 20 clients/secondary and growing secondaries saturates the
+  // primary (the Figure 5 plateau past ~11 secondaries).
+  Params small = Params();
+  small.num_secondaries = 4;
+  small.warmup_time = 120;
+  small.measure_time = 600;
+  small.guarantee = session::Guarantee::kWeakSI;
+  Params big = small;
+  big.num_secondaries = 14;
+  Metrics m_small = Model(small, 5).Run();
+  Metrics m_big = Model(big, 5).Run();
+  EXPECT_GT(m_big.primary_utilization, m_small.primary_utilization);
+  EXPECT_GT(m_big.primary_utilization, 0.9);  // saturated
+  EXPECT_GT(m_big.upd_response_mean, m_small.upd_response_mean);
+}
+
+TEST(ModelTest, BrowsingMixScalesFurther) {
+  // 95/5 offloads the primary: at 14 secondaries it is far from saturated.
+  Params p;
+  p.num_secondaries = 14;
+  p.update_tran_prob = 0.05;
+  p.warmup_time = 120;
+  p.measure_time = 600;
+  p.guarantee = session::Guarantee::kWeakSI;
+  Metrics m = Model(p, 5).Run();
+  EXPECT_LT(m.primary_utilization, 0.6);
+}
+
+TEST(ModelTest, ReplicationsAggregateWithConfidence) {
+  Params p = FastParams(session::Guarantee::kStrongSessionSI);
+  ReplicatedResult r = RunReplications(p, 3);
+  EXPECT_GT(r.throughput_fast.mean, 0.0);
+  EXPECT_GT(r.throughput_fast.ci95, 0.0);
+  EXPECT_GT(r.ro_response.mean, 0.0);
+}
+
+TEST(ModelTest, RoamingReadsRegressUnderPCSIButNotSessionSI) {
+  // With reads roaming across secondaries, PCSI (and weak SI) sessions can
+  // observe snapshots that go backwards; strong session SI's read-read rule
+  // makes that impossible (Section 7).
+  auto run = [](session::Guarantee g) {
+    Params p = FastParams(g, 4, 80);
+    p.roam_reads = true;
+    return Model(p, 13).Run();
+  };
+  Metrics weak = run(session::Guarantee::kWeakSI);
+  Metrics pcsi = run(session::Guarantee::kPrefixConsistentSI);
+  Metrics strong_session = run(session::Guarantee::kStrongSessionSI);
+  Metrics strong = run(session::Guarantee::kStrongSI);
+  EXPECT_GT(weak.snapshot_regressions, 0u);
+  EXPECT_GT(pcsi.snapshot_regressions, 0u);
+  EXPECT_EQ(strong_session.snapshot_regressions, 0u);
+  EXPECT_EQ(strong.snapshot_regressions, 0u);
+}
+
+TEST(ModelTest, RoamingSessionSICostsMoreThanPCSI) {
+  // Enforcing read-read monotonicity across sites costs extra blocking.
+  auto run = [](session::Guarantee g) {
+    Params p = FastParams(g, 4, 80);
+    p.roam_reads = true;
+    return Model(p, 13).Run();
+  };
+  Metrics pcsi = run(session::Guarantee::kPrefixConsistentSI);
+  Metrics strong_session = run(session::Guarantee::kStrongSessionSI);
+  EXPECT_GE(strong_session.ro_block_mean, pcsi.ro_block_mean);
+}
+
+TEST(ModelTest, HomeBoundReadsNeverRegress) {
+  // Bound to one secondary, even weak SI reads see monotone snapshots
+  // (local states only move forward) — roaming is what breaks it.
+  Params p = FastParams(session::Guarantee::kWeakSI, 4, 80);
+  p.roam_reads = false;
+  Metrics m = Model(p, 13).Run();
+  EXPECT_EQ(m.snapshot_regressions, 0u);
+}
+
+TEST(ModelTest, PCSIEquivalentToSessionSIWithoutRoaming) {
+  // With home-bound reads the two guarantees coincide (the secondary's
+  // state is monotone), so their performance should match closely.
+  Params a = FastParams(session::Guarantee::kStrongSessionSI, 3, 60);
+  Params b = FastParams(session::Guarantee::kPrefixConsistentSI, 3, 60);
+  Metrics ma = Model(a, 21).Run();
+  Metrics mb = Model(b, 21).Run();
+  EXPECT_NEAR(ma.ro_response_mean, mb.ro_response_mean,
+              0.2 * ma.ro_response_mean + 0.05);
+}
+
+TEST(ModelTest, BoundedApplicatorPoolStillCorrectAndSlower) {
+  // Ablation of Section 3.3's concurrency: a single applicator can only
+  // increase refresh lag, never change what is applied.
+  Params unbounded = FastParams(session::Guarantee::kStrongSessionSI, 3, 90);
+  Params serial = unbounded;
+  serial.applicator_pool_size = 1;
+  Metrics mu = Model(unbounded, 5).Run();
+  Metrics ms = Model(serial, 5).Run();
+  // Timing shifts move a handful of refreshes across the window boundary;
+  // the totals must agree up to that noise.
+  EXPECT_NEAR(static_cast<double>(ms.refreshes_applied),
+              static_cast<double>(mu.refreshes_applied),
+              0.02 * static_cast<double>(mu.refreshes_applied));
+  EXPECT_GE(ms.mean_refresh_lag, mu.mean_refresh_lag - 0.2);
+}
+
+TEST(ModelTest, RoundRobinDisciplineMatchesPSClosely) {
+  // Fidelity check for the PS substitution on the real workload shape (small
+  // configuration to keep runtime down).
+  Params ps = FastParams(session::Guarantee::kWeakSI, 2, 20);
+  ps.warmup_time = 60;
+  ps.measure_time = 240;
+  Params rr = ps;
+  rr.discipline = sim::Resource::Discipline::kRoundRobin;
+  Metrics m_ps = Model(ps, 11).Run();
+  Metrics m_rr = Model(rr, 11).Run();
+  EXPECT_NEAR(m_rr.throughput_total, m_ps.throughput_total,
+              0.15 * m_ps.throughput_total + 0.5);
+  EXPECT_NEAR(m_rr.ro_response_mean, m_ps.ro_response_mean,
+              0.2 * m_ps.ro_response_mean + 0.05);
+}
+
+}  // namespace
+}  // namespace simmodel
+}  // namespace lazysi

@@ -1,0 +1,52 @@
+// Table 1 of the paper, asserted: if these defaults drift, the benchmark
+// figures are no longer the paper's experiments.
+
+#include "simmodel/params.h"
+
+#include <gtest/gtest.h>
+
+namespace lazysi {
+namespace simmodel {
+namespace {
+
+TEST(ParamsTest, Table1Defaults) {
+  Params p;
+  EXPECT_EQ(p.clients_per_secondary, 20u);       // num_clients: 20/secondary
+  EXPECT_DOUBLE_EQ(p.think_time, 7.0);           // think_time: 7 s
+  EXPECT_DOUBLE_EQ(p.session_time, 900.0);       // session_time: 15 min
+  EXPECT_DOUBLE_EQ(p.update_tran_prob, 0.20);    // update_tran_prob: 20%
+  EXPECT_DOUBLE_EQ(p.abort_prob, 0.01);          // abort_prob: 1%
+  EXPECT_EQ(p.tran_size_min, 5);                 // tran_size: mean 10
+  EXPECT_EQ(p.tran_size_max, 15);
+  EXPECT_DOUBLE_EQ(p.op_service_time, 0.02);     // op_service_time: 0.02 s
+  EXPECT_DOUBLE_EQ(p.update_op_prob, 0.30);      // update_op_prob: 30%
+  EXPECT_DOUBLE_EQ(p.propagation_delay, 10.0);   // propagation_delay: 10 s
+}
+
+TEST(ParamsTest, RunControlDefaults) {
+  Params p;
+  EXPECT_DOUBLE_EQ(p.warmup_time, 300.0);      // 5 min warm-up (Sec. 6.1)
+  EXPECT_DOUBLE_EQ(p.measure_time, 1800.0);    // 35 min total runs
+  EXPECT_DOUBLE_EQ(p.response_threshold, 3.0); // "finish in 3 s or less"
+}
+
+TEST(ParamsTest, TotalClientsComputation) {
+  Params p;
+  p.num_secondaries = 5;
+  p.clients_per_secondary = 20;
+  EXPECT_EQ(p.total_clients(), 100u);
+  p.total_clients_override = 250;
+  EXPECT_EQ(p.total_clients(), 250u);
+}
+
+TEST(ParamsTest, TableStringMentionsKeyValues) {
+  Params p;
+  const std::string table = p.ToTableString();
+  EXPECT_NE(table.find("think_time"), std::string::npos);
+  EXPECT_NE(table.find("propagation_delay"), std::string::npos);
+  EXPECT_NE(table.find("ALG-STRONG-SESSION-SI"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simmodel
+}  // namespace lazysi

@@ -1,0 +1,73 @@
+#include "storage/write_set.h"
+
+#include <gtest/gtest.h>
+
+namespace lazysi {
+namespace storage {
+namespace {
+
+TEST(WriteSetTest, PutAndFind) {
+  WriteSet ws;
+  ws.Put("a", "1");
+  const Write* w = ws.Find("a");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->value, "1");
+  EXPECT_FALSE(w->deleted);
+  EXPECT_EQ(ws.Find("b"), nullptr);
+}
+
+TEST(WriteSetTest, LastWriteWins) {
+  WriteSet ws;
+  ws.Put("a", "1");
+  ws.Put("a", "2");
+  EXPECT_EQ(ws.size(), 1u);
+  EXPECT_EQ(ws.Find("a")->value, "2");
+}
+
+TEST(WriteSetTest, DeleteShadowsPut) {
+  WriteSet ws;
+  ws.Put("a", "1");
+  ws.Delete("a");
+  ASSERT_NE(ws.Find("a"), nullptr);
+  EXPECT_TRUE(ws.Find("a")->deleted);
+  ws.Put("a", "3");
+  EXPECT_FALSE(ws.Find("a")->deleted);
+}
+
+TEST(WriteSetTest, ToVectorKeyOrdered) {
+  WriteSet ws;
+  ws.Put("c", "3");
+  ws.Put("a", "1");
+  ws.Put("b", "2");
+  auto v = ws.ToVector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].key, "a");
+  EXPECT_EQ(v[1].key, "b");
+  EXPECT_EQ(v[2].key, "c");
+}
+
+TEST(WriteSetTest, IntersectsIsWriteWriteConflict) {
+  // Section 2.4: ws_i intersect ws_j != empty set <=> write-write conflict.
+  WriteSet a, b, c;
+  a.Put("x", "1");
+  a.Put("y", "2");
+  b.Put("y", "9");
+  c.Put("z", "0");
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(c.Intersects(a));
+  EXPECT_FALSE(WriteSet().Intersects(a));
+}
+
+TEST(WriteSetTest, Clear) {
+  WriteSet ws;
+  ws.Put("a", "1");
+  ws.Clear();
+  EXPECT_TRUE(ws.empty());
+  EXPECT_EQ(ws.Find("a"), nullptr);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace lazysi

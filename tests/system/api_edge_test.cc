@@ -1,0 +1,121 @@
+// Edge cases of the public client API: misuse must fail cleanly, never
+// crash, deadlock or corrupt state.
+
+#include <gtest/gtest.h>
+
+#include "system/replicated_system.h"
+
+namespace lazysi {
+namespace system {
+namespace {
+
+TEST(ApiEdgeTest, CommitTwiceFailsCleanly) {
+  ReplicatedSystem sys(SystemConfig{});
+  sys.Start();
+  auto client = sys.Connect();
+  auto txn = client->BeginUpdate();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE((*txn)->Put("k", "v").ok());
+  ASSERT_TRUE((*txn)->Commit().ok());
+  EXPECT_FALSE((*txn)->Commit().ok());
+  EXPECT_FALSE((*txn)->Put("k2", "v").ok());
+  sys.Stop();
+}
+
+TEST(ApiEdgeTest, AbortThenCommitFails) {
+  ReplicatedSystem sys(SystemConfig{});
+  sys.Start();
+  auto client = sys.Connect();
+  auto txn = client->BeginUpdate();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE((*txn)->Put("k", "v").ok());
+  (*txn)->Abort();
+  EXPECT_FALSE((*txn)->Commit().ok());
+  EXPECT_TRUE(sys.primary_db()->Get("k").status().IsNotFound());
+  sys.Stop();
+}
+
+TEST(ApiEdgeTest, DroppedTransactionRollsBack) {
+  ReplicatedSystem sys(SystemConfig{});
+  sys.Start();
+  auto client = sys.Connect();
+  {
+    auto txn = client->BeginUpdate();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE((*txn)->Put("k", "v").ok());
+    // dropped without commit
+  }
+  EXPECT_TRUE(sys.primary_db()->Get("k").status().IsNotFound());
+  sys.Stop();
+}
+
+TEST(ApiEdgeTest, ReadTimesOutWhenPipelineCannotCatchUp) {
+  SystemConfig config;
+  config.num_secondaries = 1;
+  config.guarantee = session::Guarantee::kStrongSessionSI;
+  config.read_block_timeout = std::chrono::milliseconds(100);
+  ReplicatedSystem sys(config);
+  sys.Start();
+  auto client = sys.Connect();
+  ASSERT_TRUE(client
+                  ->ExecuteUpdate([](SystemTransaction& t) {
+                    return t.Put("k", "v");
+                  })
+                  .ok());
+  // Kill the refresh pipeline so seq(DBsec) can never catch up.
+  sys.secondary(0)->Stop();
+  auto read = client->BeginRead();
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsTimedOut());
+  sys.Stop();
+}
+
+TEST(ApiEdgeTest, ExecuteUpdateGivesUpAfterMaxAttempts) {
+  ReplicatedSystem sys(SystemConfig{});
+  sys.Start();
+  auto a = sys.Connect();
+  auto b = sys.Connect();
+  ASSERT_TRUE(a->ExecuteUpdate([](SystemTransaction& t) {
+                 return t.Put("contended", "0");
+               }).ok());
+  // Force a conflict deterministically: hold an update open in `a`, commit
+  // `b`'s write to the same key in between, then commit `a`.
+  auto txn_a = a->BeginUpdate();
+  ASSERT_TRUE(txn_a.ok());
+  ASSERT_TRUE((*txn_a)->Put("contended", "a").ok());
+  ASSERT_TRUE(b->ExecuteUpdate([](SystemTransaction& t) {
+                 return t.Put("contended", "b");
+               }).ok());
+  Status s = (*txn_a)->Commit();
+  EXPECT_TRUE(s.IsWriteConflict()) << s;
+  sys.Stop();
+}
+
+TEST(ApiEdgeTest, BodyErrorAbortsAndPropagates) {
+  ReplicatedSystem sys(SystemConfig{});
+  sys.Start();
+  auto client = sys.Connect();
+  Status s = client->ExecuteUpdate([](SystemTransaction& t) -> Status {
+    (void)t.Put("partial", "x");
+    return Status::InvalidArgument("application rejected");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(sys.primary_db()->Get("partial").status().IsNotFound());
+  sys.Stop();
+}
+
+TEST(ApiEdgeTest, ConnectToOutOfRangeSecondaryIsUnavailable) {
+  SystemConfig config;
+  config.num_secondaries = 1;
+  ReplicatedSystem sys(config);
+  sys.Start();
+  auto client = sys.ConnectTo(99);
+  auto read = client->BeginRead();
+  EXPECT_FALSE(read.ok());
+  sys.Stop();
+}
+
+}  // namespace
+}  // namespace system
+}  // namespace lazysi

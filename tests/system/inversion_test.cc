@@ -1,0 +1,144 @@
+// The bookstore scenario from the introduction: Tbuy (update) followed by
+// Tcheck (read-only) in the same session. Under ALG-WEAK-SI with slow
+// propagation, Tcheck can miss the purchase (a transaction inversion);
+// under ALG-STRONG-SESSION-SI and ALG-STRONG-SI it never can.
+
+#include <gtest/gtest.h>
+
+#include "history/si_checker.h"
+#include "system/replicated_system.h"
+
+namespace lazysi {
+namespace system {
+namespace {
+
+class InversionTest : public ::testing::TestWithParam<session::Guarantee> {};
+
+TEST_P(InversionTest, BuyThenCheck) {
+  SystemConfig config;
+  config.num_secondaries = 1;
+  config.guarantee = GetParam();
+  config.record_history = true;
+  // Slow, batched propagation makes inversions overwhelmingly likely under
+  // weak SI.
+  config.propagation_batch_interval = std::chrono::milliseconds(150);
+  config.read_block_timeout = std::chrono::milliseconds(10000);
+  ReplicatedSystem sys(config);
+  sys.Start();
+
+  auto customer = sys.Connect();
+  int observed_inversions = 0;
+  constexpr int kRounds = 5;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::string order = "order/" + std::to_string(round);
+    // Tbuy: purchase books.
+    ASSERT_TRUE(customer
+                    ->ExecuteUpdate([&](SystemTransaction& t) {
+                      return t.Put(order, "purchased");
+                    })
+                    .ok());
+    // Tcheck: immediately check the status of the purchase.
+    auto check = customer->BeginRead();
+    ASSERT_TRUE(check.ok());
+    auto status = (*check)->Get(order);
+    if (!status.ok()) {
+      ++observed_inversions;
+    } else {
+      EXPECT_EQ(*status, "purchased");
+    }
+    ASSERT_TRUE((*check)->Commit().ok());
+  }
+  sys.WaitForReplication();
+  sys.Stop();
+
+  history::SIChecker checker(sys.recorder()->Snapshot());
+  // Global weak SI always holds (Theorem 3.2).
+  auto weak = checker.CheckWeakSI();
+  EXPECT_TRUE(weak.ok) << weak.violation;
+
+  switch (GetParam()) {
+    case session::Guarantee::kWeakSI:
+      // With 150 ms batching and immediate reads, every round inverts.
+      EXPECT_GT(observed_inversions, 0);
+      EXPECT_GT(checker.CountSessionInversions(), 0u);
+      break;
+    case session::Guarantee::kStrongSessionSI: {
+      EXPECT_EQ(observed_inversions, 0);
+      auto report = checker.CheckStrongSessionSI();
+      EXPECT_TRUE(report.ok) << report.violation;
+      EXPECT_EQ(checker.CountSessionInversions(), 0u);
+      break;
+    }
+    case session::Guarantee::kStrongSI: {
+      EXPECT_EQ(observed_inversions, 0);
+      auto strong = checker.CheckStrongSI();
+      EXPECT_TRUE(strong.ok) << strong.violation;
+      EXPECT_EQ(checker.CountGlobalInversions(), 0u);
+      break;
+    }
+    case session::Guarantee::kPrefixConsistentSI: {
+      // Tcheck follows the session's own update, so PCSI also prevents
+      // this particular inversion (it only tolerates read-read staleness).
+      EXPECT_EQ(observed_inversions, 0);
+      auto report = checker.CheckPrefixConsistentSI();
+      EXPECT_TRUE(report.ok) << report.violation;
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGuarantees, InversionTest,
+    ::testing::Values(session::Guarantee::kWeakSI,
+                      session::Guarantee::kStrongSessionSI,
+                      session::Guarantee::kStrongSI,
+                      session::Guarantee::kPrefixConsistentSI),
+    [](const ::testing::TestParamInfo<session::Guarantee>& info) {
+      switch (info.param) {
+        case session::Guarantee::kWeakSI: return std::string("WeakSI");
+        case session::Guarantee::kStrongSessionSI:
+          return std::string("StrongSessionSI");
+        case session::Guarantee::kStrongSI: return std::string("StrongSI");
+        case session::Guarantee::kPrefixConsistentSI:
+          return std::string("PCSI");
+      }
+      return std::string("Unknown");
+    });
+
+// Cross-session inversions are permitted under strong session SI — that is
+// precisely the cost it does not pay (Definition 2.2).
+TEST(CrossSessionTest, SessionSIAllowsCrossSessionStaleness) {
+  SystemConfig config;
+  config.num_secondaries = 1;
+  config.guarantee = session::Guarantee::kStrongSessionSI;
+  config.record_history = true;
+  config.propagation_batch_interval = std::chrono::milliseconds(200);
+  ReplicatedSystem sys(config);
+  sys.Start();
+
+  auto alice = sys.Connect();
+  auto bob = sys.Connect();
+  ASSERT_TRUE(alice
+                  ->ExecuteUpdate([](SystemTransaction& t) {
+                    return t.Put("announcement", "posted");
+                  })
+                  .ok());
+  // Bob reads immediately from a different session: may or may not see it;
+  // must not block.
+  auto read = bob->BeginRead();
+  ASSERT_TRUE(read.ok());
+  (void)(*read)->Get("announcement");
+  ASSERT_TRUE((*read)->Commit().ok());
+  sys.WaitForReplication();
+  sys.Stop();
+
+  history::SIChecker checker(sys.recorder()->Snapshot());
+  auto session_report = checker.CheckStrongSessionSI();
+  EXPECT_TRUE(session_report.ok) << session_report.violation;
+  // No *session* inversion even though Bob's read was globally stale.
+  EXPECT_EQ(checker.CountSessionInversions(), 0u);
+}
+
+}  // namespace
+}  // namespace system
+}  // namespace lazysi

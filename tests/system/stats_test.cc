@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "system/replicated_system.h"
+
+namespace lazysi {
+namespace system {
+namespace {
+
+TEST(SystemStatsTest, TracksCommitsAndLag) {
+  SystemConfig config;
+  config.num_secondaries = 2;
+  config.guarantee = session::Guarantee::kWeakSI;
+  ReplicatedSystem sys(config);
+  sys.Start();
+
+  auto before = sys.Stats();
+  EXPECT_EQ(before.primary_committed, 0u);
+  ASSERT_EQ(before.secondaries.size(), 2u);
+  EXPECT_EQ(before.secondaries[0].lag, 0u);
+
+  auto client = sys.Connect();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client
+                    ->ExecuteUpdate([&](SystemTransaction& t) {
+                      return t.Put("k" + std::to_string(i), "v");
+                    })
+                    .ok());
+  }
+  ASSERT_TRUE(sys.WaitForReplication());
+  auto after = sys.Stats();
+  EXPECT_EQ(after.primary_committed, 10u);
+  EXPECT_EQ(after.primary_latest_commit_ts, sys.primary_db()->LatestCommitTs());
+  for (const auto& sec : after.secondaries) {
+    EXPECT_FALSE(sec.failed);
+    EXPECT_EQ(sec.lag, 0u);
+    EXPECT_EQ(sec.refreshed_count, 10u);
+    EXPECT_EQ(sec.applied_seq, after.primary_latest_commit_ts);
+  }
+  sys.Stop();
+}
+
+TEST(SystemStatsTest, FailedSecondaryMarked) {
+  SystemConfig config;
+  config.num_secondaries = 2;
+  ReplicatedSystem sys(config);
+  sys.Start();
+  ASSERT_TRUE(sys.FailSecondary(1).ok());
+  auto stats = sys.Stats();
+  EXPECT_FALSE(stats.secondaries[0].failed);
+  EXPECT_TRUE(stats.secondaries[1].failed);
+  EXPECT_NE(stats.ToString().find("FAILED"), std::string::npos);
+  sys.Stop();
+}
+
+TEST(SystemGcTest, ReclaimsAcrossAllSites) {
+  SystemConfig config;
+  config.num_secondaries = 2;
+  config.guarantee = session::Guarantee::kWeakSI;
+  ReplicatedSystem sys(config);
+  sys.Start();
+  auto client = sys.Connect();
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(client
+                    ->ExecuteUpdate([&](SystemTransaction& t) {
+                      return t.Put("hot", std::to_string(round));
+                    })
+                    .ok());
+  }
+  ASSERT_TRUE(sys.WaitForReplication());
+  // Each of the 3 sites holds 5 versions of "hot"; GC keeps 1 per site.
+  EXPECT_EQ(sys.GarbageCollectAll(), 3u * 4u);
+  EXPECT_EQ(sys.primary_db()->store()->VersionCount(), 1u);
+  // Replication continues to work after pruning.
+  ASSERT_TRUE(client
+                  ->ExecuteUpdate([](SystemTransaction& t) {
+                    return t.Put("hot", "after-gc");
+                  })
+                  .ok());
+  ASSERT_TRUE(sys.WaitForReplication());
+  EXPECT_EQ(sys.secondary_db(0)->Get("hot").value(), "after-gc");
+  sys.Stop();
+}
+
+TEST(SystemStatsTest, ToStringMentionsAllSites) {
+  SystemConfig config;
+  config.num_secondaries = 3;
+  ReplicatedSystem sys(config);
+  sys.Start();
+  const std::string s = sys.Stats().ToString();
+  EXPECT_NE(s.find("primary:"), std::string::npos);
+  EXPECT_NE(s.find("secondary 0"), std::string::npos);
+  EXPECT_NE(s.find("secondary 2"), std::string::npos);
+  sys.Stop();
+}
+
+}  // namespace
+}  // namespace system
+}  // namespace lazysi

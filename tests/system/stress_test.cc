@@ -1,0 +1,100 @@
+// Stress: sustained mixed load with a secondary failing and recovering
+// mid-flight. Checks liveness (no deadlocks/hangs), end-state convergence,
+// and that the surviving secondary's guarantees never degraded.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/random.h"
+#include "history/completeness.h"
+#include "system/replicated_system.h"
+
+namespace lazysi {
+namespace system {
+namespace {
+
+TEST(StressTest, FailureUnderSustainedLoad) {
+  SystemConfig config;
+  config.num_secondaries = 2;
+  config.guarantee = session::Guarantee::kStrongSessionSI;
+  config.read_block_timeout = std::chrono::milliseconds(30000);
+  ReplicatedSystem sys(config);
+  sys.Start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<long> committed{0};
+  std::vector<std::thread> clients;
+  // All clients bind to the surviving secondary (index 1); secondary 0 is
+  // the one that crashes.
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(9000 + c);
+      auto conn = sys.ConnectTo(1);
+      while (!stop) {
+        if (rng.Bernoulli(0.3)) {
+          Status s = conn->ExecuteUpdate(
+              [&](SystemTransaction& t) -> Status {
+                return t.Put("c" + std::to_string(c) + "/k" +
+                                 std::to_string(rng.Next(50)),
+                             std::to_string(rng.Next(1000)));
+              },
+              /*max_attempts=*/50);
+          if (s.ok()) ++committed;
+        } else {
+          Status s = conn->ExecuteRead([&](SystemTransaction& t) -> Status {
+            (void)t.Get("c" + std::to_string(c) + "/k" +
+                        std::to_string(rng.Next(50)));
+            return Status::OK();
+          });
+          ASSERT_TRUE(s.ok()) << s;
+        }
+      }
+    });
+  }
+
+  // Fail and recover secondary 0 twice while the load runs.
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    ASSERT_TRUE(sys.FailSecondary(0).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    // Recovery requires a quiesced checkpoint; momentarily drain.
+    // (Clients keep running: WaitForReplication only waits for what has
+    // committed so far; the checkpoint itself is cut atomically underneath.
+    // For strictness we tolerate a FailedPrecondition and retry.)
+    Status s;
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      s = sys.RecoverSecondary(0);
+      if (s.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_TRUE(s.ok()) << s;
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  stop = true;
+  for (auto& t : clients) t.join();
+  ASSERT_TRUE(sys.WaitForReplication(std::chrono::milliseconds(30000)));
+
+  EXPECT_GT(committed.load(), 50);
+  // Both secondaries converged to the primary's state.
+  const auto primary_state = sys.primary_db()->store()->Materialize(
+      sys.primary_db()->LatestCommitTs());
+  for (std::size_t i = 0; i < sys.num_secondaries(); ++i) {
+    EXPECT_EQ(sys.secondary_db(i)->store()->Materialize(
+                  sys.secondary_db(i)->LatestCommitTs()),
+              primary_state)
+        << "secondary " << i;
+  }
+  // The never-failed secondary's completeness held throughout.
+  auto report = history::CheckCompleteness(
+      sys.primary_db()->StateChainHistory(),
+      sys.secondary_db(1)->StateChainHistory());
+  EXPECT_TRUE(report.ok) << report.violation;
+  sys.Stop();
+}
+
+}  // namespace
+}  // namespace system
+}  // namespace lazysi

@@ -1,0 +1,120 @@
+// WAN configuration: per-record network latency between the primary and
+// each secondary (SystemConfig::network_latency), on top of which all the
+// usual guarantees must keep holding.
+
+#include <gtest/gtest.h>
+
+#include "history/si_checker.h"
+#include "system/replicated_system.h"
+
+namespace lazysi {
+namespace system {
+namespace {
+
+TEST(WanTest, SessionGuaranteeHoldsAcrossSlowLinks) {
+  SystemConfig config;
+  config.num_secondaries = 2;
+  config.guarantee = session::Guarantee::kStrongSessionSI;
+  config.network_latency = std::chrono::milliseconds(30);
+  config.network_jitter = std::chrono::milliseconds(20);
+  config.record_history = true;
+  ReplicatedSystem sys(config);
+  sys.Start();
+
+  auto client = sys.Connect();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client
+                    ->ExecuteUpdate([&](SystemTransaction& t) {
+                      return t.Put("k" + std::to_string(i), "v");
+                    })
+                    .ok());
+    // Read-your-writes must hold despite the slow link (it blocks).
+    Status s = client->ExecuteRead([&](SystemTransaction& t) {
+      auto v = t.Get("k" + std::to_string(i));
+      return v.ok() ? Status::OK() : Status::Internal("inversion over WAN");
+    });
+    ASSERT_TRUE(s.ok()) << s;
+  }
+  ASSERT_TRUE(sys.WaitForReplication(std::chrono::milliseconds(20000)));
+  sys.Stop();
+
+  history::SIChecker checker(sys.recorder()->Snapshot());
+  auto weak = checker.CheckWeakSI();
+  EXPECT_TRUE(weak.ok) << weak.violation;
+  auto session = checker.CheckStrongSessionSI();
+  EXPECT_TRUE(session.ok) << session.violation;
+}
+
+TEST(WanTest, WeakSIInvertsOverSlowLinks) {
+  SystemConfig config;
+  config.num_secondaries = 1;
+  config.guarantee = session::Guarantee::kWeakSI;
+  config.network_latency = std::chrono::milliseconds(100);
+  ReplicatedSystem sys(config);
+  sys.Start();
+  auto client = sys.Connect();
+  ASSERT_TRUE(client
+                  ->ExecuteUpdate([](SystemTransaction& t) {
+                    return t.Put("fresh", "yes");
+                  })
+                  .ok());
+  auto read = client->BeginRead();
+  ASSERT_TRUE(read.ok());
+  // 100 ms link: the update cannot have been applied yet.
+  EXPECT_TRUE((*read)->Get("fresh").status().IsNotFound());
+  sys.WaitForReplication(std::chrono::milliseconds(20000));
+  sys.Stop();
+}
+
+TEST(WanTest, FailAndRecoverOverWan) {
+  SystemConfig config;
+  config.num_secondaries = 2;
+  config.guarantee = session::Guarantee::kStrongSessionSI;
+  config.network_latency = std::chrono::milliseconds(10);
+  ReplicatedSystem sys(config);
+  sys.Start();
+  auto client = sys.ConnectTo(1);
+  ASSERT_TRUE(client
+                  ->ExecuteUpdate([](SystemTransaction& t) {
+                    return t.Put("a", "1");
+                  })
+                  .ok());
+  ASSERT_TRUE(sys.WaitForReplication(std::chrono::milliseconds(20000)));
+  ASSERT_TRUE(sys.FailSecondary(0).ok());
+  ASSERT_TRUE(client
+                  ->ExecuteUpdate([](SystemTransaction& t) {
+                    return t.Put("b", "2");
+                  })
+                  .ok());
+  ASSERT_TRUE(sys.WaitForReplication(std::chrono::milliseconds(20000)));
+  ASSERT_TRUE(sys.RecoverSecondary(0).ok());
+  ASSERT_TRUE(client
+                  ->ExecuteUpdate([](SystemTransaction& t) {
+                    return t.Put("c", "3");
+                  })
+                  .ok());
+  ASSERT_TRUE(sys.WaitForReplication(std::chrono::milliseconds(20000)));
+  EXPECT_EQ(sys.secondary_db(0)->store()->KeyCount(), 3u);
+  sys.Stop();
+}
+
+TEST(WanTest, RoamingSkipsFailedSecondaries) {
+  SystemConfig config;
+  config.num_secondaries = 3;
+  config.guarantee = session::Guarantee::kWeakSI;
+  config.roam_reads = true;
+  ReplicatedSystem sys(config);
+  sys.Start();
+  ASSERT_TRUE(sys.FailSecondary(1).ok());
+  auto client = sys.ConnectTo(1);  // home site is even the dead one
+  for (int i = 0; i < 10; ++i) {
+    auto read = client->BeginRead();
+    ASSERT_TRUE(read.ok()) << read.status();  // roams to a live site
+    ASSERT_TRUE((*read)->Commit().ok());
+  }
+  sys.Stop();
+}
+
+}  // namespace
+}  // namespace system
+}  // namespace lazysi

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/versioned_store.h"
+#include "txn/txn_manager.h"
+
+namespace lazysi {
+namespace txn {
+namespace {
+
+// Property sweep: under first-committer-wins, concurrent read-modify-write
+// increments never lose updates — the final counter value equals the number
+// of successful commits (P4 is impossible, Section 2.1 / Appendix A.5).
+struct FcwParams {
+  int threads;
+  int increments_per_thread;
+  int num_counters;
+};
+
+class FcwPropertyTest : public ::testing::TestWithParam<FcwParams> {};
+
+TEST_P(FcwPropertyTest, NoLostUpdates) {
+  const FcwParams p = GetParam();
+  storage::VersionedStore store;
+  TxnManager manager(&store);
+
+  // Seed counters at zero.
+  for (int c = 0; c < p.num_counters; ++c) {
+    auto t = manager.Begin();
+    ASSERT_TRUE(t->Put("counter/" + std::to_string(c), "0").ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+
+  std::vector<std::atomic<long>> successes(p.num_counters);
+  for (auto& s : successes) s = 0;
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < p.threads; ++i) {
+    threads.emplace_back([&, i] {
+      Rng rng(1000 + i);
+      for (int n = 0; n < p.increments_per_thread; ++n) {
+        const int c = static_cast<int>(rng.Next(p.num_counters));
+        const std::string key = "counter/" + std::to_string(c);
+        // Retry until the increment commits.
+        for (;;) {
+          auto t = manager.Begin();
+          auto v = t->Get(key);
+          ASSERT_TRUE(v.ok());
+          const long cur = std::stol(*v);
+          ASSERT_TRUE(t->Put(key, std::to_string(cur + 1)).ok());
+          Status s = t->Commit();
+          if (s.ok()) {
+            ++successes[c];
+            break;
+          }
+          ASSERT_TRUE(s.IsWriteConflict()) << s;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int c = 0; c < p.num_counters; ++c) {
+    auto t = manager.Begin(/*read_only=*/true);
+    auto v = t->Get("counter/" + std::to_string(c));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(std::stol(*v), successes[c].load())
+        << "lost update on counter " << c;
+  }
+  // Note: whether conflicts actually occurred depends on thread scheduling
+  // (on few-core machines highly contended runs can fully serialize);
+  // deterministic conflict behaviour is covered by TxnManagerTest.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Contention, FcwPropertyTest,
+    ::testing::Values(FcwParams{1, 200, 1},    // no concurrency
+                      FcwParams{2, 200, 1},    // maximal contention
+                      FcwParams{4, 100, 1},
+                      FcwParams{4, 100, 4},    // moderate contention
+                      FcwParams{4, 100, 64},   // low contention
+                      FcwParams{8, 50, 8}),
+    [](const ::testing::TestParamInfo<FcwParams>& info) {
+      return "t" + std::to_string(info.param.threads) + "_n" +
+             std::to_string(info.param.increments_per_thread) + "_c" +
+             std::to_string(info.param.num_counters);
+    });
+
+// Snapshot consistency under concurrent writers: a transaction that reads
+// two keys updated together always sees a consistent pair.
+TEST(SnapshotConsistencyTest, PairsNeverTorn) {
+  storage::VersionedStore store;
+  TxnManager manager(&store);
+  {
+    auto t = manager.Begin();
+    ASSERT_TRUE(t->Put("pair/a", "0").ok());
+    ASSERT_TRUE(t->Put("pair/b", "0").ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 1; i <= 2000; ++i) {
+      auto t = manager.Begin();
+      ASSERT_TRUE(t->Put("pair/a", std::to_string(i)).ok());
+      ASSERT_TRUE(t->Put("pair/b", std::to_string(i)).ok());
+      ASSERT_TRUE(t->Commit().ok());  // single writer: no conflicts
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    while (!stop) {
+      auto t = manager.Begin(/*read_only=*/true);
+      auto a = t->Get("pair/a");
+      auto b = t->Get("pair/b");
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_EQ(*a, *b) << "torn snapshot";
+    }
+  });
+  writer.join();
+  reader.join();
+}
+
+}  // namespace
+}  // namespace txn
+}  // namespace lazysi

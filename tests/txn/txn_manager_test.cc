@@ -1,0 +1,162 @@
+#include "txn/txn_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/versioned_store.h"
+
+namespace lazysi {
+namespace txn {
+namespace {
+
+class TxnManagerTest : public ::testing::Test {
+ protected:
+  storage::VersionedStore store_;
+  TxnManager manager_{&store_};
+};
+
+TEST_F(TxnManagerTest, TimestampsMonotonic) {
+  auto t1 = manager_.Begin();
+  auto t2 = manager_.Begin();
+  EXPECT_LT(t1->start_ts(), t2->start_ts());
+  ASSERT_TRUE(t1->Put("a", "1").ok());
+  ASSERT_TRUE(t1->Commit().ok());
+  // Commit timestamp exceeds every previously issued timestamp (Sec. 2.1).
+  EXPECT_GT(t1->commit_ts(), t2->start_ts());
+  EXPECT_GT(t1->commit_ts(), t1->start_ts());
+}
+
+TEST_F(TxnManagerTest, StrongSIStartSeesLatestCommit) {
+  auto t1 = manager_.Begin();
+  ASSERT_TRUE(t1->Put("a", "1").ok());
+  ASSERT_TRUE(t1->Commit().ok());
+  // Strong SI (Definition 2.1): a transaction beginning after t1's commit
+  // must see t1's update.
+  auto t2 = manager_.Begin(/*read_only=*/true);
+  EXPECT_GT(t2->start_ts(), t1->commit_ts());
+  EXPECT_EQ(t2->Get("a").value(), "1");
+}
+
+TEST_F(TxnManagerTest, SnapshotIgnoresLaterCommits) {
+  auto writer0 = manager_.Begin();
+  ASSERT_TRUE(writer0->Put("a", "0").ok());
+  ASSERT_TRUE(writer0->Commit().ok());
+
+  auto reader = manager_.Begin(/*read_only=*/true);
+  auto writer = manager_.Begin();
+  ASSERT_TRUE(writer->Put("a", "1").ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  // Reader's snapshot predates writer's commit.
+  EXPECT_EQ(reader->Get("a").value(), "0");
+  // A new reader sees the new value.
+  EXPECT_EQ(manager_.Begin(true)->Get("a").value(), "1");
+}
+
+TEST_F(TxnManagerTest, FirstCommitterWins) {
+  auto base = manager_.Begin();
+  ASSERT_TRUE(base->Put("x", "0").ok());
+  ASSERT_TRUE(base->Commit().ok());
+
+  auto t1 = manager_.Begin();
+  auto t2 = manager_.Begin();
+  ASSERT_TRUE(t1->Put("x", "1").ok());
+  ASSERT_TRUE(t2->Put("x", "2").ok());
+  ASSERT_TRUE(t1->Commit().ok());
+  Status s = t2->Commit();
+  EXPECT_TRUE(s.IsWriteConflict()) << s;
+  EXPECT_EQ(t2->state(), Transaction::State::kAborted);
+  EXPECT_EQ(manager_.Begin(true)->Get("x").value(), "1");
+}
+
+TEST_F(TxnManagerTest, DisjointWritesBothCommit) {
+  // Concurrent transactions without write-write conflict both commit under
+  // SI (Section 2.4, the T1/T2 example from the introduction).
+  auto t1 = manager_.Begin();
+  auto t2 = manager_.Begin();
+  ASSERT_TRUE(t1->Put("x", "1").ok());
+  ASSERT_TRUE(t2->Put("y", "2").ok());
+  EXPECT_TRUE(t1->Commit().ok());
+  EXPECT_TRUE(t2->Commit().ok());
+}
+
+TEST_F(TxnManagerTest, WriteSkewAllowed) {
+  // P5 is possible under SI: T1 reads x,y writes y; T2 reads x,y writes x.
+  auto init = manager_.Begin();
+  ASSERT_TRUE(init->Put("x", "1").ok());
+  ASSERT_TRUE(init->Put("y", "1").ok());
+  ASSERT_TRUE(init->Commit().ok());
+
+  auto t1 = manager_.Begin();
+  auto t2 = manager_.Begin();
+  EXPECT_TRUE(t1->Get("x").ok());
+  EXPECT_TRUE(t1->Get("y").ok());
+  EXPECT_TRUE(t2->Get("x").ok());
+  EXPECT_TRUE(t2->Get("y").ok());
+  ASSERT_TRUE(t1->Put("y", "t1").ok());
+  ASSERT_TRUE(t2->Put("x", "t2").ok());
+  EXPECT_TRUE(t1->Commit().ok());
+  EXPECT_TRUE(t2->Commit().ok());  // no write-write conflict -> both commit
+}
+
+TEST_F(TxnManagerTest, SequentialWritersNoConflict) {
+  auto t1 = manager_.Begin();
+  ASSERT_TRUE(t1->Put("x", "1").ok());
+  ASSERT_TRUE(t1->Commit().ok());
+  auto t2 = manager_.Begin();
+  ASSERT_TRUE(t2->Put("x", "2").ok());
+  EXPECT_TRUE(t2->Commit().ok());  // t2 started after t1 committed
+}
+
+TEST_F(TxnManagerTest, AbortDiscardsWrites) {
+  auto t = manager_.Begin();
+  ASSERT_TRUE(t->Put("a", "1").ok());
+  t->Abort();
+  EXPECT_EQ(t->state(), Transaction::State::kAborted);
+  EXPECT_TRUE(manager_.Begin(true)->Get("a").status().IsNotFound());
+  EXPECT_EQ(manager_.AbortedCount(), 1u);
+}
+
+TEST_F(TxnManagerTest, ReadOnlyCommitAlwaysSucceeds) {
+  auto t = manager_.Begin(/*read_only=*/true);
+  EXPECT_TRUE(t->Get("missing").status().IsNotFound());
+  EXPECT_TRUE(t->Commit().ok());
+  EXPECT_EQ(t->commit_ts(), kInvalidTimestamp);  // installs no state
+}
+
+TEST_F(TxnManagerTest, EmptyUpdateTxnGetsCommitTs) {
+  // Update-declared transactions emit commit records even when empty, so
+  // their refresh transactions resolve at the secondaries.
+  auto t = manager_.Begin(/*read_only=*/false);
+  EXPECT_TRUE(t->Commit().ok());
+  EXPECT_NE(t->commit_ts(), kInvalidTimestamp);
+}
+
+TEST_F(TxnManagerTest, CountersTrackOutcomes) {
+  for (int i = 0; i < 3; ++i) {
+    auto t = manager_.Begin();
+    ASSERT_TRUE(t->Put("k" + std::to_string(i), "v").ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  auto t1 = manager_.Begin();
+  auto t2 = manager_.Begin();
+  ASSERT_TRUE(t1->Put("c", "1").ok());
+  ASSERT_TRUE(t2->Put("c", "2").ok());
+  ASSERT_TRUE(t1->Commit().ok());
+  ASSERT_FALSE(t2->Commit().ok());
+  EXPECT_EQ(manager_.CommittedCount(), 4u);
+  EXPECT_EQ(manager_.AbortedCount(), 1u);
+  EXPECT_EQ(manager_.LatestCommitTs(), t1->commit_ts());
+}
+
+TEST_F(TxnManagerTest, DroppedActiveHandleAborts) {
+  {
+    auto t = manager_.Begin();
+    ASSERT_TRUE(t->Put("a", "1").ok());
+    // RAII abort on scope exit.
+  }
+  EXPECT_EQ(manager_.AbortedCount(), 1u);
+  EXPECT_TRUE(manager_.Begin(true)->Get("a").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace txn
+}  // namespace lazysi

@@ -1,0 +1,102 @@
+#include "wal/log_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace lazysi {
+namespace wal {
+namespace {
+
+class LogFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "lazysi_log_file_test.log";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(LogFileTest, RoundTrip) {
+  LogicalLog log;
+  log.Append(LogRecord::Start(1, 10));
+  log.Append(LogRecord::Update(1, "k", "v", false));
+  log.Append(LogRecord::Commit(1, 11));
+  log.Append(LogRecord::Abort(2));
+  ASSERT_TRUE(LogFile::Write(log, path_).ok());
+
+  auto records = LogFile::Read(path_);
+  ASSERT_TRUE(records.ok()) << records.status();
+  ASSERT_EQ(records->size(), 4u);
+  EXPECT_EQ((*records)[0], *log.At(0));
+  EXPECT_EQ((*records)[3], *log.At(3));
+}
+
+TEST_F(LogFileTest, SuffixOnly) {
+  LogicalLog log;
+  log.Append(LogRecord::Start(1, 10));
+  log.Append(LogRecord::Commit(1, 11));
+  log.Append(LogRecord::Start(2, 12));
+  log.Append(LogRecord::Commit(2, 13));
+  ASSERT_TRUE(LogFile::Write(log, path_, /*from_lsn=*/2).ok());
+  auto records = LogFile::Read(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].txn_id, 2u);
+}
+
+TEST_F(LogFileTest, EmptyLogProducesValidFile) {
+  LogicalLog log;
+  ASSERT_TRUE(LogFile::Write(log, path_).ok());
+  auto records = LogFile::Read(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST_F(LogFileTest, MissingFileIsNotFound) {
+  auto records = LogFile::Read(path_ + ".nope");
+  EXPECT_TRUE(records.status().IsNotFound());
+}
+
+TEST_F(LogFileTest, RejectsBadMagic) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "NOTALOGFILE.....";
+  out.close();
+  auto records = LogFile::Read(path_);
+  EXPECT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LogFileTest, DetectsCorruption) {
+  LogicalLog log;
+  log.Append(LogRecord::Update(1, "key", "value", false));
+  ASSERT_TRUE(LogFile::Write(log, path_).ok());
+  // Flip a byte in the middle of the payload.
+  std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(12);
+  f.put('X');
+  f.close();
+  auto records = LogFile::Read(path_);
+  EXPECT_FALSE(records.ok());
+  EXPECT_NE(records.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(LogFileTest, OverwriteIsAtomic) {
+  LogicalLog log1;
+  log1.Append(LogRecord::Start(1, 1));
+  ASSERT_TRUE(LogFile::Write(log1, path_).ok());
+  LogicalLog log2;
+  for (int i = 0; i < 100; ++i) {
+    log2.Append(LogRecord::Update(1, "key" + std::to_string(i), "v", false));
+  }
+  ASSERT_TRUE(LogFile::Write(log2, path_).ok());
+  auto records = LogFile::Read(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 100u);
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace lazysi
