@@ -3,9 +3,11 @@
 
 #include <condition_variable>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace lazysi {
 
@@ -40,6 +42,28 @@ class BlockingQueue {
     T item = std::move(items_.front());
     items_.pop_front();
     return item;
+  }
+
+  /// Blocks until at least one element is available, then drains up to
+  /// `max_items` elements in FIFO order with a single lock round-trip —
+  /// consumers that fall behind a burst catch up in one acquire instead of
+  /// one per record. An empty result means the queue is closed and drained.
+  std::vector<T> PopBatch(std::size_t max_items) {
+    std::vector<T> out;
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    const std::size_t n = std::min(max_items, items_.size());
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out;
+  }
+
+  /// Unbounded PopBatch: drains everything queued at wake-up time.
+  std::vector<T> PopAll() {
+    return PopBatch(std::numeric_limits<std::size_t>::max());
   }
 
   /// Non-blocking pop.

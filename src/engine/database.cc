@@ -1,12 +1,16 @@
 #include "engine/database.h"
 
+#include <thread>
+
 #include "common/logging.h"
 
 namespace lazysi {
 namespace engine {
 
 Database::Database(DatabaseOptions options)
-    : options_(std::move(options)), txn_manager_(&store_, this) {}
+    : options_(std::move(options)),
+      store_(options_.store_shards),
+      txn_manager_(&store_, this) {}
 
 Database::~Database() { Close(); }
 
@@ -45,8 +49,22 @@ std::vector<StateChainEntry> Database::StateChainHistory() const {
 
 Database::Checkpoint Database::TakeCheckpoint() const {
   Checkpoint cp;
-  cp.as_of = txn_manager_.LatestCommitTs();
-  cp.lsn = log_.Size();
+  // The pipelined commit emits the log record before installing versions, so
+  // `log_.Size()` alone may count commits the watermark has not yet passed.
+  // Sample (as_of, lsn) until the pipeline is momentarily drained with the
+  // watermark unchanged across the sample: then every commit record below
+  // `lsn` has timestamp <= `as_of` and is materialized, and every commit
+  // <= `as_of` has its record below `lsn` (records are emitted before
+  // publication).
+  for (;;) {
+    cp.as_of = txn_manager_.LatestCommitTs();
+    cp.lsn = log_.Size();
+    if (txn_manager_.AllCommitsVisible() &&
+        txn_manager_.LatestCommitTs() == cp.as_of) {
+      break;
+    }
+    std::this_thread::yield();
+  }
   cp.state = store_.Materialize(cp.as_of);
   return cp;
 }

@@ -29,6 +29,10 @@ struct DatabaseOptions {
   /// (Theorem 3.1) assertions; costs one vector entry per committed update
   /// transaction, so long-running deployments may disable it.
   bool record_state_chain = true;
+  /// Lock stripes of the MVCC store (rounded up to a power of two). One
+  /// shard reproduces the single-global-lock layout; the default spreads
+  /// concurrent point reads/installs across independent locks.
+  std::size_t store_shards = storage::VersionedStore::kDefaultShardCount;
 };
 
 /// One entry of the state-hash chain: the database state produced by the
@@ -107,9 +111,11 @@ class Database : private txn::TxnObserver {
   Result<Timestamp> InstallCheckpoint(const Checkpoint& checkpoint);
 
   /// Installs a hook invoked for every update-transaction commit *under the
-  /// timestamp mutex*, i.e. atomically with the versions becoming visible.
-  /// The replication layer uses this to publish the local-to-primary commit
-  /// timestamp translation before any reader can observe the new versions.
+  /// timestamp mutex*, before the commit's versions become visible (the
+  /// visibility watermark passes the commit timestamp only after the hook
+  /// has run and installation finished). The replication layer uses this to
+  /// publish the local-to-primary commit timestamp translation before any
+  /// reader can observe the new versions.
   void SetCommitHook(std::function<void(TxnId, Timestamp)> hook) {
     commit_hook_ = std::move(hook);
   }

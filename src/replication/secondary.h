@@ -83,6 +83,10 @@ class Secondary {
   std::size_t update_queue_depth() const { return update_queue_.size(); }
 
  private:
+  /// Upper bound on records the refresher drains from the update queue per
+  /// lock round-trip; bounds the latency of a Stop() racing a large burst.
+  static constexpr std::size_t kRefresherBatchSize = 256;
+
   struct ApplyTask {
     std::unique_ptr<txn::Transaction> txn;
     std::vector<storage::Write> updates;

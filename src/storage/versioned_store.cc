@@ -3,9 +3,30 @@
 #include <algorithm>
 #include <cassert>
 #include <mutex>
+#include <queue>
+
+#include "common/hash.h"
 
 namespace lazysi {
 namespace storage {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  if (n <= 1) return 1;
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+VersionedStore::VersionedStore(std::size_t shard_count)
+    : shards_(RoundUpPow2(shard_count)), shard_mask_(shards_.size() - 1) {}
+
+std::size_t VersionedStore::ShardOf(const std::string& key) const {
+  return static_cast<std::size_t>(Fnv1a64(key)) & shard_mask_;
+}
 
 const VersionedStore::Version* VersionedStore::VisibleVersion(
     const Chain& chain, Timestamp snapshot) {
@@ -20,9 +41,10 @@ const VersionedStore::Version* VersionedStore::VisibleVersion(
 
 Result<VersionedValue> VersionedStore::Get(const std::string& key,
                                            Timestamp snapshot) const {
-  std::shared_lock lock(mu_);
-  auto it = chains_.find(key);
-  if (it == chains_.end()) return Status::NotFound();
+  const Shard& shard = shards_[ShardOf(key)];
+  std::shared_lock lock(shard.mu);
+  auto it = shard.chains.find(key);
+  if (it == shard.chains.end()) return Status::NotFound();
   const Version* v = VisibleVersion(it->second, snapshot);
   if (v == nullptr || v->deleted) return Status::NotFound();
   return VersionedValue{v->value, v->commit_ts};
@@ -30,69 +52,122 @@ Result<VersionedValue> VersionedStore::Get(const std::string& key,
 
 bool VersionedStore::HasCommitAfter(const std::string& key,
                                     Timestamp since) const {
-  std::shared_lock lock(mu_);
-  auto it = chains_.find(key);
-  if (it == chains_.end()) return false;
+  const Shard& shard = shards_[ShardOf(key)];
+  std::shared_lock lock(shard.mu);
+  auto it = shard.chains.find(key);
+  if (it == shard.chains.end()) return false;
   const Chain& chain = it->second;
   return !chain.empty() && chain.back().commit_ts > since;
 }
 
 void VersionedStore::Apply(const WriteSet& writes, Timestamp commit_ts) {
-  std::unique_lock lock(mu_);
+  // Bucket the writes by shard so each shard lock is taken exactly once.
+  // The scratch vector is thread-local to keep the hot auto-commit path
+  // allocation-free after warm-up.
+  thread_local std::vector<std::pair<std::size_t, const Write*>> scratch;
+  scratch.clear();
   for (const auto& [key, w] : writes.entries()) {
-    Chain& chain = chains_[key];
-    assert(chain.empty() || chain.back().commit_ts < commit_ts);
-    chain.push_back(Version{commit_ts, w.value, w.deleted});
+    scratch.emplace_back(ShardOf(key), &w);
+  }
+  std::stable_sort(scratch.begin(), scratch.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t i = 0;
+  while (i < scratch.size()) {
+    const std::size_t s = scratch[i].first;
+    Shard& shard = shards_[s];
+    std::unique_lock lock(shard.mu);
+    for (; i < scratch.size() && scratch[i].first == s; ++i) {
+      const Write& w = *scratch[i].second;
+      Chain& chain = shard.chains[w.key];
+      assert(chain.empty() || chain.back().commit_ts < commit_ts);
+      chain.push_back(Version{commit_ts, w.value, w.deleted});
+    }
   }
 }
 
 std::vector<std::pair<std::string, VersionedValue>> VersionedStore::Scan(
     const std::string& begin, const std::string& end,
     Timestamp snapshot) const {
-  std::shared_lock lock(mu_);
-  std::vector<std::pair<std::string, VersionedValue>> out;
-  auto it = chains_.lower_bound(begin);
-  for (; it != chains_.end(); ++it) {
-    if (!end.empty() && it->first >= end) break;
-    const Version* v = VisibleVersion(it->second, snapshot);
-    if (v != nullptr && !v->deleted) {
-      out.emplace_back(it->first, VersionedValue{v->value, v->commit_ts});
+  // Collect the ordered run of each shard, then k-way merge. Keys are unique
+  // across shards (each key hashes to exactly one), so the merge needs no
+  // duplicate handling. Cross-shard consistency comes from SI itself: all
+  // commits <= snapshot are fully installed before the snapshot is issued.
+  using Entry = std::pair<std::string, VersionedValue>;
+  std::vector<std::vector<Entry>> runs;
+  runs.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::vector<Entry> run;
+    std::shared_lock lock(shard.mu);
+    auto it = shard.chains.lower_bound(begin);
+    for (; it != shard.chains.end(); ++it) {
+      if (!end.empty() && it->first >= end) break;
+      const Version* v = VisibleVersion(it->second, snapshot);
+      if (v != nullptr && !v->deleted) {
+        run.emplace_back(it->first, VersionedValue{v->value, v->commit_ts});
+      }
     }
+    if (!run.empty()) runs.push_back(std::move(run));
+  }
+
+  struct Cursor {
+    std::size_t run;
+    std::size_t pos;
+  };
+  auto later = [&runs](const Cursor& a, const Cursor& b) {
+    return runs[a.run][a.pos].first > runs[b.run][b.pos].first;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(later);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    heap.push(Cursor{r, 0});
+    total += runs[r].size();
+  }
+  std::vector<Entry> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    out.push_back(std::move(runs[c.run][c.pos]));
+    if (++c.pos < runs[c.run].size()) heap.push(c);
   }
   return out;
 }
 
 std::map<std::string, std::string> VersionedStore::Materialize(
     Timestamp snapshot) const {
-  std::shared_lock lock(mu_);
   std::map<std::string, std::string> out;
-  for (const auto& [key, chain] : chains_) {
-    const Version* v = VisibleVersion(chain, snapshot);
-    if (v != nullptr && !v->deleted) out[key] = v->value;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [key, chain] : shard.chains) {
+      const Version* v = VisibleVersion(chain, snapshot);
+      if (v != nullptr && !v->deleted) out[key] = v->value;
+    }
   }
   return out;
 }
 
 std::size_t VersionedStore::PruneVersions(Timestamp horizon) {
-  std::unique_lock lock(mu_);
   std::size_t dropped = 0;
-  for (auto it = chains_.begin(); it != chains_.end();) {
-    Chain& chain = it->second;
-    // Keep the newest version with commit_ts <= horizon plus everything
-    // newer than the horizon.
-    auto keep = std::upper_bound(
-        chain.begin(), chain.end(), horizon,
-        [](Timestamp s, const Version& v) { return s < v.commit_ts; });
-    if (keep != chain.begin()) --keep;  // retain the visible-at-horizon one
-    dropped += static_cast<std::size_t>(keep - chain.begin());
-    chain.erase(chain.begin(), keep);
-    if (chain.empty() ||
-        (chain.size() == 1 && chain[0].deleted &&
-         chain[0].commit_ts <= horizon)) {
-      dropped += chain.size();
-      it = chains_.erase(it);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mu);
+    for (auto it = shard.chains.begin(); it != shard.chains.end();) {
+      Chain& chain = it->second;
+      // Keep the newest version with commit_ts <= horizon plus everything
+      // newer than the horizon.
+      auto keep = std::upper_bound(
+          chain.begin(), chain.end(), horizon,
+          [](Timestamp s, const Version& v) { return s < v.commit_ts; });
+      if (keep != chain.begin()) --keep;  // retain the visible-at-horizon one
+      dropped += static_cast<std::size_t>(keep - chain.begin());
+      chain.erase(chain.begin(), keep);
+      if (chain.empty() ||
+          (chain.size() == 1 && chain[0].deleted &&
+           chain[0].commit_ts <= horizon)) {
+        dropped += chain.size();
+        it = shard.chains.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   return dropped;
@@ -100,22 +175,32 @@ std::size_t VersionedStore::PruneVersions(Timestamp horizon) {
 
 void VersionedStore::InstallClone(const std::map<std::string, std::string>& state,
                                   Timestamp commit_ts) {
-  std::unique_lock lock(mu_);
-  chains_.clear();
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mu);
+    shard.chains.clear();
+  }
   for (const auto& [key, value] : state) {
-    chains_[key].push_back(Version{commit_ts, value, /*deleted=*/false});
+    Shard& shard = shards_[ShardOf(key)];
+    std::unique_lock lock(shard.mu);
+    shard.chains[key].push_back(Version{commit_ts, value, /*deleted=*/false});
   }
 }
 
 std::size_t VersionedStore::KeyCount() const {
-  std::shared_lock lock(mu_);
-  return chains_.size();
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    n += shard.chains.size();
+  }
+  return n;
 }
 
 std::size_t VersionedStore::VersionCount() const {
-  std::shared_lock lock(mu_);
   std::size_t n = 0;
-  for (const auto& [key, chain] : chains_) n += chain.size();
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [key, chain] : shard.chains) n += chain.size();
+  }
   return n;
 }
 

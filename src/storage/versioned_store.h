@@ -27,12 +27,31 @@ struct VersionedValue {
 /// version with commit_ts <= s and are therefore never blocked by writers —
 /// the property the paper identifies as SI's key benefit (Section 1).
 ///
-/// Thread safety: all operations are safe for concurrent use. Version
-/// installation (`Apply`) is expected to be serialized by the caller's commit
-/// protocol (the TxnManager holds its commit mutex), which guarantees that
-/// chains grow in timestamp order.
+/// Key chains are hash-partitioned across a fixed set of lock-striped shards,
+/// each with its own reader-writer lock and ordered map. Point operations
+/// (`Get`, `HasCommitAfter`, per-key installation) touch exactly one shard, so
+/// concurrent reads of different keys never contend on a shared lock word;
+/// `Scan` and `Materialize` merge the per-shard ordered runs.
+///
+/// Thread safety: all operations are safe for concurrent use. `Apply` locks
+/// one shard at a time and therefore does NOT make a multi-key commit visible
+/// atomically by itself; the TxnManager's commit pipeline provides atomicity
+/// by never issuing a snapshot >= commit_ts until the commit's installation
+/// has finished (the `visible_ts` watermark). Per-key chains must still grow
+/// in commit-timestamp order, which first-committer-wins guarantees: two
+/// transactions whose installations overlap can never share a key.
 class VersionedStore {
  public:
+  static constexpr std::size_t kDefaultShardCount = 16;
+
+  /// `shard_count` is rounded up to a power of two (minimum 1). A store with
+  /// one shard behaves exactly like the old single-global-lock layout, which
+  /// the contended benchmarks use as their baseline.
+  explicit VersionedStore(std::size_t shard_count = kDefaultShardCount);
+
+  VersionedStore(const VersionedStore&) = delete;
+  VersionedStore& operator=(const VersionedStore&) = delete;
+
   /// Snapshot read. NotFound when the key has no version visible at `snapshot`
   /// (never written, written later, or deleted at the snapshot).
   Result<VersionedValue> Get(const std::string& key, Timestamp snapshot) const;
@@ -43,12 +62,14 @@ class VersionedStore {
   /// (Section 2.1).
   bool HasCommitAfter(const std::string& key, Timestamp since) const;
 
-  /// Installs all writes of one committed transaction atomically with the
-  /// given commit timestamp. Must be called with commit timestamps in
-  /// increasing order (enforced by the TxnManager's commit mutex).
+  /// Installs all writes of one committed transaction with the given commit
+  /// timestamp, locking each touched shard exactly once. Per-key commit
+  /// timestamps must be increasing (enforced by the TxnManager's FCW rule);
+  /// cross-shard visibility atomicity is the caller's job (see class comment).
   void Apply(const WriteSet& writes, Timestamp commit_ts);
 
-  /// Key-ordered scan of all keys in [begin, end) visible at `snapshot`.
+  /// Key-ordered scan of all keys in [begin, end) visible at `snapshot`,
+  /// produced by a k-way merge of the per-shard ordered runs.
   /// An empty `end` means "to the end of the keyspace".
   std::vector<std::pair<std::string, VersionedValue>> Scan(
       const std::string& begin, const std::string& end,
@@ -60,7 +81,8 @@ class VersionedStore {
 
   /// Drops all versions that are shadowed by a newer version with
   /// commit_ts <= horizon; the newest such version is kept so reads at or
-  /// after `horizon` still succeed. Returns the number of versions dropped.
+  /// after `horizon` still succeed. Shards are pruned independently.
+  /// Returns the number of versions dropped.
   std::size_t PruneVersions(Timestamp horizon);
 
   /// Replaces the entire contents with `state`, all versions stamped
@@ -71,6 +93,12 @@ class VersionedStore {
   std::size_t KeyCount() const;
   std::size_t VersionCount() const;
 
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Shard index `key` hashes to; stable for the lifetime of the store. The
+  /// TxnManager keys its per-shard last-commit watermarks off this mapping.
+  std::size_t ShardOf(const std::string& key) const;
+
  private:
   struct Version {
     Timestamp commit_ts;
@@ -79,11 +107,16 @@ class VersionedStore {
   };
   using Chain = std::vector<Version>;
 
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::map<std::string, Chain> chains;
+  };
+
   /// Newest version in `chain` visible at `snapshot`, or nullptr.
   static const Version* VisibleVersion(const Chain& chain, Timestamp snapshot);
 
-  mutable std::shared_mutex mu_;
-  std::map<std::string, Chain> chains_;
+  std::vector<Shard> shards_;
+  std::size_t shard_mask_ = 0;  // shards_.size() - 1, size is a power of two
 };
 
 }  // namespace storage

@@ -6,8 +6,12 @@ namespace lazysi {
 namespace txn {
 
 Transaction::Transaction(TxnManager* manager, TxnId id, Timestamp start_ts,
-                         bool read_only)
-    : manager_(manager), id_(id), start_ts_(start_ts), read_only_(read_only) {}
+                         Timestamp snapshot_ts, bool read_only)
+    : manager_(manager),
+      id_(id),
+      start_ts_(start_ts),
+      snapshot_ts_(snapshot_ts),
+      read_only_(read_only) {}
 
 Transaction::~Transaction() {
   // Dropping an active handle rolls it back, RAII-style.
@@ -25,7 +29,7 @@ Result<std::string> Transaction::Get(const std::string& key) {
     if (own->deleted) return Status::NotFound();
     return own->value;
   }
-  auto result = manager_->store()->Get(key, start_ts_);
+  auto result = manager_->store()->Get(key, snapshot_ts_);
   if (result.ok()) {
     reads_.push_back(ReadObservation{key, result->commit_ts, /*found=*/true,
                                      /*from_own_write=*/false});
@@ -65,7 +69,7 @@ Result<std::vector<std::pair<std::string, std::string>>> Transaction::Scan(
   if (state_ != State::kActive) {
     return Status::FailedPrecondition("transaction is not active");
   }
-  auto snapshot = manager_->store()->Scan(begin, end, start_ts_);
+  auto snapshot = manager_->store()->Scan(begin, end, snapshot_ts_);
   // Overlay this transaction's own writes within the range.
   std::map<std::string, std::string> merged;
   for (auto& [key, vv] : snapshot) {

@@ -40,9 +40,15 @@ class Transaction {
   Transaction& operator=(const Transaction&) = delete;
 
   TxnId id() const { return id_; }
-  /// start_p(T): the snapshot this transaction reads. Under strong SI this is
-  /// the latest committed state at Begin time (Definition 2.1).
+  /// start_p(T): the clock value issued at Begin; orders this transaction's
+  /// start against all other starts and commits (and is what the start log
+  /// record carries).
   Timestamp start_ts() const { return start_ts_; }
+  /// The snapshot this transaction reads: the visibility watermark at Begin
+  /// time, i.e. the latest fully installed committed state. Under strong SI
+  /// this includes every commit acknowledged before Begin (Definition 2.1).
+  /// Also the first-committer-wins validation boundary.
+  Timestamp snapshot_ts() const { return snapshot_ts_; }
   /// commit_p(T); kInvalidTimestamp until committed.
   Timestamp commit_ts() const { return commit_ts_; }
   bool read_only() const { return read_only_; }
@@ -77,11 +83,12 @@ class Transaction {
  private:
   friend class TxnManager;
   Transaction(TxnManager* manager, TxnId id, Timestamp start_ts,
-              bool read_only);
+              Timestamp snapshot_ts, bool read_only);
 
   TxnManager* manager_;
   TxnId id_;
   Timestamp start_ts_;
+  Timestamp snapshot_ts_;
   Timestamp commit_ts_ = kInvalidTimestamp;
   bool read_only_;
   State state_ = State::kActive;

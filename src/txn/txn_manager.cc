@@ -6,39 +6,62 @@ namespace lazysi {
 namespace txn {
 
 TxnManager::TxnManager(storage::VersionedStore* store, TxnObserver* observer)
-    : store_(store), observer_(observer) {}
+    : store_(store),
+      observer_(observer),
+      shard_last_commit_(store->shard_count(), kInvalidTimestamp) {}
 
 std::unique_ptr<Transaction> TxnManager::Begin(bool read_only) {
   const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   Timestamp start_ts;
+  Timestamp snapshot;
   {
     std::lock_guard<std::mutex> lock(clock_mu_);
-    // Strong SI: the snapshot is the latest committed state. The start
-    // timestamp still advances the clock so that start/commit order is
+    // The start timestamp advances the clock so that start/commit order is
     // totally ordered and log order can mirror it.
     start_ts = ++clock_;
     if (!read_only && observer_ != nullptr) {
       observer_->OnStart(id, start_ts);
     }
+    // Strong SI: the snapshot is the latest fully installed committed state
+    // (Definition 2.1). It must be chosen in the *same* critical section
+    // that emits the start record: commit records are also emitted under
+    // clock_mu_, so a commit precedes this start record in the log iff its
+    // timestamp is visible to this snapshot. The secondary's refresher
+    // depends on exactly that equivalence — it derives each refresh
+    // transaction's snapshot point from log order (Algorithm 3.2), and a
+    // snapshot taken outside the critical section could include a commit
+    // whose log record follows the start record, making two transactions
+    // look concurrent at the secondary that were not concurrent here.
+    // Tracked atomically with its choice so the GC horizon can never pass
+    // it (lock order: clock_mu_ -> active_mu_).
+    snapshot = TrackActiveAtWatermark();
   }
-  TrackActive(start_ts);
   return std::unique_ptr<Transaction>(
-      new Transaction(this, id, start_ts, read_only));
+      new Transaction(this, id, start_ts, snapshot, read_only));
 }
 
 Result<std::unique_ptr<Transaction>> TxnManager::BeginAtSnapshot(
     Timestamp snapshot) {
-  {
-    std::lock_guard<std::mutex> lock(clock_mu_);
-    if (snapshot > clock_) {
-      return Status::InvalidArgument(
-          "snapshot is in the future of this site's clock");
-    }
+  // Pin the snapshot before validating it: tracking first means any
+  // GC horizon computed from now on is capped at `snapshot`, closing the
+  // race where GarbageCollect pruned the snapshot between the visibility
+  // check and the pin.
+  TrackActive(snapshot);
+  if (snapshot > visible_ts_.load(std::memory_order_acquire)) {
+    UntrackActive(snapshot);
+    return Status::InvalidArgument(
+        "snapshot is in the future of this site's committed state");
   }
   const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
-  TrackActive(snapshot);
   return std::unique_ptr<Transaction>(
-      new Transaction(this, id, snapshot, /*read_only=*/true));
+      new Transaction(this, id, snapshot, snapshot, /*read_only=*/true));
+}
+
+Timestamp TxnManager::TrackActiveAtWatermark() {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  const Timestamp snapshot = visible_ts_.load(std::memory_order_acquire);
+  active_snapshots_.insert(snapshot);
+  return snapshot;
 }
 
 void TxnManager::TrackActive(Timestamp snapshot) {
@@ -54,9 +77,55 @@ void TxnManager::UntrackActive(Timestamp snapshot) {
 
 Timestamp TxnManager::MinActiveSnapshot() const {
   std::lock_guard<std::mutex> lock(active_mu_);
-  const Timestamp latest = latest_commit_ts_.load(std::memory_order_acquire);
+  const Timestamp latest = visible_ts_.load(std::memory_order_acquire);
   if (active_snapshots_.empty()) return latest;
   return std::min(latest, *active_snapshots_.begin());
+}
+
+void TxnManager::StageInflightCommit(Timestamp commit_ts) {
+  std::lock_guard<std::mutex> lock(visible_mu_);
+  inflight_commits_.push_back(InflightCommit{commit_ts, /*installed=*/false});
+  last_allocated_commit_ = commit_ts;
+}
+
+void TxnManager::PublishCommit(Timestamp commit_ts) {
+  {
+    std::unique_lock<std::mutex> lock(visible_mu_);
+    for (auto& inflight : inflight_commits_) {
+      if (inflight.ts == commit_ts) {
+        inflight.installed = true;
+        break;
+      }
+    }
+    // The watermark advances over the fully installed prefix: everything up
+    // to the oldest still-installing commit is safe to expose to snapshots.
+    Timestamp new_visible = visible_ts_.load(std::memory_order_relaxed);
+    while (!inflight_commits_.empty() && inflight_commits_.front().installed) {
+      new_visible = inflight_commits_.front().ts;
+      inflight_commits_.pop_front();
+    }
+    if (new_visible > visible_ts_.load(std::memory_order_relaxed)) {
+      visible_ts_.store(new_visible, std::memory_order_release);
+      visible_cv_.notify_all();
+    }
+    // Acknowledge in timestamp order: the client may not learn of the commit
+    // until every earlier commit is also visible, so a snapshot taken after
+    // this return includes this commit (strong SI) and never a partial one.
+    visible_cv_.wait(lock, [&] {
+      return visible_ts_.load(std::memory_order_relaxed) >= commit_ts;
+    });
+  }
+  // Unlist from `installing_` strictly after publication: while the entry is
+  // present, validators may read our write set (the transaction is alive,
+  // since CommitTxn has not returned); once removed, the store answers for
+  // us, because our versions are installed and visible.
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  for (auto it = installing_.begin(); it != installing_.end(); ++it) {
+    if (it->commit_ts == commit_ts) {
+      installing_.erase(it);
+      break;
+    }
+  }
 }
 
 Status TxnManager::CommitTxn(Transaction* t) {
@@ -64,53 +133,109 @@ Status TxnManager::CommitTxn(Transaction* t) {
   if (t->write_set().empty()) {
     // Read-only (or empty) commit: no validation, no new database state.
     // Update-declared transactions still emit a commit record so their
-    // refresh transactions at the secondaries are resolved.
+    // refresh transactions at the secondaries are resolved; they go through
+    // the same ordered watermark publication as real commits.
     if (!t->read_only()) {
-      std::lock_guard<std::mutex> lock(clock_mu_);
-      const Timestamp commit_ts = ++clock_;
+      Timestamp commit_ts;
+      {
+        std::lock_guard<std::mutex> lock(clock_mu_);
+        commit_ts = ++clock_;
+        t->commit_ts_ = commit_ts;
+        if (observer_ != nullptr) {
+          observer_->OnCommit(t->id(), commit_ts, t->write_set());
+        }
+        StageInflightCommit(commit_ts);
+      }
+      PublishCommit(commit_ts);
+      committed_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    t->state_ = Transaction::State::kCommitted;
+    UntrackActive(t->snapshot_ts());
+    return Status::OK();
+  }
+
+  // Phase 1 — FCW pre-validation (Section 2.1), against the installed
+  // history and without holding any manager lock: T aborts iff some
+  // committed transaction whose lifespan overlapped T's wrote a key T also
+  // wrote. "Committed with commit_ts > snapshot(T)" is exactly lifespan
+  // overlap, since anything committed before the snapshot is in T's
+  // snapshot. This pass is a pure early abort — phase 2 is complete on its
+  // own — so it is skipped outright when nothing has committed since T's
+  // snapshot (the uncontended fast path).
+  if (visible_ts_.load(std::memory_order_acquire) != t->snapshot_ts()) {
+    for (const auto& [key, w] : t->write_set().entries()) {
+      if (store_->HasCommitAfter(key, t->snapshot_ts())) {
+        AbortTxn(t);
+        return Status::WriteConflict(
+            "key '" + key + "' written by a concurrent committed txn");
+      }
+    }
+  }
+
+  Timestamp commit_ts = kInvalidTimestamp;
+  std::string conflict_key;
+  {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    // Phase 2 — exact validation, then timestamp allocation and log
+    // emission. The per-shard watermark skips every key whose shard saw no
+    // commit after T's snapshot — one array read per key, the whole cost
+    // when uncontended. A racing key is conflict-checked against the
+    // still-installing commits' write sets and, for commits already
+    // installed and unlisted, against the store.
+    for (const auto& [key, w] : t->write_set().entries()) {
+      if (shard_last_commit_[store_->ShardOf(key)] <= t->snapshot_ts()) {
+        continue;
+      }
+      for (const PendingInstall& pending : installing_) {
+        if (pending.commit_ts > t->snapshot_ts() &&
+            pending.writes->Find(key) != nullptr) {
+          conflict_key = key;
+          break;
+        }
+      }
+      if (conflict_key.empty() &&
+          store_->HasCommitAfter(key, t->snapshot_ts())) {
+        conflict_key = key;
+      }
+      if (!conflict_key.empty()) break;
+    }
+    if (conflict_key.empty()) {
+      commit_ts = ++clock_;
+      for (const auto& [key, w] : t->write_set().entries()) {
+        shard_last_commit_[store_->ShardOf(key)] = commit_ts;
+      }
+      installing_.push_back(PendingInstall{commit_ts, &t->write_set()});
       t->commit_ts_ = commit_ts;
       if (observer_ != nullptr) {
         observer_->OnCommit(t->id(), commit_ts, t->write_set());
       }
-      latest_commit_ts_.store(commit_ts, std::memory_order_release);
-      committed_count_.fetch_add(1, std::memory_order_relaxed);
+      StageInflightCommit(commit_ts);
     }
-    t->state_ = Transaction::State::kCommitted;
-    UntrackActive(t->start_ts());
-    return Status::OK();
+  }
+  if (!conflict_key.empty()) {
+    AbortTxn(t);
+    return Status::WriteConflict("key '" + conflict_key +
+                                 "' written by a concurrent committed txn");
   }
 
-  std::unique_lock<std::mutex> lock(clock_mu_);
-  // First-committer-wins (Section 2.1): T aborts iff some committed
-  // transaction whose lifespan overlapped T's wrote a key T also wrote.
-  // "Committed with commit_ts > start(T)" is exactly lifespan overlap, since
-  // anything committed before start(T) is in T's snapshot.
-  for (const auto& [key, w] : t->write_set().entries()) {
-    if (store_->HasCommitAfter(key, t->start_ts())) {
-      lock.unlock();
-      AbortTxn(t);
-      return Status::WriteConflict("key '" + key +
-                                   "' written by a concurrent committed txn");
-    }
-  }
-  const Timestamp commit_ts = ++clock_;
+  // Phase 3 — version installation, outside the critical section and
+  // overlapping with other commits. FCW guarantees no two in-flight
+  // installations share a key, so per-key chains still grow in timestamp
+  // order.
   store_->Apply(t->write_set(), commit_ts);
-  t->commit_ts_ = commit_ts;
-  if (observer_ != nullptr) {
-    observer_->OnCommit(t->id(), commit_ts, t->write_set());
-  }
-  latest_commit_ts_.store(commit_ts, std::memory_order_release);
+
+  // Phase 4 — publish visibility in timestamp order and acknowledge.
+  PublishCommit(commit_ts);
   committed_count_.fetch_add(1, std::memory_order_relaxed);
   t->state_ = Transaction::State::kCommitted;
-  lock.unlock();
-  UntrackActive(t->start_ts());
+  UntrackActive(t->snapshot_ts());
   return Status::OK();
 }
 
 void TxnManager::AbortTxn(Transaction* t) {
   if (t->state() != Transaction::State::kActive) return;
   t->state_ = Transaction::State::kAborted;
-  UntrackActive(t->start_ts());
+  UntrackActive(t->snapshot_ts());
   if (!t->read_only()) {
     // Only update-transaction aborts are interesting (FCW losers and client
     // rollbacks); dropped read-only handles are routine.

@@ -2,9 +2,13 @@
 #define LAZYSI_TXN_TXN_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/timestamp.h"
@@ -20,18 +24,35 @@ namespace txn {
 /// DBMS (Section 3: "a local concurrency controller that guarantees strong SI
 /// and is deadlock-free").
 ///
-/// Design:
+/// Design — pipelined commit with a visibility watermark:
 ///  - One logical clock issues both start and commit timestamps, so every
 ///    commit timestamp is larger than all previously issued start/commit
 ///    timestamps (operational SI definition, Section 2.1).
-///  - Begin assigns start(T) = the current clock value, i.e. the latest
-///    committed snapshot — this is what makes the guarantee *strong* SI
-///    (Definition 2.1: start(T2) > commit(T1) whenever T1 committed before
-///    T2 started).
-///  - Writers buffer updates; Commit validates FCW (no committed version of
-///    any written key newer than start(T)) and installs all versions
-///    atomically under the commit mutex. Readers never block and are never
-///    blocked.
+///  - A transaction reads at `snapshot_ts` = `visible_ts_`, the commit-order
+///    visibility watermark: the largest timestamp V such that every commit
+///    with commit_ts <= V has finished installing its versions. Because a
+///    commit is acknowledged to its client only after the watermark passes
+///    its commit timestamp, any transaction beginning after that
+///    acknowledgement gets snapshot >= commit(T1) — Definition 2.1's
+///    strong-SI requirement — and no snapshot can ever observe a partially
+///    installed commit.
+///  - Commit runs in four phases. (1) FCW pre-validation against the store,
+///    outside any manager lock — a pure early-abort optimization, skipped
+///    entirely when nothing has committed since the transaction's snapshot.
+///    (2) A tiny critical section under `clock_mu_`: validate, allocate the
+///    commit timestamp, and emit the log record — so log order == timestamp
+///    order (the invariant Lemmas 3.1-3.3 rest on). (3) Version installation
+///    into the sharded store, outside `clock_mu_`, overlapping with other
+///    commits' validation and installation. (4) Publish `visible_ts_` in
+///    timestamp order and acknowledge.
+///  - The under-mutex validation is exact and cheap: per-shard last-commit
+///    watermarks skip every key whose shard saw no commit after the
+///    transaction's snapshot (the uncontended case costs one array read per
+///    key). A racing key is checked against (a) `installing_`, the list of
+///    commits whose versions are not yet fully installed — their write sets
+///    are readable because a committer only unlists itself, under
+///    `clock_mu_`, after its publication — and (b) the store, which is
+///    authoritative for every already-unlisted (hence installed) commit.
 ///  - Purely optimistic, lock-free data access: no waits-for graph exists,
 ///    so the control is trivially deadlock-free.
 class TxnManager {
@@ -39,23 +60,29 @@ class TxnManager {
   /// `observer` may be nullptr; it is not owned.
   TxnManager(storage::VersionedStore* store, TxnObserver* observer = nullptr);
 
-  /// Starts a transaction at the latest committed snapshot. Update
-  /// transactions (read_only = false) emit a start record to the observer
-  /// under the timestamp mutex.
+  /// Starts a transaction at the latest committed snapshot (the visibility
+  /// watermark). Update transactions (read_only = false) emit a start record
+  /// to the observer under the timestamp mutex. The snapshot is registered
+  /// in the active set atomically with its choice, so the GC horizon can
+  /// never pass a snapshot a live transaction reads.
   std::unique_ptr<Transaction> Begin(bool read_only = false);
 
   /// Starts a *read-only* transaction pinned to the historical snapshot
   /// `snapshot` (time travel over the version chains — weak SI explicitly
   /// allows reading any earlier committed state; the paper's related work
   /// [18, 25] builds exactly this on SI engines). `snapshot` must not
-  /// exceed the current clock; versions below the prune horizon may be
-  /// gone, in which case reads return NotFound.
+  /// exceed the visibility watermark; versions below the prune horizon may
+  /// be gone, in which case reads return NotFound. The snapshot is pinned
+  /// in the active set *before* validation so a concurrent GarbageCollect
+  /// cannot prune it between the check and the pin.
   Result<std::unique_ptr<Transaction>> BeginAtSnapshot(Timestamp snapshot);
 
-  /// Timestamp of the most recently committed update transaction; the
-  /// snapshot new transactions will see.
+  /// The visibility watermark: timestamp of the most recent *fully
+  /// installed* committed update transaction, i.e. the snapshot new
+  /// transactions will see. Every commit acknowledged to a client is at or
+  /// below this value.
   Timestamp LatestCommitTs() const {
-    return latest_commit_ts_.load(std::memory_order_acquire);
+    return visible_ts_.load(std::memory_order_acquire);
   }
 
   /// Oldest snapshot any active transaction may read, i.e. the safe version
@@ -63,6 +90,18 @@ class TxnManager {
   /// below this timestamp can never be read again. Equals LatestCommitTs()
   /// when no transaction is active.
   Timestamp MinActiveSnapshot() const;
+
+  /// True when every allocated commit timestamp has finished installing and
+  /// the watermark has caught up — i.e. no commit is mid-pipeline. Used by
+  /// checkpointing to pick a (state, log position) pair that corresponds to
+  /// one database state; with the pipelined commit, the log may briefly hold
+  /// commit records whose versions are still installing.
+  bool AllCommitsVisible() const {
+    std::lock_guard<std::mutex> lock(visible_mu_);
+    return inflight_commits_.empty() &&
+           visible_ts_.load(std::memory_order_relaxed) ==
+               last_allocated_commit_;
+  }
 
   /// Total committed update transactions (used by tests and stats).
   std::uint64_t CommittedCount() const {
@@ -85,21 +124,66 @@ class TxnManager {
   void NotifyUpdate(TxnId id, const std::string& key, const std::string& value,
                     bool deleted);
 
+  /// Registers `commit_ts` as allocated-but-not-yet-installed. Caller holds
+  /// clock_mu_; takes visible_mu_ (lock order: clock_mu_ -> visible_mu_).
+  void StageInflightCommit(Timestamp commit_ts);
+
+  /// Marks `commit_ts` installed, advances the visibility watermark as far
+  /// as the in-flight set allows, blocks until the watermark reaches
+  /// `commit_ts` — commits become visible, and are acknowledged, strictly
+  /// in timestamp order — and finally removes the commit from `installing_`.
+  void PublishCommit(Timestamp commit_ts);
+
   storage::VersionedStore* store_;
   TxnObserver* observer_;
 
-  /// Guards the logical clock, commit validation + version installation and
-  /// the observer's OnStart/OnCommit, keeping log order == timestamp order.
+  /// Guards the logical clock, the FCW validation state and the observer's
+  /// OnStart/OnCommit (keeping log order == timestamp order). Version
+  /// installation happens *outside* this mutex.
   std::mutex clock_mu_;
   Timestamp clock_ = 0;
+  /// Per-store-shard timestamp of the newest commit that wrote a key in the
+  /// shard. Lets validation skip shards (and thus keys) untouched since the
+  /// transaction's snapshot.
+  std::vector<Timestamp> shard_last_commit_;
+  /// Commits whose versions may not all be installed yet, with a view of
+  /// their write sets. An entry is appended when the commit timestamp is
+  /// allocated and removed — only by its owner, only after its publication —
+  /// at the end of PublishCommit; the owning Transaction outlives the entry,
+  /// so `writes` is always safe to read under clock_mu_. Validation needs
+  /// the list because the store cannot answer for commits that have not
+  /// finished installing.
+  struct PendingInstall {
+    Timestamp commit_ts;
+    const storage::WriteSet* writes;
+  };
+  std::vector<PendingInstall> installing_;
 
-  /// Snapshots of in-flight transactions, for the GC horizon.
+  /// Commit timestamps allocated but not yet fully installed, and the
+  /// watermark-publication plumbing. Commits are staged in timestamp order
+  /// (staging happens under clock_mu_ right after allocation), so the deque
+  /// is always sorted; the watermark advances over the installed prefix.
+  mutable std::mutex visible_mu_;
+  std::condition_variable visible_cv_;
+  struct InflightCommit {
+    Timestamp ts;
+    bool installed;
+  };
+  std::deque<InflightCommit> inflight_commits_;
+  Timestamp last_allocated_commit_ = 0;
+
+  /// Snapshots of in-flight transactions, for the GC horizon. Begin loads
+  /// the watermark and registers it under this mutex in one step, so a
+  /// concurrently computed horizon either includes the new snapshot or
+  /// predates it.
   mutable std::mutex active_mu_;
   std::multiset<Timestamp> active_snapshots_;
+  /// Atomically picks the current watermark as a snapshot and tracks it.
+  Timestamp TrackActiveAtWatermark();
   void TrackActive(Timestamp snapshot);
   void UntrackActive(Timestamp snapshot);
 
-  std::atomic<Timestamp> latest_commit_ts_{0};
+  std::atomic<Timestamp> visible_ts_{0};
   std::atomic<TxnId> next_txn_id_{1};
   std::atomic<std::uint64_t> committed_count_{0};
   std::atomic<std::uint64_t> aborted_count_{0};

@@ -62,6 +62,60 @@ TEST(BlockingQueueTest, SizeTracksContents) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(BlockingQueueTest, PopBatchBoundsAndOrder) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.Push(i);
+  auto first = q.PopBatch(4);
+  ASSERT_EQ(first.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(first[i], i);
+  // A bound larger than the queue drains what is there without blocking.
+  auto rest = q.PopBatch(100);
+  ASSERT_EQ(rest.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(rest[i], 4 + i);
+}
+
+TEST(BlockingQueueTest, PopAllDrainsEverything) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.Push(i);
+  auto all = q.PopAll();
+  ASSERT_EQ(all.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(BlockingQueueTest, PopBatchBlocksUntilItemOrClose) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.Push(42);
+  });
+  auto batch = q.PopBatch(8);  // blocks until the push lands
+  producer.join();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 42);
+}
+
+TEST(BlockingQueueTest, PopAllEmptyAfterCloseSignalsShutdown) {
+  BlockingQueue<int> q;
+  q.Push(7);
+  q.Close();
+  EXPECT_EQ(q.PopAll(), std::vector<int>{7});  // leftovers still drain
+  EXPECT_TRUE(q.PopAll().empty());  // closed and drained -> empty batch
+  EXPECT_TRUE(q.PopBatch(3).empty());
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedPopBatch) {
+  BlockingQueue<int> q;
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    EXPECT_TRUE(q.PopAll().empty());
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(done);
+}
+
 TEST(BlockingQueueTest, ConcurrentProducersConsumers) {
   BlockingQueue<int> q;
   constexpr int kPerProducer = 1000;

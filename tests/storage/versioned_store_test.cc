@@ -162,6 +162,85 @@ TEST(VersionedStoreTest, ConcurrentReadersWithWriter) {
   EXPECT_EQ(store.Get("k", 1999)->value, "v1999");
 }
 
+TEST(VersionedStoreShardTest, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(VersionedStore(0).shard_count(), 1u);
+  EXPECT_EQ(VersionedStore(1).shard_count(), 1u);
+  EXPECT_EQ(VersionedStore(3).shard_count(), 4u);
+  EXPECT_EQ(VersionedStore(16).shard_count(), 16u);
+  EXPECT_EQ(VersionedStore(17).shard_count(), 32u);
+}
+
+TEST(VersionedStoreShardTest, ShardOfIsStableAndInRange) {
+  VersionedStore store(8);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::size_t shard = store.ShardOf(key);
+    EXPECT_LT(shard, store.shard_count());
+    EXPECT_EQ(store.ShardOf(key), shard);
+  }
+  // A single-shard store maps everything to shard 0.
+  VersionedStore single(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(single.ShardOf("key" + std::to_string(i)), 0u);
+  }
+}
+
+// The same operations must behave identically whatever the shard count;
+// sharding is a locking layout, not a semantic change.
+class VersionedStoreShardSweepTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, VersionedStoreShardSweepTest,
+                         ::testing::Values(1u, 2u, 16u));
+
+TEST_P(VersionedStoreShardSweepTest, ScanMergesShardsInKeyOrder) {
+  VersionedStore store(GetParam());
+  // Insertion order deliberately scrambled relative to key order.
+  for (int i : {7, 2, 9, 0, 5, 1, 8, 3, 6, 4}) {
+    store.Apply(MakePut("k" + std::to_string(i), "v" + std::to_string(i)),
+                10 + static_cast<Timestamp>(i));
+  }
+  auto all = store.Scan("", "", 100);
+  ASSERT_EQ(all.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(all[i].first, "k" + std::to_string(i));
+    EXPECT_EQ(all[i].second.value, "v" + std::to_string(i));
+  }
+  auto range = store.Scan("k3", "k7", 100);
+  ASSERT_EQ(range.size(), 4u);
+  EXPECT_EQ(range.front().first, "k3");
+  EXPECT_EQ(range.back().first, "k6");
+}
+
+TEST_P(VersionedStoreShardSweepTest, MaterializeAndCountsSpanShards) {
+  VersionedStore store(GetParam());
+  for (int i = 0; i < 32; ++i) {
+    store.Apply(MakePut("k" + std::to_string(i), "a"), 10);
+    store.Apply(MakePut("k" + std::to_string(i), "b"), 20);
+  }
+  EXPECT_EQ(store.KeyCount(), 32u);
+  EXPECT_EQ(store.VersionCount(), 64u);
+  auto state = store.Materialize(15);
+  ASSERT_EQ(state.size(), 32u);
+  for (const auto& [key, value] : state) EXPECT_EQ(value, "a");
+}
+
+TEST_P(VersionedStoreShardSweepTest, PruneCountsAcrossShards) {
+  VersionedStore store(GetParam());
+  for (int i = 0; i < 32; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    store.Apply(MakePut(key, "a"), 10);
+    store.Apply(MakePut(key, "b"), 20);
+    store.Apply(MakePut(key, "c"), 30);
+  }
+  // At horizon 25, "a" is shadowed by "b" for every key; "b" stays visible.
+  EXPECT_EQ(store.PruneVersions(25), 32u);
+  EXPECT_EQ(store.VersionCount(), 64u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(store.Get("k" + std::to_string(i), 25)->value, "b");
+  }
+}
+
 }  // namespace
 }  // namespace storage
 }  // namespace lazysi

@@ -57,13 +57,16 @@ TEST(ApiEdgeTest, ReadTimesOutWhenPipelineCannotCatchUp) {
   ReplicatedSystem sys(config);
   sys.Start();
   auto client = sys.Connect();
+  // Kill the refresh pipeline *before* the update commits, so seq(DBsec)
+  // can deterministically never catch up. (Stopping afterwards races with
+  // the refresher, which may already have applied the update.) The primary
+  // commit itself is unaffected — replication is lazy.
+  sys.secondary(0)->Stop();
   ASSERT_TRUE(client
                   ->ExecuteUpdate([](SystemTransaction& t) {
                     return t.Put("k", "v");
                   })
                   .ok());
-  // Kill the refresh pipeline so seq(DBsec) can never catch up.
-  sys.secondary(0)->Stop();
   auto read = client->BeginRead();
   ASSERT_FALSE(read.ok());
   EXPECT_TRUE(read.status().IsTimedOut());
