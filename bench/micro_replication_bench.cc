@@ -85,6 +85,53 @@ void BM_WeakReadThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_WeakReadThroughput);
 
+void BM_ChaosTransportThroughput(benchmark::State& state) {
+  // Primary-commit -> secondary-applied throughput when every record crosses
+  // the ReliableChannel-over-ChaosLink path (encode + CRC + ack machinery on
+  // the hot path) at 0% / 1% / 5% frame loss. Arg is loss in percent; the
+  // 0% row isolates the cost of the reliability layer itself, the lossy rows
+  // add retransmission.
+  SystemConfig config;
+  config.num_secondaries = 1;
+  config.guarantee = Guarantee::kWeakSI;
+  config.transport_faults.drop_probability =
+      static_cast<double>(state.range(0)) / 100.0;
+  // Make the profile non-trivially "any()" even at 0% loss so the chaos
+  // path is exercised: corrupt nothing, drop per the arg, but keep the
+  // link + channel in the pipeline.
+  config.transport_faults.duplicate_probability = 0.0;
+  config.transport_faults.corrupt_probability = 0.0;
+  config.transport_faults.disconnect_probability = 0.0;
+  if (!config.transport_faults.any()) {
+    // 0% row: an all-zero profile would bypass the transport; keep it on
+    // the wire with a fault rate too small to ever fire in practice.
+    config.transport_faults.drop_probability = 1e-12;
+  }
+  config.transport_backoff_initial = std::chrono::milliseconds(1);
+  config.transport_backoff_max = std::chrono::milliseconds(16);
+  ReplicatedSystem sys(config);
+  sys.Start();
+  auto client = sys.ConnectTo(0);
+  std::uint64_t i = 0;
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    for (int n = 0; n < kBatch; ++n) {
+      (void)client->ExecuteUpdate([&](SystemTransaction& t) {
+        return t.Put("key" + std::to_string(i % 1024), std::to_string(i));
+      });
+      ++i;
+    }
+    benchmark::DoNotOptimize(sys.WaitForReplication());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  sys.Stop();
+}
+BENCHMARK(BM_ChaosTransportThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   // Raw discrete-event engine speed: how many simulated client events per
   // wall second the CSIM-replacement sustains (drives the figure sweeps).

@@ -1,0 +1,43 @@
+#ifndef LAZYSI_COMMON_BACKOFF_H_
+#define LAZYSI_COMMON_BACKOFF_H_
+
+#include <chrono>
+
+namespace lazysi {
+
+/// Exponential backoff between retries, clamped to [initial, max]. The
+/// reliable replication channel uses this for its retransmission timer:
+/// each unacknowledged retransmission round doubles the wait, and an
+/// acknowledged round resets it, so a lossy-but-alive link retries quickly
+/// while a dead link backs off instead of flooding.
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff(std::chrono::milliseconds initial,
+                     std::chrono::milliseconds max)
+      : initial_(initial.count() > 0 ? initial : std::chrono::milliseconds(1)),
+        max_(max > initial_ ? max : initial_),
+        current_(initial_) {}
+
+  /// The delay to wait before the next retry; doubles the stored delay for
+  /// the retry after that (clamped to the maximum).
+  std::chrono::milliseconds Next() {
+    const auto delay = current_;
+    current_ = std::min(max_, current_ * 2);
+    return delay;
+  }
+
+  /// Delay the next Next() call would return, without advancing.
+  std::chrono::milliseconds current() const { return current_; }
+
+  /// Back to the initial delay (call on success/progress).
+  void Reset() { current_ = initial_; }
+
+ private:
+  std::chrono::milliseconds initial_;
+  std::chrono::milliseconds max_;
+  std::chrono::milliseconds current_;
+};
+
+}  // namespace lazysi
+
+#endif  // LAZYSI_COMMON_BACKOFF_H_

@@ -84,6 +84,15 @@ class BlockingQueue {
     cv_.notify_all();
   }
 
+  /// Reopens a closed queue so a restarted producer/consumer pair can reuse
+  /// it. Items that survived the close stay queued in order; pushes dropped
+  /// while closed are gone for good (the paper's crashed-secondary failure
+  /// model, Section 3.4). No-op on an open queue.
+  void Reopen() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+  }
+
   bool closed() const {
     std::lock_guard<std::mutex> lock(mu_);
     return closed_;

@@ -1,0 +1,182 @@
+#ifndef LAZYSI_REPLICATION_CHAOS_LINK_H_
+#define LAZYSI_REPLICATION_CHAOS_LINK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/queue.h"
+#include "common/random.h"
+
+namespace lazysi {
+namespace replication {
+
+/// Fault rates of a chaos-injected link, each applied independently per
+/// frame send. All zero (the default) models the paper's assumed network:
+/// "propagated messages are not lost or reordered" (Section 3.2).
+struct FaultProfile {
+  /// P(frame silently dropped).
+  double drop_probability = 0.0;
+  /// P(frame delivered twice back to back).
+  double duplicate_probability = 0.0;
+  /// P(one random byte of the frame is flipped before delivery).
+  double corrupt_probability = 0.0;
+  /// P(the connection is severed; every later send in either direction is
+  /// dropped until Reconnect()).
+  double disconnect_probability = 0.0;
+
+  bool any() const {
+    return drop_probability > 0 || duplicate_probability > 0 ||
+           corrupt_probability > 0 || disconnect_probability > 0;
+  }
+};
+
+/// A full-duplex, in-process byte link that violates Section 3.2's
+/// reliability assumption on purpose: frames (opaque byte strings produced
+/// by the wire codec) are dropped, duplicated, corrupted, or cut off by a
+/// connection loss, all from a seeded RNG so every failure run replays
+/// exactly. Frames that do get through arrive in FIFO order per direction —
+/// the link models a lossy datagram stream, and it is ReliableChannel's job
+/// to rebuild the lost/duplicated/corrupted parts of the contract on top.
+///
+/// Direction "data" carries sender -> receiver record frames; direction
+/// "ack" carries receiver -> sender acknowledgement frames. Both directions
+/// share one fault process and one disconnected state, like a real socket.
+class ChaosLink {
+ public:
+  struct Counters {
+    std::uint64_t sent = 0;        // frames offered to the link
+    std::uint64_t delivered = 0;   // frames that reached the other end
+    std::uint64_t dropped = 0;     // includes frames eaten while disconnected
+    std::uint64_t duplicated = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t disconnects = 0;
+  };
+
+  ChaosLink(FaultProfile faults, std::uint64_t seed)
+      : faults_(faults), rng_(seed) {}
+
+  ChaosLink(const ChaosLink&) = delete;
+  ChaosLink& operator=(const ChaosLink&) = delete;
+
+  /// Sends one data frame toward the receiver, subject to fault injection.
+  /// Returns false when the frame was dropped (loss or disconnection).
+  bool SendData(std::string frame) { return Send(&data_, std::move(frame)); }
+
+  /// Sends one ack frame toward the sender, subject to fault injection.
+  bool SendAck(std::string frame) { return Send(&acks_, std::move(frame)); }
+
+  /// Blocking receive of the next data frame; nullopt after Close().
+  std::optional<std::string> ReceiveData() { return data_.Pop(); }
+
+  /// Non-blocking receive used by the receiver to drain a burst.
+  std::optional<std::string> TryReceiveData() { return data_.TryPop(); }
+
+  /// Non-blocking receive of the next ack frame (the sender polls acks
+  /// between sends and retransmission rounds).
+  std::optional<std::string> TryReceiveAck() { return acks_.TryPop(); }
+
+  bool disconnected() const {
+    return disconnected_.load(std::memory_order_acquire);
+  }
+
+  /// Re-establishes a severed connection. Frames sent while disconnected
+  /// stay lost; frames queued before the cut are still delivered (they were
+  /// already on the wire).
+  void Reconnect() { disconnected_.store(false, std::memory_order_release); }
+
+  /// Severs the connection as if the network cut it (also injected
+  /// spontaneously with FaultProfile::disconnect_probability).
+  void Disconnect() {
+    bool was = disconnected_.exchange(true, std::memory_order_acq_rel);
+    if (!was) counter_disconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Shuts the link down; blocked receivers drain then stop.
+  void Close() {
+    data_.Close();
+    acks_.Close();
+  }
+
+  /// Reopens a Close()d link so a restarted channel can reuse it. Frames
+  /// still queued from before the shutdown are discarded (they belong to a
+  /// dead connection).
+  void Reopen() {
+    while (data_.TryPop().has_value()) {
+    }
+    while (acks_.TryPop().has_value()) {
+    }
+    data_.Reopen();
+    acks_.Reopen();
+    disconnected_.store(false, std::memory_order_release);
+  }
+
+  Counters counters() const {
+    Counters c;
+    c.sent = counter_sent_.load(std::memory_order_relaxed);
+    c.delivered = counter_delivered_.load(std::memory_order_relaxed);
+    c.dropped = counter_dropped_.load(std::memory_order_relaxed);
+    c.duplicated = counter_duplicated_.load(std::memory_order_relaxed);
+    c.corrupted = counter_corrupted_.load(std::memory_order_relaxed);
+    c.disconnects = counter_disconnects_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+ private:
+  bool Send(BlockingQueue<std::string>* direction, std::string frame) {
+    counter_sent_.fetch_add(1, std::memory_order_relaxed);
+    bool duplicate = false;
+    {
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      if (faults_.disconnect_probability > 0 &&
+          rng_.Bernoulli(faults_.disconnect_probability)) {
+        Disconnect();
+      }
+      if (disconnected_.load(std::memory_order_acquire)) {
+        counter_dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (faults_.drop_probability > 0 &&
+          rng_.Bernoulli(faults_.drop_probability)) {
+        counter_dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (!frame.empty() && faults_.corrupt_probability > 0 &&
+          rng_.Bernoulli(faults_.corrupt_probability)) {
+        frame[rng_.Next(frame.size())] ^=
+            static_cast<char>(1 + rng_.Next(255));
+        counter_corrupted_.fetch_add(1, std::memory_order_relaxed);
+      }
+      duplicate = faults_.duplicate_probability > 0 &&
+                  rng_.Bernoulli(faults_.duplicate_probability);
+    }
+    if (duplicate) {
+      direction->Push(frame);
+      counter_duplicated_.fetch_add(1, std::memory_order_relaxed);
+      counter_delivered_.fetch_add(1, std::memory_order_relaxed);
+    }
+    direction->Push(std::move(frame));
+    counter_delivered_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  FaultProfile faults_;
+  std::mutex rng_mu_;
+  Rng rng_;
+  BlockingQueue<std::string> data_;
+  BlockingQueue<std::string> acks_;
+  std::atomic<bool> disconnected_{false};
+  std::atomic<std::uint64_t> counter_sent_{0};
+  std::atomic<std::uint64_t> counter_delivered_{0};
+  std::atomic<std::uint64_t> counter_dropped_{0};
+  std::atomic<std::uint64_t> counter_duplicated_{0};
+  std::atomic<std::uint64_t> counter_corrupted_{0};
+  std::atomic<std::uint64_t> counter_disconnects_{0};
+};
+
+}  // namespace replication
+}  // namespace lazysi
+
+#endif  // LAZYSI_REPLICATION_CHAOS_LINK_H_

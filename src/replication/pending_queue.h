@@ -78,6 +78,16 @@ class PendingQueue {
     cv_.notify_all();
   }
 
+  /// Reopens after a shutdown and discards leftover entries. The entries
+  /// that survive a Close belong to refresh transactions the applicators
+  /// aborted during shutdown; a restarted pipeline must not wait on them
+  /// (they would block the refresher's WaitEmpty forever).
+  void Reopen() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+    entries_.clear();
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -28,7 +28,8 @@ class Primary {
   /// Attaches a recovering secondary that installed a checkpoint taken at
   /// `checkpoint_lsn`; missed records are replayed first (Section 3.4).
   Status AttachSecondaryAt(Secondary* secondary, std::size_t checkpoint_lsn) {
-    return propagator_.AttachSinkAt(secondary->update_queue(), checkpoint_lsn);
+    return propagator_.AttachSinkAt(secondary->update_queue(), checkpoint_lsn)
+        .status();
   }
 
   void Start() { propagator_.Start(); }

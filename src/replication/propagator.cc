@@ -10,17 +10,28 @@ Propagator::Propagator(wal::LogicalLog* log, PropagatorOptions options)
 
 Propagator::~Propagator() { Stop(); }
 
-void Propagator::AttachSink(BlockingQueue<PropagationRecord>* sink) {
+std::uint64_t Propagator::AttachSink(BlockingQueue<PropagationRecord>* sink) {
   std::lock_guard<std::mutex> lock(mu_);
   sinks_.push_back(sink);
+  return records_broadcast_.load(std::memory_order_relaxed);
 }
 
-Status Propagator::AttachSinkAt(BlockingQueue<PropagationRecord>* sink,
-                                std::size_t from_lsn) {
+Result<std::uint64_t> Propagator::AttachSinkAt(
+    BlockingQueue<PropagationRecord>* sink, std::size_t from_lsn) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::size_t upto = position_.load(std::memory_order_acquire);
   if (from_lsn > upto) {
     return Status::InvalidArgument("from_lsn is ahead of the propagator");
+  }
+  // Global sequence number of the first replayed record: every non-update
+  // log record below from_lsn produced exactly one propagation record.
+  std::uint64_t base_seq = 0;
+  for (std::size_t lsn = 0; lsn < from_lsn; ++lsn) {
+    auto rec = log_->At(lsn);
+    if (!rec.has_value()) {
+      return Status::Internal("log truncated below propagator position");
+    }
+    if (rec->type != wal::LogRecordType::kUpdate) ++base_seq;
   }
   // Rebuild update lists from the log slice and emit the records this sink
   // missed. A commit whose start record is not inside the slice means the
@@ -66,7 +77,16 @@ Status Propagator::AttachSinkAt(BlockingQueue<PropagationRecord>* sink,
   }
   for (auto& record : replay) sink->Push(std::move(record));
   sinks_.push_back(sink);
-  return Status::OK();
+  return base_seq;
+}
+
+Propagator::SyncPoint Propagator::SyncPointAtOrBefore(
+    std::uint64_t record_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sync_points_.upper_bound(record_seq);
+  // The origin {0, 0} is always present, so stepping back is always legal.
+  --it;
+  return SyncPoint{it->second, it->first};
 }
 
 void Propagator::DetachSink(BlockingQueue<PropagationRecord>* sink) {
@@ -108,8 +128,7 @@ void Propagator::Run() {
       if (!rec.has_value()) break;
       {
         std::lock_guard<std::mutex> lock(mu_);
-        ProcessLocked(*rec);
-        position_.fetch_add(1, std::memory_order_release);
+        ConsumeLocked(*rec);
       }
       drained_any = true;
     }
@@ -127,12 +146,11 @@ void Propagator::Run() {
     auto rec = log_->At(position_.load(std::memory_order_acquire));
     if (!rec.has_value()) break;
     std::lock_guard<std::mutex> lock(mu_);
-    ProcessLocked(*rec);
-    position_.fetch_add(1, std::memory_order_release);
+    ConsumeLocked(*rec);
   }
 }
 
-void Propagator::ProcessLocked(const wal::LogRecord& record) {
+void Propagator::ConsumeLocked(const wal::LogRecord& record) {
   switch (record.type) {
     case wal::LogRecordType::kStart:
       update_lists_[record.txn_id];
@@ -159,9 +177,21 @@ void Propagator::ProcessLocked(const wal::LogRecord& record) {
       BroadcastLocked(PropAbort{record.txn_id});
       break;
   }
+  position_.fetch_add(1, std::memory_order_release);
+  if (update_lists_.empty()) {
+    // No transaction spans the new position: remember it as a quiesced
+    // resync target for reconnecting channels.
+    sync_points_[records_broadcast_.load(std::memory_order_relaxed)] =
+        position_.load(std::memory_order_relaxed);
+    if (sync_points_.size() > kMaxSyncPoints) {
+      // Drop the oldest point after the always-kept origin.
+      sync_points_.erase(std::next(sync_points_.begin()));
+    }
+  }
 }
 
 void Propagator::BroadcastLocked(const PropagationRecord& record) {
+  records_broadcast_.fetch_add(1, std::memory_order_relaxed);
   for (auto* sink : sinks_) {
     sink->Push(record);
   }

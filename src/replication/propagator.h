@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/queue.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "replication/messages.h"
 #include "wal/logical_log.h"
@@ -45,17 +46,37 @@ class Propagator {
   Propagator(const Propagator&) = delete;
   Propagator& operator=(const Propagator&) = delete;
 
+  /// A quiesced propagation point: no transaction's start/commit pair spans
+  /// `lsn`, and exactly `record_seq` propagation records precede it in the
+  /// canonical broadcast stream. Valid target for AttachSinkAt; the reliable
+  /// channel resyncs a reconnecting secondary from one of these.
+  struct SyncPoint {
+    std::size_t lsn = 0;
+    std::uint64_t record_seq = 0;
+  };
+
   /// Adds a sink receiving every record from the propagator's *current*
-  /// position onward. Safe while running.
-  void AttachSink(BlockingQueue<PropagationRecord>* sink);
+  /// position onward. Safe while running. Returns the global sequence number
+  /// of the first record the sink will observe (records are numbered from
+  /// the start of the log, one per non-update log record).
+  std::uint64_t AttachSink(BlockingQueue<PropagationRecord>* sink);
 
   /// Adds a sink that first receives a replay of log records from `from_lsn`
   /// up to the current position, then joins the live broadcast. `from_lsn`
   /// must be a quiesced point (no transaction in flight across it), e.g. the
-  /// LSN of a Database::TakeCheckpoint — otherwise FailedPrecondition.
-  /// Used for secondary recovery (Section 3.4).
-  Status AttachSinkAt(BlockingQueue<PropagationRecord>* sink,
-                      std::size_t from_lsn);
+  /// LSN of a Database::TakeCheckpoint or a SyncPoint — otherwise
+  /// FailedPrecondition. Returns the global sequence number of the first
+  /// replayed record. Used for secondary recovery (Section 3.4) and for
+  /// transport-level resync after a disconnect.
+  Result<std::uint64_t> AttachSinkAt(BlockingQueue<PropagationRecord>* sink,
+                                     std::size_t from_lsn);
+
+  /// Latest recorded quiesced point whose record_seq is <= `record_seq`.
+  /// Always exists: {lsn 0, seq 0} is quiesced by definition. A reconnecting
+  /// channel replays from here, so a receiver that acknowledged everything
+  /// below `record_seq` sees exactly the suffix it missed (plus dedupable
+  /// records between the sync point and `record_seq`).
+  SyncPoint SyncPointAtOrBefore(std::uint64_t record_seq) const;
 
   /// Removes a sink (e.g. a failed secondary, before its queue is
   /// destroyed). No-op when the sink is not attached.
@@ -73,22 +94,36 @@ class Propagator {
     return commits_propagated_.load(std::memory_order_relaxed);
   }
 
+  /// Total propagation records broadcast so far (starts + commits + aborts;
+  /// update log records fold into their commit and are not counted).
+  std::uint64_t records_broadcast() const {
+    return records_broadcast_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Recorded quiesced points beyond which older ones are dropped; the
+  /// origin {0, 0} is always retained as the resync point of last resort.
+  static constexpr std::size_t kMaxSyncPoints = 256;
+
   void Run();
-  /// Consumes one log record: updates per-txn lists and broadcasts. Must be
-  /// called with mu_ held.
-  void ProcessLocked(const wal::LogRecord& record);
+  /// Consumes the log record at the current position: updates per-txn lists,
+  /// broadcasts, advances position_ and records a sync point when quiesced.
+  /// Must be called with mu_ held.
+  void ConsumeLocked(const wal::LogRecord& record);
   void BroadcastLocked(const PropagationRecord& record);
 
   wal::LogicalLog* log_;
   PropagatorOptions options_;
 
-  std::mutex mu_;  // guards sinks_, update_lists_ and record processing
+  mutable std::mutex mu_;  // guards sinks_, update_lists_, sync_points_
   std::vector<BlockingQueue<PropagationRecord>*> sinks_;
   std::map<TxnId, std::vector<storage::Write>> update_lists_;
+  /// record_seq -> lsn at quiesced moments, ascending in both components.
+  std::map<std::uint64_t, std::size_t> sync_points_{{0, 0}};
 
   std::atomic<std::size_t> position_{0};
   std::atomic<std::uint64_t> commits_propagated_{0};
+  std::atomic<std::uint64_t> records_broadcast_{0};
   std::atomic<bool> stop_{false};
   std::thread thread_;
   bool started_ = false;

@@ -1,0 +1,346 @@
+#include "replication/reliable_channel.h"
+
+#include <string_view>
+#include <utility>
+
+#include "common/backoff.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "replication/wire.h"
+
+namespace lazysi {
+namespace replication {
+
+namespace {
+
+constexpr char kFrameData = 'D';
+constexpr char kFrameAck = 'A';
+constexpr char kFrameProbe = 'P';
+
+// Smallest structurally possible frame: type byte + 4-byte CRC trailer.
+constexpr std::size_t kMinFrameSize = 5;
+
+/// Validates the CRC-32C trailer; returns the body length (bytes covered by
+/// the checksum) or 0 when the frame is malformed or corrupt.
+std::size_t CheckedBodySize(const std::string& frame) {
+  if (frame.size() < kMinFrameSize) return 0;
+  const std::size_t body = frame.size() - 4;
+  if (Crc32c(std::string_view(frame).substr(0, body)) !=
+      ReadCrc32(frame, body)) {
+    return 0;
+  }
+  return body;
+}
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(Propagator* propagator, ChaosLink* link,
+                                 BlockingQueue<PropagationRecord>* downstream,
+                                 Options options)
+    : propagator_(propagator), link_(link), downstream_(downstream),
+      options_(options) {
+  if (options_.ack_interval == 0) options_.ack_interval = 1;
+  if (options_.send_window == 0) options_.send_window = 1;
+  if (options_.retransmit_cap < 1) options_.retransmit_cap = 1;
+}
+
+ReliableChannel::ReliableChannel(Propagator* propagator, ChaosLink* link,
+                                 BlockingQueue<PropagationRecord>* downstream)
+    : ReliableChannel(propagator, link, downstream, Options()) {}
+
+ReliableChannel::~ReliableChannel() { Stop(); }
+
+void ReliableChannel::Start() { (void)StartInternal(std::nullopt); }
+
+Status ReliableChannel::StartAt(std::size_t from_lsn) {
+  return StartInternal(from_lsn);
+}
+
+Status ReliableChannel::StartInternal(std::optional<std::size_t> from_lsn) {
+  if (started_) return Status::FailedPrecondition("channel already started");
+  std::uint64_t base = 0;
+  if (from_lsn.has_value()) {
+    auto attached = propagator_->AttachSinkAt(&inlet_, *from_lsn);
+    if (!attached.ok()) return attached.status();
+    base = attached.value();
+  } else {
+    base = propagator_->AttachSink(&inlet_);
+  }
+  // Connection establishment: both endpoints agree on the first sequence
+  // number out of band; everything after this crosses the chaos link.
+  next_seq_ = base;
+  acked_ = base;
+  next_expected_ = base;
+  stopping_.store(false, std::memory_order_release);
+  flush_deadline_set_.store(false, std::memory_order_release);
+  started_ = true;
+  sender_ = std::thread([this] { SenderLoop(); });
+  receiver_ = std::thread([this] { ReceiverLoop(); });
+  return Status::OK();
+}
+
+void ReliableChannel::Stop() {
+  if (!started_) return;
+  // No new records; the sender drains what is queued and keeps
+  // retransmitting until everything is acked or the flush budget runs out.
+  propagator_->DetachSink(&inlet_);
+  stopping_.store(true, std::memory_order_release);
+  sender_.join();
+  link_->Close();
+  receiver_.join();
+  started_ = false;
+}
+
+ReliableChannel::Stats ReliableChannel::stats() const {
+  Stats s;
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.records_delivered = records_delivered_.load(std::memory_order_relaxed);
+  s.retransmit_frames = retransmit_frames_.load(std::memory_order_relaxed);
+  s.retransmit_rounds = retransmit_rounds_.load(std::memory_order_relaxed);
+  s.crc_rejected = crc_rejected_.load(std::memory_order_relaxed);
+  s.duplicates_dropped = duplicates_dropped_.load(std::memory_order_relaxed);
+  s.gaps_detected = gaps_detected_.load(std::memory_order_relaxed);
+  s.acks_sent = acks_sent_.load(std::memory_order_relaxed);
+  s.resyncs = resyncs_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool ReliableChannel::FlushDeadlinePassed() {
+  if (!stopping_.load(std::memory_order_acquire)) return false;
+  const auto now = std::chrono::steady_clock::now();
+  if (!flush_deadline_set_.exchange(true, std::memory_order_acq_rel)) {
+    flush_deadline_ = now + options_.flush_timeout;
+    return false;
+  }
+  return now >= flush_deadline_;
+}
+
+bool ReliableChannel::HandleAckFrame(const std::string& frame) {
+  const std::size_t body = CheckedBodySize(frame);
+  if (body == 0) {
+    crc_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (frame[0] != kFrameAck) return false;
+  std::size_t offset = 1;
+  std::uint64_t ack = 0;
+  if (!GetVarint(frame, &offset, &ack) || offset != body) return false;
+  // A cumulative ack ahead of everything we ever sent survived the CRC by
+  // fluke; ignore it rather than poison the window.
+  if (ack > next_seq_) return false;
+  if (ack > acked_) acked_ = ack;
+  return true;
+}
+
+void ReliableChannel::SenderLoop() {
+  ExponentialBackoff backoff(options_.backoff_initial, options_.backoff_max);
+  int rounds_without_progress = 0;
+  auto retransmit_deadline = std::chrono::steady_clock::time_point::max();
+
+  for (;;) {
+    bool progressed = false;
+
+    // 1. Acknowledgements: advance the window, reset the retransmit clock.
+    const std::uint64_t acked_before = acked_;
+    while (auto ack = link_->TryReceiveAck()) (void)HandleAckFrame(*ack);
+    while (!unacked_.empty() && unacked_.front().first < acked_) {
+      unacked_.pop_front();
+    }
+    if (acked_ > acked_before) {
+      backoff.Reset();
+      rounds_without_progress = 0;
+      retransmit_deadline =
+          unacked_.empty() ? std::chrono::steady_clock::time_point::max()
+                           : std::chrono::steady_clock::now() +
+                                 backoff.current();
+      progressed = true;
+    }
+
+    // 2. Fresh records, while the send window has room.
+    while (unacked_.size() < options_.send_window) {
+      auto record = inlet_.TryPop();
+      if (!record.has_value()) break;
+      std::string frame(1, kFrameData);
+      PutVarint(&frame, next_seq_);
+      EncodeRecord(*record, &frame);
+      AppendCrc32(&frame, Crc32c(frame));
+      if (unacked_.empty()) {
+        retransmit_deadline =
+            std::chrono::steady_clock::now() + backoff.current();
+      }
+      unacked_.emplace_back(next_seq_, frame);
+      ++next_seq_;
+      link_->SendData(std::move(frame));
+      frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      progressed = true;
+    }
+
+    // 3. A severed connection is beyond retransmission: resync through the
+    // propagator's log.
+    if (link_->disconnected()) {
+      if (!Resync()) break;
+      backoff.Reset();
+      rounds_without_progress = 0;
+      retransmit_deadline = std::chrono::steady_clock::time_point::max();
+      continue;
+    }
+
+    // 4. Retransmission timer (go-back-N over the whole window).
+    if (!unacked_.empty() &&
+        std::chrono::steady_clock::now() >= retransmit_deadline) {
+      ++rounds_without_progress;
+      if (rounds_without_progress > options_.retransmit_cap) {
+        // Persistent silence == dead connection.
+        link_->Disconnect();
+        if (!Resync()) break;
+        backoff.Reset();
+        rounds_without_progress = 0;
+        retransmit_deadline = std::chrono::steady_clock::time_point::max();
+        continue;
+      }
+      for (const auto& [seq, frame] : unacked_) {
+        link_->SendData(frame);
+        retransmit_frames_.fetch_add(1, std::memory_order_relaxed);
+        frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+      retransmit_rounds_.fetch_add(1, std::memory_order_relaxed);
+      retransmit_deadline = std::chrono::steady_clock::now() + backoff.Next();
+    }
+
+    // 5. Shutdown: leave only when flushed (or out of flush budget).
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (unacked_.empty() && inlet_.empty()) break;
+      if (FlushDeadlinePassed()) {
+        LAZYSI_WARN("reliable channel: flush timeout, "
+                    << unacked_.size() << " frames abandoned");
+        break;
+      }
+    }
+
+    if (!progressed) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  // Covers the race where a resync re-attached after Stop() detached.
+  propagator_->DetachSink(&inlet_);
+}
+
+bool ReliableChannel::Resync() {
+  // The connection state died with the link: the in-flight window is gone,
+  // and whatever the propagator queued for us will be regenerated by the
+  // log replay below.
+  unacked_.clear();
+  propagator_->DetachSink(&inlet_);
+  while (inlet_.TryPop().has_value()) {
+  }
+
+  ExponentialBackoff backoff(options_.backoff_initial, options_.backoff_max);
+  std::this_thread::sleep_for(backoff.Next());
+  // A disconnect during shutdown is a crash at shutdown: do not re-attach
+  // (Stop() already detached us for good).
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  link_->Reconnect();
+
+  // Handshake: probe for the receiver's cumulative ack so the replay suffix
+  // is minimal. Probes and acks cross the chaos link and can be lost; after
+  // retransmit_cap attempts the last ack we ever heard is still a safe
+  // (just longer) resync point.
+  for (int attempt = 0; attempt < options_.retransmit_cap; ++attempt) {
+    if (link_->disconnected()) link_->Reconnect();
+    std::string probe(1, kFrameProbe);
+    AppendCrc32(&probe, Crc32c(probe));
+    link_->SendData(std::move(probe));
+    std::this_thread::sleep_for(backoff.Next());
+    bool heard = false;
+    while (auto ack = link_->TryReceiveAck()) heard |= HandleAckFrame(*ack);
+    if (heard) break;
+    if (stopping_.load(std::memory_order_acquire)) return false;
+  }
+
+  // Reattach from the latest quiesced point at or below the receiver's
+  // position: the propagator replays exactly the suffix the secondary
+  // missed (Section 3.4's recovery machinery, reused at transport level);
+  // global sequence numbers let the receiver drop the sync-point-to-ack
+  // overlap as duplicates.
+  resyncs_.fetch_add(1, std::memory_order_relaxed);
+  const Propagator::SyncPoint sync = propagator_->SyncPointAtOrBefore(acked_);
+  auto base = propagator_->AttachSinkAt(&inlet_, sync.lsn);
+  if (!base.ok()) {
+    // Unreachable for recorded sync points; the origin is always valid.
+    LAZYSI_ERROR("reliable channel: resync at lsn " << sync.lsn
+                                                    << " failed: "
+                                                    << base.status());
+    base = propagator_->AttachSinkAt(&inlet_, 0);
+    if (!base.ok()) return false;
+  }
+  next_seq_ = base.value();
+  return true;
+}
+
+bool ReliableChannel::HandleDataFrame(const std::string& frame,
+                                      std::size_t* accepted_since_ack) {
+  const std::size_t body = CheckedBodySize(frame);
+  if (body == 0) {
+    crc_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (frame[0] == kFrameProbe) return true;  // re-ack the current position
+  if (frame[0] != kFrameData) return false;
+  std::size_t offset = 1;
+  std::uint64_t seq = 0;
+  if (!GetVarint(frame, &offset, &seq) || offset > body) return false;
+  if (seq == next_expected_) {
+    // Decode only what we are going to deliver; the wire codec is the
+    // arbiter of frame payload well-formedness.
+    const std::string payload = frame.substr(offset, body - offset);
+    std::size_t payload_offset = 0;
+    auto record = DecodeRecord(payload, &payload_offset);
+    if (!record.ok() || payload_offset != payload.size()) {
+      // Corruption that slipped past the CRC (or a protocol bug): treat as
+      // a lost frame and let retransmission try again.
+      crc_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    downstream_->Push(std::move(record).value());
+    ++next_expected_;
+    records_delivered_.fetch_add(1, std::memory_order_relaxed);
+    ++*accepted_since_ack;
+    return *accepted_since_ack >= options_.ack_interval;
+  }
+  if (seq < next_expected_) {
+    // Duplicate (retransmission overlap or chaos-duplicated frame): re-ack
+    // so a sender stuck behind a lost ack advances.
+    duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Gap: an earlier frame was lost. Hold the line (FIFO!) and re-ack the
+  // position we actually need; go-back-N retransmission fills the hole.
+  gaps_detected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ReliableChannel::SendAckFrame() {
+  std::string frame(1, kFrameAck);
+  PutVarint(&frame, next_expected_);
+  AppendCrc32(&frame, Crc32c(frame));
+  link_->SendAck(std::move(frame));
+  acks_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ReliableChannel::ReceiverLoop() {
+  std::size_t accepted_since_ack = 0;
+  while (auto frame = link_->ReceiveData()) {
+    bool want_ack = HandleDataFrame(*frame, &accepted_since_ack);
+    // Drain the burst before acking: one cumulative ack per wake-up.
+    while (auto more = link_->TryReceiveData()) {
+      want_ack |= HandleDataFrame(*more, &accepted_since_ack);
+    }
+    if (want_ack || accepted_since_ack > 0) {
+      SendAckFrame();
+      accepted_since_ack = 0;
+    }
+  }
+}
+
+}  // namespace replication
+}  // namespace lazysi

@@ -1,0 +1,159 @@
+#ifndef LAZYSI_REPLICATION_RELIABLE_CHANNEL_H_
+#define LAZYSI_REPLICATION_RELIABLE_CHANNEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/queue.h"
+#include "common/status.h"
+#include "replication/chaos_link.h"
+#include "replication/messages.h"
+#include "replication/propagator.h"
+
+namespace lazysi {
+namespace replication {
+
+/// Restores Section 3.2's reliable-FIFO contract ("propagated messages are
+/// not lost or reordered") on top of a faulty byte link, so Lemmas 3.1-3.3
+/// keep holding when the network does not cooperate:
+///
+///   - every propagation record is encoded (replication/wire) into a frame
+///     carrying a per-record sequence number and a CRC-32C trailer;
+///   - the receiver delivers a record downstream only when its sequence
+///     number is exactly the next expected one — duplicates are dropped,
+///     gaps wait for retransmission — and acknowledges cumulatively;
+///   - the sender keeps unacknowledged frames in a window and retransmits
+///     the whole window (go-back-N) on an exponential-backoff timer;
+///   - a retransmission cap turns persistent silence into a disconnect, and
+///     a disconnect is resynced through the propagator itself: the sender
+///     reattaches with Propagator::AttachSinkAt at the latest quiesced
+///     SyncPoint at or below the receiver's cumulative ack, so the log
+///     replays exactly the suffix the secondary missed and global sequence
+///     numbers let the receiver discard the overlap.
+///
+/// Both endpoints live in this object (the link between them is the
+/// simulated network); they communicate only through ChaosLink frames, never
+/// through shared record state, so the frame protocol is load-bearing.
+class ReliableChannel {
+ public:
+  struct Options {
+    /// Cumulative ack after this many newly accepted records (acks are also
+    /// sent on gaps, duplicates, probes, and at the end of each burst).
+    std::size_t ack_interval = 32;
+    /// Max in-flight (sent, unacked) frames before the sender stops pulling
+    /// new records from the propagator.
+    std::size_t send_window = 256;
+    /// Retransmission timer bounds (exponential backoff between rounds).
+    std::chrono::milliseconds backoff_initial{2};
+    std::chrono::milliseconds backoff_max{100};
+    /// Consecutive no-progress retransmission rounds before the link is
+    /// declared disconnected and resync kicks in.
+    int retransmit_cap = 8;
+    /// How long Stop() keeps retransmitting to flush in-flight records.
+    std::chrono::milliseconds flush_timeout{5000};
+  };
+
+  struct Stats {
+    std::uint64_t frames_sent = 0;        // data frames, incl. retransmits
+    std::uint64_t records_delivered = 0;  // pushed downstream, exactly once
+    std::uint64_t retransmit_frames = 0;
+    std::uint64_t retransmit_rounds = 0;
+    std::uint64_t crc_rejected = 0;   // corrupt frames caught by checksum
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t gaps_detected = 0;  // out-of-order arrivals held back
+    std::uint64_t acks_sent = 0;
+    std::uint64_t resyncs = 0;        // AttachSinkAt reconnections
+  };
+
+  /// The channel feeds `downstream` (a secondary's update queue) with the
+  /// records the propagator broadcasts, shipping them through `link`.
+  ReliableChannel(Propagator* propagator, ChaosLink* link,
+                  BlockingQueue<PropagationRecord>* downstream,
+                  Options options);
+  ReliableChannel(Propagator* propagator, ChaosLink* link,
+                  BlockingQueue<PropagationRecord>* downstream);
+  ~ReliableChannel();
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Attaches to the propagator at its current position and starts both
+  /// endpoints.
+  void Start();
+
+  /// Attaches like a recovering secondary: records from `from_lsn` (a
+  /// quiesced checkpoint LSN) are replayed first (Section 3.4).
+  Status StartAt(std::size_t from_lsn);
+
+  /// Detaches from the propagator, flushes in-flight records (bounded by
+  /// Options::flush_timeout) and stops. Reconnection-with-resync is internal
+  /// and automatic while running; after Stop() the channel can be started
+  /// again once the link has been Reopen()ed.
+  void Stop();
+
+  Stats stats() const;
+
+  std::uint64_t delivered() const {
+    return records_delivered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Status StartInternal(std::optional<std::size_t> from_lsn);
+  void SenderLoop();
+  void ReceiverLoop();
+  /// Re-establishes the connection after a disconnect: probe handshake for
+  /// the receiver's cumulative ack, then AttachSinkAt at a quiesced point at
+  /// or below it. Returns false when stopping and out of flush budget.
+  bool Resync();
+  /// Applies one ack frame to the sender window; true if acked_ advanced.
+  bool HandleAckFrame(const std::string& frame);
+  /// Handles one incoming data/probe frame; true if an ack should be sent.
+  bool HandleDataFrame(const std::string& frame,
+                       std::size_t* accepted_since_ack);
+  void SendAckFrame();
+  bool FlushDeadlinePassed();
+
+  Propagator* propagator_;
+  ChaosLink* link_;
+  BlockingQueue<PropagationRecord>* downstream_;
+  Options options_;
+
+  /// Sink attached to the propagator; consumed by the sender thread.
+  BlockingQueue<PropagationRecord> inlet_;
+
+  // --- sender endpoint state (sender thread only) ---
+  std::uint64_t next_seq_ = 0;  // global seq of the next fresh record
+  std::uint64_t acked_ = 0;     // receiver's cumulative ack, as last heard
+  std::deque<std::pair<std::uint64_t, std::string>> unacked_;
+
+  // --- receiver endpoint state (receiver thread only) ---
+  std::uint64_t next_expected_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> flush_deadline_set_{false};
+  std::chrono::steady_clock::time_point flush_deadline_;
+
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> records_delivered_{0};
+  std::atomic<std::uint64_t> retransmit_frames_{0};
+  std::atomic<std::uint64_t> retransmit_rounds_{0};
+  std::atomic<std::uint64_t> crc_rejected_{0};
+  std::atomic<std::uint64_t> duplicates_dropped_{0};
+  std::atomic<std::uint64_t> gaps_detected_{0};
+  std::atomic<std::uint64_t> acks_sent_{0};
+  std::atomic<std::uint64_t> resyncs_{0};
+
+  std::thread sender_;
+  std::thread receiver_;
+  bool started_ = false;
+};
+
+}  // namespace replication
+}  // namespace lazysi
+
+#endif  // LAZYSI_REPLICATION_RELIABLE_CHANNEL_H_

@@ -26,6 +26,14 @@ Secondary::~Secondary() { Stop(); }
 void Secondary::Start() {
   if (started_) return;
   started_ = true;
+  // A restart after Stop() finds every queue closed; reopen them so the new
+  // threads actually run instead of exiting immediately while started_
+  // claims the site is live. Records broadcast while stopped were dropped by
+  // the closed update queue (Section 3.4's failure model) — replication
+  // resumes from the next record the propagator pushes.
+  update_queue_.Reopen();
+  tasks_.Reopen();
+  pending_queue_.Reopen();
   refresher_ = std::thread([this] { RefresherLoop(); });
   applicators_.reserve(options_.applicator_threads);
   for (std::size_t i = 0; i < options_.applicator_threads; ++i) {

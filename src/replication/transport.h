@@ -47,6 +47,10 @@ class LatencyChannel {
   void Start() {
     if (started_) return;
     started_ = true;
+    // Reopen after a Stop(): records pushed while the channel was down were
+    // dropped (a dead link loses traffic); delivery resumes with the next
+    // record pushed into the reopened inlet.
+    inlet_.Reopen();
     thread_ = std::thread([this] { Run(); });
   }
 

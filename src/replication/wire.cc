@@ -9,6 +9,8 @@ constexpr std::uint8_t kTagStart = 1;
 constexpr std::uint8_t kTagCommit = 2;
 constexpr std::uint8_t kTagAbort = 3;
 
+}  // namespace
+
 void PutVarint(std::string* out, std::uint64_t v) {
   while (v >= 0x80) {
     out->push_back(static_cast<char>((v & 0x7f) | 0x80));
@@ -21,18 +23,25 @@ bool GetVarint(const std::string& data, std::size_t* offset,
                std::uint64_t* out) {
   std::uint64_t v = 0;
   int shift = 0;
-  while (*offset < data.size() && shift <= 63) {
+  while (*offset < data.size()) {
     auto b = static_cast<unsigned char>(data[*offset]);
     ++(*offset);
+    // The 10th byte can only contribute the top bit of a 64-bit value:
+    // reject continuations and payload bits that would be shifted out, so
+    // every value has exactly one accepted encoding of <= 10 bytes.
+    if (shift == 63 && (b & 0xfe) != 0) return false;
     v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
     if ((b & 0x80) == 0) {
       *out = v;
       return true;
     }
     shift += 7;
+    if (shift > 63) return false;
   }
   return false;
 }
+
+namespace {
 
 void PutString(std::string* out, const std::string& s) {
   PutVarint(out, s.size());
@@ -43,7 +52,9 @@ bool GetString(const std::string& data, std::size_t* offset,
                std::string* out) {
   std::uint64_t len = 0;
   if (!GetVarint(data, offset, &len)) return false;
-  if (*offset + len > data.size()) return false;
+  // Not `*offset + len > data.size()`: that sum wraps for attacker-chosen
+  // len near 2^64 and would pass the check.
+  if (len > data.size() - *offset) return false;
   out->assign(data, *offset, len);
   *offset += len;
   return true;
@@ -96,6 +107,13 @@ Result<PropagationRecord> DecodeRecord(const std::string& data,
       if (!GetVarint(data, offset, &ts) ||
           !GetVarint(data, offset, &count)) {
         return Status::InvalidArgument("wire: truncated commit header");
+      }
+      // Each update needs at least 3 bytes (two length prefixes plus the
+      // deleted flag), so a count the remaining bytes cannot possibly hold
+      // is malformed input — reject it before reserve() turns a 12-byte
+      // frame into a multi-GB allocation.
+      if (count > (data.size() - *offset) / 3) {
+        return Status::InvalidArgument("wire: update count exceeds payload");
       }
       PropCommit commit{txn_id, ts, {}};
       commit.updates.reserve(count);

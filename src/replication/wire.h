@@ -1,6 +1,7 @@
 #ifndef LAZYSI_REPLICATION_WIRE_H_
 #define LAZYSI_REPLICATION_WIRE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,16 @@ namespace replication {
 /// logical log). The paper assumes reliable FIFO delivery ("propagated
 /// messages are not lost or reordered", Section 3.2), i.e. one TCP stream
 /// per secondary carries EncodeRecord outputs back-to-back.
+
+/// Appends `v` to `out` as a base-128 varint (same scheme as the logical
+/// log). Exposed for the reliable channel's frame headers.
+void PutVarint(std::string* out, std::uint64_t v);
+
+/// Decodes a varint at *offset, advancing it. Rejects encodings longer than
+/// 10 bytes and encodings whose high bits overflow 64 bits, so every value
+/// has exactly one accepted encoding.
+bool GetVarint(const std::string& data, std::size_t* offset,
+               std::uint64_t* out);
 
 /// Appends the encoding of `record` to `out`.
 void EncodeRecord(const PropagationRecord& record, std::string* out);

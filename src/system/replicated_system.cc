@@ -228,21 +228,44 @@ ReplicatedSystem::ReplicatedSystem(SystemConfig config)
     site->replica = std::make_unique<replication::Secondary>(
         site->db.get(),
         replication::SecondaryOptions{config_.applicator_threads});
-    if (config_.network_latency.count() > 0 ||
-        config_.network_jitter.count() > 0) {
-      // WAN model: the propagator feeds a latency channel which feeds the
+    const bool wan = config_.network_latency.count() > 0 ||
+                     config_.network_jitter.count() > 0;
+    if (wan) {
+      // WAN model: a latency channel delays records on their way into the
       // secondary's update queue.
       site->channel = std::make_unique<replication::LatencyChannel>(
           site->replica->update_queue(),
           replication::LatencyChannel::Options{config_.network_latency,
                                                config_.network_jitter,
                                                1000 + i});
+    }
+    if (config_.transport_faults.any()) {
+      // Chaos transport: records cross a faulty byte link as encoded frames;
+      // the reliable channel re-establishes FIFO-no-loss on top. It attaches
+      // itself to the propagator in Start().
+      site->link = std::make_unique<replication::ChaosLink>(
+          config_.transport_faults, config_.transport_seed + i);
+      site->reliable = std::make_unique<replication::ReliableChannel>(
+          primary_.propagator(), site->link.get(),
+          wan ? site->channel->inlet() : site->replica->update_queue(),
+          TransportOptions());
+    } else if (wan) {
       primary_.propagator()->AttachSink(site->channel->inlet());
     } else {
       primary_.AttachSecondary(site->replica.get());
     }
     secondaries_.push_back(std::move(site));
   }
+}
+
+replication::ReliableChannel::Options ReplicatedSystem::TransportOptions()
+    const {
+  replication::ReliableChannel::Options opts;
+  opts.ack_interval = config_.transport_ack_interval;
+  opts.backoff_initial = config_.transport_backoff_initial;
+  opts.backoff_max = config_.transport_backoff_max;
+  opts.retransmit_cap = config_.transport_retransmit_cap;
+  return opts;
 }
 
 ReplicatedSystem::~ReplicatedSystem() { Stop(); }
@@ -253,6 +276,10 @@ void ReplicatedSystem::Start() {
   for (auto& site : secondaries_) {
     site->replica->Start();
     if (site->channel) site->channel->Start();
+    if (site->reliable) {
+      if (site->link) site->link->Reopen();
+      site->reliable->Start();
+    }
   }
   primary_.Start();
 }
@@ -261,6 +288,7 @@ void ReplicatedSystem::Stop() {
   if (!started_) return;
   primary_.Stop();
   for (auto& site : secondaries_) {
+    if (site->reliable) site->reliable->Stop();
     if (site->channel) site->channel->Stop();
     site->replica->Stop();
   }
@@ -309,8 +337,17 @@ std::string ReplicatedSystem::SystemStats::ToString() const {
                     : "seq=" + std::to_string(s.applied_seq) +
                           " lag=" + std::to_string(s.lag) +
                           " refreshed=" + std::to_string(s.refreshed_count) +
-                          " queue=" + std::to_string(s.update_queue_depth))
-       << "\n";
+                          " queue=" + std::to_string(s.update_queue_depth));
+    if (!s.failed && (s.transport_delivered > 0 || s.link_dropped > 0)) {
+      os << " transport[delivered=" << s.transport_delivered
+         << " retx=" << s.transport_retransmits
+         << " resyncs=" << s.transport_resyncs
+         << " crc_rej=" << s.transport_crc_rejected
+         << " dups=" << s.transport_duplicates
+         << " drops=" << s.link_dropped << " corrupt=" << s.link_corrupted
+         << " disc=" << s.link_disconnects << "]";
+    }
+    os << "\n";
   }
   return os.str();
 }
@@ -334,6 +371,18 @@ ReplicatedSystem::SystemStats ReplicatedSystem::Stats() {
                     : 0;
       sec.refreshed_count = s->replica->refreshed_count();
       sec.update_queue_depth = s->replica->update_queue_depth();
+      if (s->reliable) {
+        const auto ch = s->reliable->stats();
+        sec.transport_delivered = ch.records_delivered;
+        sec.transport_retransmits = ch.retransmit_frames;
+        sec.transport_resyncs = ch.resyncs;
+        sec.transport_crc_rejected = ch.crc_rejected;
+        sec.transport_duplicates = ch.duplicates_dropped;
+        const auto lk = s->link->counters();
+        sec.link_dropped = lk.dropped;
+        sec.link_corrupted = lk.corrupted;
+        sec.link_disconnects = lk.disconnects;
+      }
     }
     stats.secondaries.push_back(sec);
   }
@@ -373,7 +422,10 @@ Status ReplicatedSystem::FailSecondary(std::size_t i) {
   // Crash: the pipeline stops; queued updates and refresh state are lost
   // along with the site's database (Section 3.4). Detach from the
   // propagator first so broadcasts never touch the dead queue.
-  if (s->channel) {
+  if (s->reliable) {
+    s->reliable->Stop();  // detaches its own propagator sink
+    if (s->channel) s->channel->Stop();
+  } else if (s->channel) {
     primary_.propagator()->DetachSink(s->channel->inlet());
     s->channel->Stop();
   } else {
@@ -412,16 +464,34 @@ Status ReplicatedSystem::RecoverSecondary(std::size_t i) {
   fresh_replica->InitializeSeq(seq, *install);
   fresh_replica->Start();
   std::unique_ptr<replication::LatencyChannel> fresh_channel;
-  if (config_.network_latency.count() > 0 ||
-      config_.network_jitter.count() > 0) {
+  std::unique_ptr<replication::ChaosLink> fresh_link;
+  std::unique_ptr<replication::ReliableChannel> fresh_reliable;
+  const bool wan = config_.network_latency.count() > 0 ||
+                   config_.network_jitter.count() > 0;
+  if (wan) {
     fresh_channel = std::make_unique<replication::LatencyChannel>(
         fresh_replica->update_queue(),
         replication::LatencyChannel::Options{config_.network_latency,
                                              config_.network_jitter,
                                              2000 + i});
     fresh_channel->Start();
-    LAZYSI_RETURN_NOT_OK(primary_.propagator()->AttachSinkAt(
-        fresh_channel->inlet(), checkpoint.lsn));
+  }
+  if (config_.transport_faults.any()) {
+    // The recovered site gets a fresh connection: new link (fresh fault
+    // stream), new channel, attached at the checkpoint so the missed log
+    // suffix is replayed through the chaos transport like any other record.
+    fresh_link = std::make_unique<replication::ChaosLink>(
+        config_.transport_faults, config_.transport_seed + 1000 + i);
+    fresh_reliable = std::make_unique<replication::ReliableChannel>(
+        primary_.propagator(), fresh_link.get(),
+        wan ? fresh_channel->inlet() : fresh_replica->update_queue(),
+        TransportOptions());
+    LAZYSI_RETURN_NOT_OK(fresh_reliable->StartAt(checkpoint.lsn));
+  } else if (wan) {
+    LAZYSI_RETURN_NOT_OK(primary_.propagator()
+                             ->AttachSinkAt(fresh_channel->inlet(),
+                                            checkpoint.lsn)
+                             .status());
   } else {
     LAZYSI_RETURN_NOT_OK(
         primary_.AttachSecondaryAt(fresh_replica.get(), checkpoint.lsn));
@@ -430,6 +500,8 @@ Status ReplicatedSystem::RecoverSecondary(std::size_t i) {
   s->db = std::move(fresh_db);
   s->replica = std::move(fresh_replica);
   s->channel = std::move(fresh_channel);
+  s->link = std::move(fresh_link);
+  s->reliable = std::move(fresh_reliable);
   s->failed.store(false, std::memory_order_release);
   return Status::OK();
 }

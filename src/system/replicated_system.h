@@ -12,7 +12,9 @@
 #include "common/status.h"
 #include "engine/database.h"
 #include "history/recorder.h"
+#include "replication/chaos_link.h"
 #include "replication/primary.h"
+#include "replication/reliable_channel.h"
 #include "replication/secondary.h"
 #include "replication/transport.h"
 #include "session/session.h"
@@ -39,6 +41,20 @@ struct SystemConfig {
   std::chrono::milliseconds read_block_timeout{10000};
   /// Record every committed transaction for offline SI checking.
   bool record_history = false;
+  /// Fault injection on the primary -> secondary transport. Any nonzero rate
+  /// routes each secondary's records through a ReliableChannel over a
+  /// ChaosLink (the wire codec then runs on the hot path) instead of handing
+  /// them between threads directly; the channel restores Section 3.2's
+  /// reliable-FIFO contract on top of the injected faults.
+  replication::FaultProfile transport_faults;
+  /// Chaos RNG seed; secondary i draws from transport_seed + i, so a run
+  /// with a fixed seed replays its exact fault schedule.
+  std::uint64_t transport_seed = 42;
+  /// ReliableChannel tuning (used only when transport_faults.any()).
+  std::size_t transport_ack_interval = 32;
+  std::chrono::milliseconds transport_backoff_initial{2};
+  std::chrono::milliseconds transport_backoff_max{100};
+  int transport_retransmit_cap = 8;
   /// Route each read-only transaction to a round-robin secondary instead of
   /// the session's home secondary. Exposes the strong-session-SI vs PCSI
   /// difference (Section 7): under PCSI a roaming session's snapshots may
@@ -184,6 +200,16 @@ class ReplicatedSystem {
     Timestamp lag = 0;
     std::uint64_t refreshed_count = 0;
     std::size_t update_queue_depth = 0;
+    /// Transport-layer counters; all zero on the direct in-process path
+    /// (no chaos transport configured).
+    std::uint64_t transport_delivered = 0;
+    std::uint64_t transport_retransmits = 0;
+    std::uint64_t transport_resyncs = 0;
+    std::uint64_t transport_crc_rejected = 0;
+    std::uint64_t transport_duplicates = 0;
+    std::uint64_t link_dropped = 0;
+    std::uint64_t link_corrupted = 0;
+    std::uint64_t link_disconnects = 0;
   };
 
   /// Point-in-time monitoring snapshot of the whole system.
@@ -230,11 +256,18 @@ class ReplicatedSystem {
     std::unique_ptr<replication::Secondary> replica;
     /// Present only when the config models network latency.
     std::unique_ptr<replication::LatencyChannel> channel;
+    /// Present only when the config injects transport faults: the propagator
+    /// feeds `reliable`, which ships encoded frames across `link` into the
+    /// latency channel (if any) or straight into the update queue.
+    std::unique_ptr<replication::ChaosLink> link;
+    std::unique_ptr<replication::ReliableChannel> reliable;
     std::atomic<bool> failed{false};
   };
 
   /// Looks up a live secondary site; nullptr when failed.
   SecondarySite* site(std::size_t i);
+
+  replication::ReliableChannel::Options TransportOptions() const;
 
   SystemConfig config_;
   engine::Database primary_db_;

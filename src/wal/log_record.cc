@@ -19,15 +19,20 @@ bool GetVarint(const std::string& data, std::size_t* offset,
                std::uint64_t* out) {
   std::uint64_t v = 0;
   int shift = 0;
-  while (*offset < data.size() && shift <= 63) {
+  while (*offset < data.size()) {
     auto b = static_cast<unsigned char>(data[*offset]);
     ++(*offset);
+    // The 10th byte can only contribute the top bit of a 64-bit value:
+    // reject continuations and payload bits that would be shifted out, so
+    // every value has exactly one accepted encoding of <= 10 bytes.
+    if (shift == 63 && (b & 0xfe) != 0) return false;
     v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
     if ((b & 0x80) == 0) {
       *out = v;
       return true;
     }
     shift += 7;
+    if (shift > 63) return false;
   }
   return false;
 }
@@ -41,7 +46,8 @@ bool GetString(const std::string& data, std::size_t* offset,
                std::string* out) {
   std::uint64_t len = 0;
   if (!GetVarint(data, offset, &len)) return false;
-  if (*offset + len > data.size()) return false;
+  // Not `*offset + len > data.size()`: that sum wraps for len near 2^64.
+  if (len > data.size() - *offset) return false;
   out->assign(data, *offset, len);
   *offset += len;
   return true;

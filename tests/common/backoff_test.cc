@@ -1,0 +1,47 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace lazysi {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(BackoffTest, DoublesAndClamps) {
+  ExponentialBackoff b(milliseconds(2), milliseconds(12));
+  EXPECT_EQ(b.Next(), milliseconds(2));
+  EXPECT_EQ(b.Next(), milliseconds(4));
+  EXPECT_EQ(b.Next(), milliseconds(8));
+  EXPECT_EQ(b.Next(), milliseconds(12));  // 16 clamped
+  EXPECT_EQ(b.Next(), milliseconds(12));
+}
+
+TEST(BackoffTest, ResetReturnsToInitial) {
+  ExponentialBackoff b(milliseconds(3), milliseconds(100));
+  b.Next();
+  b.Next();
+  EXPECT_GT(b.current(), milliseconds(3));
+  b.Reset();
+  EXPECT_EQ(b.current(), milliseconds(3));
+  EXPECT_EQ(b.Next(), milliseconds(3));
+}
+
+TEST(BackoffTest, CurrentPeeksWithoutAdvancing) {
+  ExponentialBackoff b(milliseconds(5), milliseconds(50));
+  EXPECT_EQ(b.current(), milliseconds(5));
+  EXPECT_EQ(b.current(), milliseconds(5));
+  EXPECT_EQ(b.Next(), milliseconds(5));
+  EXPECT_EQ(b.current(), milliseconds(10));
+}
+
+TEST(BackoffTest, DegenerateBoundsAreSanitized) {
+  // Zero/negative initial becomes 1ms; max below initial snaps to initial.
+  ExponentialBackoff zero(milliseconds(0), milliseconds(10));
+  EXPECT_EQ(zero.Next(), milliseconds(1));
+  ExponentialBackoff inverted(milliseconds(8), milliseconds(2));
+  EXPECT_EQ(inverted.Next(), milliseconds(8));
+  EXPECT_EQ(inverted.Next(), milliseconds(8));
+}
+
+}  // namespace
+}  // namespace lazysi

@@ -1,0 +1,52 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lazysi {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard CRC-32C check value.
+  EXPECT_EQ(Crc32c("123456789"), 0xe3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  // 32 zero bytes (iSCSI test vector).
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8a9136aau);
+  // 32 0xff bytes.
+  EXPECT_EQ(Crc32c(std::string(32, '\xff')), 0x62a8ab43u);
+}
+
+TEST(Crc32Test, SeedChainsChunks) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const auto whole = Crc32c(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const auto first = Crc32c(std::string_view(data).substr(0, split));
+    EXPECT_EQ(Crc32c(std::string_view(data).substr(split), first), whole)
+        << "split=" << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  const std::string data = "frame payload bytes";
+  const auto good = Crc32c(data);
+  for (std::size_t pos = 0; pos < data.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = data;
+      bad[pos] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32c(bad), good) << "pos=" << pos << " bit=" << bit;
+    }
+  }
+}
+
+TEST(Crc32Test, TrailerRoundTrip) {
+  std::string frame = "payload";
+  const auto crc = Crc32c(frame);
+  AppendCrc32(&frame, crc);
+  ASSERT_EQ(frame.size(), 7u + 4u);
+  EXPECT_EQ(ReadCrc32(frame, 7), crc);
+  EXPECT_EQ(Crc32c(std::string_view(frame).substr(0, 7)), crc);
+}
+
+}  // namespace
+}  // namespace lazysi

@@ -178,7 +178,7 @@ TEST(PropagatorTest, AttachSinkAtRejectsNonQuiescedLsn) {
   }
 
   Queue late;
-  Status s = prop.AttachSinkAt(&late, mid_lsn);
+  Status s = prop.AttachSinkAt(&late, mid_lsn).status();
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
   prop.Stop();

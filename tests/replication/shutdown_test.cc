@@ -69,6 +69,34 @@ TEST(ShutdownTest, StopAndRestartPipelineResumesCleanly) {
   EXPECT_EQ(secondary_db.Get("a").value(), "1");
 }
 
+TEST(ShutdownTest, RestartedPipelineReplicatesNewCommits) {
+  // The other direction of the restart contract: queues reopen on Start(),
+  // so commits made *after* the restart flow through the whole pipeline
+  // again (before the Reopen fix the closed queues silently ate them and
+  // the pipeline was dead for good).
+  engine::Database primary_db;
+  engine::Database secondary_db;
+  Primary primary(&primary_db);
+  Secondary secondary(&secondary_db, SecondaryOptions{2});
+  primary.AttachSecondary(&secondary);
+  primary.Start();
+  secondary.Start();
+
+  ASSERT_TRUE(primary_db.Put("a", "1").ok());
+  ASSERT_TRUE(secondary.WaitForSeq(primary_db.LatestCommitTs(),
+                                   std::chrono::milliseconds(5000)));
+  secondary.Stop();
+  secondary.Start();
+
+  ASSERT_TRUE(primary_db.Put("b", "2").ok());
+  ASSERT_TRUE(secondary.WaitForSeq(primary_db.LatestCommitTs(),
+                                   std::chrono::milliseconds(5000)));
+  secondary.Stop();
+  primary.Stop();
+  EXPECT_EQ(secondary_db.Get("a").value(), "1");
+  EXPECT_EQ(secondary_db.Get("b").value(), "2");
+}
+
 TEST(ShutdownTest, DoubleStartAndDoubleStopAreIdempotent) {
   engine::Database primary_db;
   engine::Database secondary_db;

@@ -50,6 +50,27 @@ TEST(LatencyChannelTest, ImposesMinimumLatency) {
   channel.Stop();
 }
 
+TEST(LatencyChannelTest, RestartAfterStopKeepsDelivering) {
+  // Stop() closes the inlet; Start() must reopen it, or a restarted channel
+  // silently drops everything pushed afterward.
+  BlockingQueue<PropagationRecord> downstream;
+  LatencyChannel channel(&downstream,
+                         LatencyChannel::Options{
+                             std::chrono::milliseconds(1), {}, 11});
+  channel.Start();
+  channel.inlet()->Push(PropStart{1, 1});
+  ASSERT_TRUE(downstream.Pop().has_value());
+  channel.Stop();
+
+  channel.Start();
+  channel.inlet()->Push(PropStart{2, 2});
+  auto r = downstream.Pop();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(RecordTxnId(*r), 2u);
+  channel.Stop();
+  EXPECT_EQ(channel.delivered(), 2u);
+}
+
 TEST(LatencyChannelTest, EndToEndThroughWanLink) {
   // primary --(propagator)--> channel --(delay)--> secondary's queue.
   engine::Database primary_db;
