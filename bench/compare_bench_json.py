@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and flag regressions.
+
+Usage:
+    python3 bench/compare_bench_json.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.10] [--metric auto|real_time|items_per_second]
+
+Benchmarks are matched by name. With --metric auto (the default) a row is
+compared on items_per_second when both sides report it (higher is better),
+falling back to real_time (lower is better). A row regresses when the
+candidate is worse than the baseline by more than the threshold fraction.
+Exits 1 if any matched row regressed, 0 otherwise. Rows present on only one
+side are listed but never fail the comparison (benchmarks come and go across
+PRs).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) so reruns with repetitions
+        # still line up against single-run baselines.
+        if b.get("run_type") == "aggregate":
+            continue
+        rows[b["name"]] = b
+    return rows
+
+
+def pick_metric(base, cand, forced):
+    if forced != "auto":
+        if forced in base and forced in cand:
+            return forced
+        return None
+    if "items_per_second" in base and "items_per_second" in cand:
+        return "items_per_second"
+    if "real_time" in base and "real_time" in cand:
+        return "real_time"
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed fractional regression (default 0.10 = 10%%)")
+    ap.add_argument("--metric", default="auto",
+                    choices=["auto", "real_time", "items_per_second"])
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cand = load_rows(args.candidate)
+    common = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    if not common:
+        print("error: no benchmark names in common", file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'metric':<16} {'baseline':>12} "
+          f"{'candidate':>12} {'change':>8}")
+    for name in common:
+        metric = pick_metric(base[name], cand[name], args.metric)
+        if metric is None:
+            print(f"{name:<{width}}  (no comparable metric)")
+            continue
+        b, c = base[name][metric], cand[name][metric]
+        if b == 0:
+            print(f"{name:<{width}}  {metric:<16} (baseline is zero)")
+            continue
+        higher_is_better = metric == "items_per_second"
+        change = (c - b) / b
+        worse = -change if higher_is_better else change
+        mark = ""
+        if worse > args.threshold:
+            mark = "  << REGRESSION"
+            regressions.append(name)
+        print(f"{name:<{width}}  {metric:<16} {b:>12.4g} {c:>12.4g} "
+              f"{change:>+7.1%}{mark}")
+
+    for name in only_base:
+        print(f"{name:<{width}}  (removed in candidate)")
+    for name in only_cand:
+        print(f"{name:<{width}}  (new in candidate)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name in regressions:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no regressions beyond {args.threshold:.0%} "
+          f"across {len(common)} matched benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Runs the replication micro-benchmarks (the direct-vs-legacy RefreshCatchup
+# matrix, the end-to-end pipeline, session round trips, and the chaos
+# transport rows) and emits machine-readable results.
+#
+# Usage: bench/run_replication_bench.sh [path/to/micro_replication_bench] [output.json]
+# Environment: BENCH_MIN_TIME (seconds per benchmark, default 0.2 — pass a
+# bare double; this benchmark library rejects the "0.2s" suffix form).
+set -eu
+
+BIN=${1:-build/bench/micro_replication_bench}
+OUT=${2:-BENCH_replication.json}
+
+if [ ! -x "$BIN" ]; then
+  echo "error: benchmark binary '$BIN' not found; build it first:" >&2
+  echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build --target micro_replication_bench" >&2
+  exit 1
+fi
+
+exec "$BIN" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_min_time="${BENCH_MIN_TIME:-0.2}"

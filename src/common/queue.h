@@ -33,6 +33,33 @@ class BlockingQueue {
     return true;
   }
 
+  /// Pushes a whole burst with a single lock round-trip — the propagator
+  /// publishes one burst per sink instead of one lock acquire per record.
+  /// Returns false (dropping the burst) if the queue has been closed.
+  bool PushAll(const std::vector<T>& items) {
+    if (items.empty()) return true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.insert(items_.end(), items.begin(), items.end());
+    }
+    cv_.notify_all();
+    return true;
+  }
+
+  /// Move overload of PushAll for the single-consumer case.
+  bool PushAll(std::vector<T>&& items) {
+    if (items.empty()) return true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.insert(items_.end(), std::make_move_iterator(items.begin()),
+                    std::make_move_iterator(items.end()));
+    }
+    cv_.notify_all();
+    return true;
+  }
+
   /// Blocks until an element is available or the queue is closed and
   /// drained. Returns nullopt only in the latter case.
   std::optional<T> Pop() {

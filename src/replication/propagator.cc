@@ -24,9 +24,18 @@ Result<std::uint64_t> Propagator::AttachSinkAt(
     return Status::InvalidArgument("from_lsn is ahead of the propagator");
   }
   // Global sequence number of the first replayed record: every non-update
-  // log record below from_lsn produced exactly one propagation record.
+  // log record below from_lsn produced exactly one propagation record. Count
+  // forward from the nearest recorded sync point at or below from_lsn (both
+  // map components ascend) instead of rescanning the log from LSN 0, so the
+  // cost is O(sync points + resync window), not O(log size).
   std::uint64_t base_seq = 0;
-  for (std::size_t lsn = 0; lsn < from_lsn; ++lsn) {
+  std::size_t base_lsn = 0;
+  for (const auto& [seq, lsn] : sync_points_) {
+    if (lsn > from_lsn) break;
+    base_seq = seq;
+    base_lsn = lsn;
+  }
+  for (std::size_t lsn = base_lsn; lsn < from_lsn; ++lsn) {
     auto rec = log_->At(lsn);
     if (!rec.has_value()) {
       return Status::Internal("log truncated below propagator position");
@@ -75,7 +84,7 @@ Result<std::uint64_t> Propagator::AttachSinkAt(
         break;
     }
   }
-  for (auto& record : replay) sink->Push(std::move(record));
+  sink->PushAll(std::move(replay));
   sinks_.push_back(sink);
   return base_seq;
 }
@@ -121,17 +130,10 @@ void Propagator::Run() {
         remaining -= step;
       }
     }
-    // Drain everything currently available, in log order.
+    // Drain everything currently available, in log order, one burst (and
+    // one per-sink PushAll) per lock hold.
     bool drained_any = false;
-    while (true) {
-      auto rec = log_->At(position_.load(std::memory_order_acquire));
-      if (!rec.has_value()) break;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ConsumeLocked(*rec);
-      }
-      drained_any = true;
-    }
+    while (DrainBurst() > 0) drained_any = true;
     if (options_.batch_interval.count() == 0 && !drained_any) {
       // Continuous mode: block until the next record appears.
       auto rec = log_->WaitAt(position_.load(std::memory_order_acquire),
@@ -142,19 +144,28 @@ void Propagator::Run() {
     }
   }
   // Final drain so a Stop after workload completion loses nothing.
-  while (true) {
-    auto rec = log_->At(position_.load(std::memory_order_acquire));
-    if (!rec.has_value()) break;
-    std::lock_guard<std::mutex> lock(mu_);
-    ConsumeLocked(*rec);
+  while (DrainBurst() > 0) {
   }
+}
+
+std::size_t Propagator::DrainBurst() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t consumed = 0;
+  while (consumed < kBroadcastBurst) {
+    auto rec = log_->At(position_.load(std::memory_order_relaxed));
+    if (!rec.has_value()) break;
+    ConsumeLocked(*rec);
+    ++consumed;
+  }
+  FlushBurstLocked();
+  return consumed;
 }
 
 void Propagator::ConsumeLocked(const wal::LogRecord& record) {
   switch (record.type) {
     case wal::LogRecordType::kStart:
       update_lists_[record.txn_id];
-      BroadcastLocked(PropStart{record.txn_id, record.timestamp});
+      BufferLocked(PropStart{record.txn_id, record.timestamp});
       break;
     case wal::LogRecordType::kUpdate:
       update_lists_[record.txn_id].push_back(
@@ -167,14 +178,14 @@ void Propagator::ConsumeLocked(const wal::LogRecord& record) {
         updates = std::move(it->second);
         update_lists_.erase(it);
       }
-      BroadcastLocked(
+      BufferLocked(
           PropCommit{record.txn_id, record.timestamp, std::move(updates)});
       commits_propagated_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     case wal::LogRecordType::kAbort:
       update_lists_.erase(record.txn_id);
-      BroadcastLocked(PropAbort{record.txn_id});
+      BufferLocked(PropAbort{record.txn_id});
       break;
   }
   position_.fetch_add(1, std::memory_order_release);
@@ -190,11 +201,24 @@ void Propagator::ConsumeLocked(const wal::LogRecord& record) {
   }
 }
 
-void Propagator::BroadcastLocked(const PropagationRecord& record) {
+void Propagator::BufferLocked(PropagationRecord record) {
+  // Counted at buffering time: the flush happens under the same mu_ hold, so
+  // a sink attached afterwards (AttachSink also takes mu_) starts exactly at
+  // the post-burst sequence number it will first observe.
   records_broadcast_.fetch_add(1, std::memory_order_relaxed);
-  for (auto* sink : sinks_) {
-    sink->Push(record);
+  burst_.push_back(std::move(record));
+}
+
+void Propagator::FlushBurstLocked() {
+  if (burst_.empty()) return;
+  if (sinks_.size() == 1) {
+    sinks_[0]->PushAll(std::move(burst_));
+  } else {
+    for (auto* sink : sinks_) {
+      sink->PushAll(burst_);
+    }
   }
+  burst_.clear();
 }
 
 }  // namespace replication

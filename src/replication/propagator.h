@@ -104,13 +104,26 @@ class Propagator {
   /// Recorded quiesced points beyond which older ones are dropped; the
   /// origin {0, 0} is always retained as the resync point of last resort.
   static constexpr std::size_t kMaxSyncPoints = 256;
+  /// Upper bound on log records consumed per lock hold. The whole burst's
+  /// propagation records are published to each sink with one PushAll — one
+  /// queue lock per burst per sink instead of one per record — while the
+  /// bound keeps Attach/Detach latency under a steady firehose.
+  static constexpr std::size_t kBroadcastBurst = 256;
 
   void Run();
+  /// Consumes up to kBroadcastBurst log records under one mu_ hold and
+  /// flushes their propagation records to every sink. Returns the number of
+  /// log records consumed (0 = nothing available).
+  std::size_t DrainBurst();
   /// Consumes the log record at the current position: updates per-txn lists,
-  /// broadcasts, advances position_ and records a sync point when quiesced.
-  /// Must be called with mu_ held.
+  /// buffers broadcast records into burst_, advances position_ and records a
+  /// sync point when quiesced. Must be called with mu_ held.
   void ConsumeLocked(const wal::LogRecord& record);
-  void BroadcastLocked(const PropagationRecord& record);
+  /// Counts the record as broadcast and appends it to the pending burst.
+  void BufferLocked(PropagationRecord record);
+  /// Publishes the pending burst to every sink. Must be called with mu_ held
+  /// (attach/detach see either none or all of a burst).
+  void FlushBurstLocked();
 
   wal::LogicalLog* log_;
   PropagatorOptions options_;
@@ -118,6 +131,8 @@ class Propagator {
   mutable std::mutex mu_;  // guards sinks_, update_lists_, sync_points_
   std::vector<BlockingQueue<PropagationRecord>*> sinks_;
   std::map<TxnId, std::vector<storage::Write>> update_lists_;
+  /// Propagation records of the burst being consumed, awaiting flush.
+  std::vector<PropagationRecord> burst_;
   /// record_seq -> lsn at quiesced moments, ascending in both components.
   std::map<std::uint64_t, std::size_t> sync_points_{{0, 0}};
 

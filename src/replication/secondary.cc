@@ -8,11 +8,12 @@ namespace replication {
 Secondary::Secondary(engine::Database* db, SecondaryOptions options)
     : db_(db), options_(options) {
   if (options_.applicator_threads == 0) options_.applicator_threads = 1;
+  if (options_.group_apply_limit == 0) options_.group_apply_limit = 1;
   // Publish the local->primary commit-timestamp translation atomically with
   // version visibility (the hook runs under the engine's timestamp mutex),
   // so any reader whose snapshot includes a refresh commit can translate it.
   db_->SetCommitHook([this](TxnId local_txn, Timestamp local_commit_ts) {
-    std::lock_guard<std::mutex> lock(translate_mu_);
+    std::unique_lock lock(translate_mu_);
     auto it = pending_translation_.find(local_txn);
     if (it != pending_translation_.end()) {
       local_to_primary_[local_commit_ts] = it->second;
@@ -33,11 +34,16 @@ void Secondary::Start() {
   // resumes from the next record the propagator pushes.
   update_queue_.Reopen();
   tasks_.Reopen();
+  direct_tasks_.Reopen();
   pending_queue_.Reopen();
   refresher_ = std::thread([this] { RefresherLoop(); });
   applicators_.reserve(options_.applicator_threads);
   for (std::size_t i = 0; i < options_.applicator_threads; ++i) {
-    applicators_.emplace_back([this] { ApplicatorLoop(); });
+    if (options_.direct_apply) {
+      applicators_.emplace_back([this] { DirectApplicatorLoop(); });
+    } else {
+      applicators_.emplace_back([this] { ApplicatorLoop(); });
+    }
   }
 }
 
@@ -46,10 +52,17 @@ void Secondary::Stop() {
   update_queue_.Close();
   refresher_.join();
   tasks_.Close();
+  direct_tasks_.Close();
   pending_queue_.Close();
+  // Legacy applicators abort whatever WaitHead hands back after the close;
+  // direct applicators instead drain direct_tasks_ completely (Pop after
+  // Close returns queued items), because every queued task's commit record
+  // and timestamp are already published and skipping its installation would
+  // wedge the visibility watermark below it forever.
   for (auto& t : applicators_) t.join();
   applicators_.clear();
   refresh_txns_.clear();  // aborts leftovers via RAII
+  direct_txns_.clear();
   started_ = false;
 }
 
@@ -62,16 +75,35 @@ bool Secondary::WaitForSeq(Timestamp seq,
 
 void Secondary::InitializeSeq(Timestamp seq, Timestamp local_install_ts) {
   {
-    std::lock_guard<std::mutex> lock(translate_mu_);
+    std::unique_lock lock(translate_mu_);
     local_to_primary_[local_install_ts] = seq;
   }
   AdvanceSeq(seq);
 }
 
 Timestamp Secondary::TranslateLocalToPrimary(Timestamp local_ts) const {
-  std::lock_guard<std::mutex> lock(translate_mu_);
+  std::shared_lock lock(translate_mu_);
   auto it = local_to_primary_.find(local_ts);
   return it == local_to_primary_.end() ? kInvalidTimestamp : it->second;
+}
+
+std::size_t Secondary::PruneTranslations(Timestamp primary_horizon) {
+  std::unique_lock lock(translate_mu_);
+  std::size_t erased = 0;
+  for (auto it = local_to_primary_.begin(); it != local_to_primary_.end();) {
+    if (it->second < primary_horizon) {
+      it = local_to_primary_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
+std::size_t Secondary::translation_count() const {
+  std::shared_lock lock(translate_mu_);
+  return local_to_primary_.size() + pending_translation_.size();
 }
 
 void Secondary::AdvanceSeq(Timestamp primary_commit_ts) {
@@ -85,6 +117,24 @@ void Secondary::AdvanceSeq(Timestamp primary_commit_ts) {
   seq_cv_.notify_all();
 }
 
+void Secondary::AdvanceSeqToWatermark(Timestamp local_watermark) {
+  // The watermark can jump past commits other applicator threads installed
+  // (their FinishExternalCommit returned before ours unblocked the prefix),
+  // so seq(DBsec) is driven off the FIFO of allocated refresh commits, not
+  // off this thread's own task: pop everything visibility has passed and
+  // advance to the newest primary timestamp among them.
+  Timestamp newest_primary = kInvalidTimestamp;
+  {
+    std::lock_guard<std::mutex> lock(visibility_mu_);
+    while (!visibility_fifo_.empty() &&
+           visibility_fifo_.front().first <= local_watermark) {
+      newest_primary = visibility_fifo_.front().second;
+      visibility_fifo_.pop_front();
+    }
+  }
+  if (newest_primary != kInvalidTimestamp) AdvanceSeq(newest_primary);
+}
+
 void Secondary::RefresherLoop() {
   // Algorithm 3.2. Records are drained in batches — one queue lock
   // round-trip per burst instead of one per record — but still processed
@@ -94,38 +144,150 @@ void Secondary::RefresherLoop() {
     std::vector<PropagationRecord> batch =
         update_queue_.PopBatch(kRefresherBatchSize);
     if (batch.empty()) return;  // closed and drained
+    bool shutdown = false;
     for (PropagationRecord& record : batch) {
-      if (auto* start = std::get_if<PropStart>(&record)) {
-        // Block until the pending queue is empty so the new refresh
-        // transaction's snapshot includes every refresh commit that precedes
-        // it in primary order.
-        if (!pending_queue_.WaitEmpty()) return;  // shutdown
-        refresh_txns_[start->txn_id] = db_->Begin(/*read_only=*/false);
-      } else if (auto* commit = std::get_if<PropCommit>(&record)) {
-        std::unique_ptr<txn::Transaction> txn;
-        auto it = refresh_txns_.find(commit->txn_id);
-        if (it != refresh_txns_.end()) {
-          txn = std::move(it->second);
-          refresh_txns_.erase(it);
-        } else {
-          // Commit for a transaction whose start record we never saw. This
-          // happens only for sinks attached mid-stream without a quiesced
-          // checkpoint; recover by starting the refresh transaction now (its
-          // updates are value writes, so a later snapshot is safe).
-          LAZYSI_WARN("secondary: commit without start record, txn="
-                      << commit->txn_id);
-          if (!pending_queue_.WaitEmpty()) return;
-          txn = db_->Begin(/*read_only=*/false);
-        }
-        pending_queue_.Append(commit->commit_ts);
-        tasks_.Push(ApplyTask{std::move(txn), std::move(commit->updates),
-                              commit->commit_ts});
-      } else if (auto* abort = std::get_if<PropAbort>(&record)) {
-        // Abandon the refresh transaction; Transaction's destructor aborts
-        // it.
-        refresh_txns_.erase(abort->txn_id);
+      if (options_.direct_apply) {
+        DirectRefreshRecord(record);
+      } else {
+        LegacyRefreshRecord(record, &shutdown);
+        if (shutdown) return;
       }
     }
+  }
+}
+
+void Secondary::DirectRefreshRecord(PropagationRecord& record) {
+  txn::TxnManager* tm = db_->txn_manager();
+  if (auto* start = std::get_if<PropStart>(&record)) {
+    // Emit the local start record immediately — no pending-queue drain. The
+    // refresh transaction's snapshot is defined by its position in the log:
+    // it sees exactly the refresh commits whose records precede it, which the
+    // visibility watermark will have installed before any timestamp at or
+    // past this start is handed to a reader. That is the guarantee the old
+    // WaitEmpty stall bought, for free.
+    const TxnId local_id = tm->AllocateTxnId();
+    tm->ExternalStart(local_id);
+    direct_txns_[start->txn_id] = local_id;
+  } else if (auto* commit = std::get_if<PropCommit>(&record)) {
+    TxnId local_id;
+    auto it = direct_txns_.find(commit->txn_id);
+    if (it != direct_txns_.end()) {
+      local_id = it->second;
+      direct_txns_.erase(it);
+    } else {
+      // Commit for a transaction whose start record we never saw. This
+      // happens only for sinks attached mid-stream without a quiesced
+      // checkpoint; recover by starting the refresh transaction now (its
+      // updates are value writes, so a later snapshot is safe).
+      LAZYSI_WARN("secondary: commit without start record, txn="
+                  << commit->txn_id);
+      local_id = tm->AllocateTxnId();
+      tm->ExternalStart(local_id);
+    }
+    auto writes = std::make_unique<storage::WriteSet>();
+    for (const storage::Write& w : commit->updates) {
+      if (w.deleted) {
+        writes->Delete(w.key);
+      } else {
+        writes->Put(w.key, w.value);
+      }
+    }
+    {
+      // Stage the translation before allocating the local commit timestamp:
+      // BeginExternalCommit runs the commit hook synchronously, and the hook
+      // must find the staged primary timestamp.
+      std::unique_lock lock(translate_mu_);
+      pending_translation_[local_id] = commit->commit_ts;
+    }
+    // Local commit timestamps are allocated here, on the single refresher
+    // thread, in primary-commit order — local refresh commit order equals
+    // primary commit order by construction (Lemma 3.3), regardless of how
+    // the applicator pool interleaves the installations below.
+    const Timestamp local_ts = tm->BeginExternalCommit(local_id, *writes);
+    {
+      std::lock_guard<std::mutex> lock(visibility_mu_);
+      visibility_fifo_.emplace_back(local_ts, commit->commit_ts);
+    }
+    direct_tasks_.Push(
+        DirectTask{std::move(writes), local_ts, commit->commit_ts});
+  } else if (auto* abort = std::get_if<PropAbort>(&record)) {
+    auto abort_it = direct_txns_.find(abort->txn_id);
+    if (abort_it != direct_txns_.end()) {
+      tm->ExternalAbort(abort_it->second);
+      direct_txns_.erase(abort_it);
+    }
+  }
+}
+
+void Secondary::LegacyRefreshRecord(PropagationRecord& record, bool* shutdown) {
+  if (auto* start = std::get_if<PropStart>(&record)) {
+    // Block until the pending queue is empty so the new refresh
+    // transaction's snapshot includes every refresh commit that precedes
+    // it in primary order.
+    if (!pending_queue_.WaitEmpty()) {
+      *shutdown = true;
+      return;
+    }
+    refresh_txns_[start->txn_id] = db_->Begin(/*read_only=*/false);
+  } else if (auto* commit = std::get_if<PropCommit>(&record)) {
+    std::unique_ptr<txn::Transaction> txn;
+    auto it = refresh_txns_.find(commit->txn_id);
+    if (it != refresh_txns_.end()) {
+      txn = std::move(it->second);
+      refresh_txns_.erase(it);
+    } else {
+      // See the direct-path comment: mid-stream attach without a checkpoint.
+      LAZYSI_WARN("secondary: commit without start record, txn="
+                  << commit->txn_id);
+      if (!pending_queue_.WaitEmpty()) {
+        *shutdown = true;
+        return;
+      }
+      txn = db_->Begin(/*read_only=*/false);
+    }
+    pending_queue_.Append(commit->commit_ts);
+    tasks_.Push(ApplyTask{std::move(txn), std::move(commit->updates),
+                          commit->commit_ts});
+  } else if (auto* abort = std::get_if<PropAbort>(&record)) {
+    // Abandon the refresh transaction; Transaction's destructor aborts it.
+    refresh_txns_.erase(abort->txn_id);
+  }
+}
+
+void Secondary::DirectApplicatorLoop() {
+  // Algorithm 3.3, group-apply form: drain a run of consecutive refresh
+  // commits and install all their writes in one store pass. Tasks arrive in
+  // local-commit-timestamp order (single refresher producer), so each batch
+  // is an increasing run, as ApplyBatch requires. No ordering wait is needed
+  // before installation — the visibility watermark serializes *publication*
+  // in timestamp order, so installation itself can proceed in parallel.
+  for (;;) {
+    std::vector<DirectTask> batch =
+        direct_tasks_.PopBatch(options_.group_apply_limit);
+    if (batch.empty()) return;  // closed and drained
+    std::vector<storage::VersionedStore::TimestampedWrites> installs;
+    installs.reserve(batch.size());
+    for (const DirectTask& task : batch) {
+      installs.push_back({task.writes.get(), task.local_commit_ts});
+    }
+    db_->store()->ApplyBatch(installs);
+    group_applies_.fetch_add(1, std::memory_order_relaxed);
+    group_applied_commits_.fetch_add(batch.size(), std::memory_order_relaxed);
+    std::uint64_t prev = max_group_apply_.load(std::memory_order_relaxed);
+    while (batch.size() > prev &&
+           !max_group_apply_.compare_exchange_weak(prev, batch.size(),
+                                                   std::memory_order_relaxed)) {
+    }
+    // Mark the whole group installed, then advance seq(DBsec) once: the
+    // watermark is monotone, so the last returned value covers everything
+    // this batch (and possibly other threads' batches) unblocked —
+    // AdvanceSeqToWatermark credits those too.
+    Timestamp watermark = kInvalidTimestamp;
+    for (const DirectTask& task : batch) {
+      watermark = db_->txn_manager()->FinishExternalCommit(task.local_commit_ts);
+    }
+    refreshed_count_.fetch_add(batch.size(), std::memory_order_relaxed);
+    AdvanceSeqToWatermark(watermark);
   }
 }
 
@@ -150,7 +312,7 @@ void Secondary::ApplicatorLoop() {
     {
       // Stage the translation; the commit hook publishes it under the
       // timestamp mutex when the commit installs its versions.
-      std::lock_guard<std::mutex> lock(translate_mu_);
+      std::unique_lock lock(translate_mu_);
       pending_translation_[task->txn->id()] = task->commit_ts;
     }
     Status s = task->txn->Commit();
@@ -160,7 +322,7 @@ void Secondary::ApplicatorLoop() {
       // concurrent after FCW at the primary), and the local control is
       // deadlock-free. Surface loudly if the invariant is ever broken.
       LAZYSI_ERROR("applicator: refresh commit failed: " << s);
-      std::lock_guard<std::mutex> lock(translate_mu_);
+      std::unique_lock lock(translate_mu_);
       pending_translation_.erase(task->txn->id());
     } else {
       refreshed_count_.fetch_add(1, std::memory_order_relaxed);

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -24,17 +26,51 @@ struct SecondaryOptions {
   /// Size of the fixed applicator thread pool (Section 3.3 suggests a fixed
   /// pool rather than a fork per transaction).
   std::size_t applicator_threads = 4;
+  /// Direct-apply refresh engine (the default): the refresher allocates
+  /// local commit timestamps up front in primary-commit order, applicators
+  /// install write sets straight into the versioned store, and visibility is
+  /// published through the commit pipeline's watermark — no refresh
+  /// transaction ever passes through Begin/Put/Commit FCW machinery (whose
+  /// validation is provably a no-op for refresh: conflicting primary
+  /// transactions were never concurrent after FCW at the primary).
+  /// When false, the legacy transactional refresh path of Algorithms 3.2/3.3
+  /// runs instead; it is kept alive for differential testing.
+  bool direct_apply = true;
+  /// Direct-apply only: upper bound on the run of consecutive refresh
+  /// commits an applicator group-applies in a single store pass.
+  std::size_t group_apply_limit = 32;
 };
 
 /// A secondary site's refresh machinery: the FIFO update queue (kept outside
 /// the database to avoid FCW aborts on queue pages, Section 3.4), the
-/// refresher (Algorithm 3.2), the applicator pool (Algorithm 3.3), the
-/// pending queue, and the seq(DBsec) sequence number of Section 4.
+/// refresher (Algorithm 3.2), the applicator pool (Algorithm 3.3), and the
+/// seq(DBsec) sequence number of Section 4.
 ///
-/// The local database must guarantee strong SI (engine::Database does); the
-/// combination then installs refresh transactions so that their start and
-/// commit order matches the primary's (relationships 1–3 of Section 3.1),
-/// which is what Theorem 3.1's completeness proof requires.
+/// Two interchangeable refresh engines implement the algorithms:
+///
+///  - The **direct-apply engine** (default). The refresher turns each
+///    propagated commit record into a pre-allocated local commit timestamp
+///    (TxnManager::BeginExternalCommit, called in primary-commit order, so
+///    local commit order == primary commit order by construction — Lemma
+///    3.3); applicator threads install the write sets concurrently with
+///    VersionedStore::ApplyBatch, group-applying runs of consecutive
+///    commits in one store pass; and the commit pipeline's visibility
+///    watermark publishes each refresh commit only once the whole prefix
+///    below it has installed, which is what keeps snapshots torn-free
+///    without ever draining the pipeline. Start records never block: the
+///    refresh transaction's snapshot is *defined* by its position in the
+///    emitted log (every previously emitted commit, exactly the set a
+///    BeginAtSnapshot at the current watermark target would pin), so
+///    PropStart only emits the local start record and moves on.
+///  - The **legacy transactional engine** (direct_apply = false): refresh
+///    transactions run through the full local concurrency control; the
+///    refresher blocks each start on PendingQueue::WaitEmpty and applicators
+///    serialize commits through PendingQueue::WaitHead.
+///
+/// Either way the local database guarantees strong SI (engine::Database
+/// does) and refresh start/commit records are emitted in primary log order,
+/// so relationships 1-3 of Section 3.1 hold and Theorem 3.1's completeness
+/// proof applies.
 class Secondary {
  public:
   explicit Secondary(engine::Database* db,
@@ -48,8 +84,12 @@ class Secondary {
   BlockingQueue<PropagationRecord>* update_queue() { return &update_queue_; }
 
   void Start();
-  /// Stops the pipeline. In-flight refresh transactions are aborted; call
-  /// WaitForSeq first if the test/workload needs everything applied.
+  /// Stops the pipeline. Legacy engine: in-flight refresh transactions are
+  /// aborted. Direct-apply engine: commits whose timestamps were already
+  /// allocated are installed before the applicators exit (their commit
+  /// records are in the log, so abandoning them would wedge the visibility
+  /// watermark); records still in the update queue are dropped either way.
+  /// Call WaitForSeq first if the test/workload needs everything applied.
   void Stop();
 
   /// seq(DBsec): the primary commit timestamp of the latest refresh
@@ -75,6 +115,23 @@ class Secondary {
   /// this to express secondary reads in primary-state coordinates.
   Timestamp TranslateLocalToPrimary(Timestamp local_ts) const;
 
+  /// Drops local->primary translations of refresh commits whose *primary*
+  /// commit timestamp is below `primary_horizon`, returning the number of
+  /// entries erased. Without pruning the table grows by one entry per
+  /// refresh commit forever. A sound horizon is one no future reader can
+  /// need: the system layer uses the minimum applied_seq across live
+  /// secondaries, below which every site already serves newer state, so
+  /// session floors derived from pruned entries would be vacuous anyway.
+  /// Reads of versions older than the horizon afterwards translate to
+  /// kInvalidTimestamp (history recording in primary coordinates becomes
+  /// approximate below the horizon; keep history-checked workloads above
+  /// it by pruning only at quiesced points).
+  std::size_t PruneTranslations(Timestamp primary_horizon);
+
+  /// Current size of the local->primary translation table (monitoring and
+  /// the pruning regression test).
+  std::size_t translation_count() const;
+
   engine::Database* db() { return db_; }
 
   std::uint64_t refreshed_count() const {
@@ -82,42 +139,90 @@ class Secondary {
   }
   std::size_t update_queue_depth() const { return update_queue_.size(); }
 
+  bool direct_apply() const { return options_.direct_apply; }
+
+  /// Direct-apply instrumentation: number of store passes, total commits
+  /// they covered (avg group size = commits / passes), and the largest
+  /// single group. All zero under the legacy engine.
+  std::uint64_t group_applies() const {
+    return group_applies_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t group_applied_commits() const {
+    return group_applied_commits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_group_apply() const {
+    return max_group_apply_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Upper bound on records the refresher drains from the update queue per
   /// lock round-trip; bounds the latency of a Stop() racing a large burst.
   static constexpr std::size_t kRefresherBatchSize = 256;
 
+  /// Legacy engine task: a begun refresh transaction plus its updates.
   struct ApplyTask {
     std::unique_ptr<txn::Transaction> txn;
     std::vector<storage::Write> updates;
     Timestamp commit_ts = kInvalidTimestamp;  // primary commit_p(T)
   };
 
+  /// Direct-apply task: a write set whose commit timestamp is already
+  /// allocated and whose commit record is already in the local log — it
+  /// *must* be installed. The write set is heap-allocated because the
+  /// TxnManager's installing list holds a pointer to it until
+  /// FinishExternalCommit.
+  struct DirectTask {
+    std::unique_ptr<storage::WriteSet> writes;
+    Timestamp local_commit_ts = kInvalidTimestamp;
+    Timestamp primary_commit_ts = kInvalidTimestamp;
+  };
+
   void RefresherLoop();
+  void LegacyRefreshRecord(PropagationRecord& record, bool* shutdown);
+  void DirectRefreshRecord(PropagationRecord& record);
   void ApplicatorLoop();
+  void DirectApplicatorLoop();
   void AdvanceSeq(Timestamp primary_commit_ts);
+  /// Direct engine: pops the visibility FIFO up to the local watermark and
+  /// advances seq(DBsec) to the newest covered primary commit.
+  void AdvanceSeqToWatermark(Timestamp local_watermark);
 
   engine::Database* db_;
   SecondaryOptions options_;
 
   BlockingQueue<PropagationRecord> update_queue_;
-  PendingQueue pending_queue_;
+  PendingQueue pending_queue_;  // legacy engine only
   BlockingQueue<ApplyTask> tasks_;
+  BlockingQueue<DirectTask> direct_tasks_;
 
-  /// Refresh transactions begun on start records, keyed by primary TxnId.
-  /// Touched only by the refresher thread.
+  /// Legacy engine: refresh transactions begun on start records, keyed by
+  /// primary TxnId. Touched only by the refresher thread.
   std::map<TxnId, std::unique_ptr<txn::Transaction>> refresh_txns_;
+  /// Direct engine: local txn ids of externally started transactions, keyed
+  /// by primary TxnId. Touched only by the refresher thread.
+  std::map<TxnId, TxnId> direct_txns_;
 
   std::atomic<Timestamp> applied_seq_{0};
   mutable std::mutex seq_mu_;
   mutable std::condition_variable seq_cv_;
 
-  mutable std::mutex translate_mu_;
+  /// Direct engine: refresh commits awaiting visibility, in allocation (==
+  /// local timestamp == primary commit) order. Applicators pop the prefix
+  /// the watermark has passed.
+  mutable std::mutex visibility_mu_;
+  std::deque<std::pair<Timestamp, Timestamp>> visibility_fifo_;
+
+  /// Reader-writer lock: the commit hook and the refresher write, every
+  /// secondary read translates under a shared lock (the hot read path).
+  mutable std::shared_mutex translate_mu_;
   std::unordered_map<Timestamp, Timestamp> local_to_primary_;
   /// Staged translations keyed by local TxnId, published by the commit hook.
   std::unordered_map<TxnId, Timestamp> pending_translation_;
 
   std::atomic<std::uint64_t> refreshed_count_{0};
+  std::atomic<std::uint64_t> group_applies_{0};
+  std::atomic<std::uint64_t> group_applied_commits_{0};
+  std::atomic<std::uint64_t> max_group_apply_{0};
 
   std::thread refresher_;
   std::vector<std::thread> applicators_;

@@ -85,6 +85,50 @@ void VersionedStore::Apply(const WriteSet& writes, Timestamp commit_ts) {
   }
 }
 
+void VersionedStore::ApplyBatch(const std::vector<TimestampedWrites>& batch) {
+  // Bucket (shard, write, ts) triples across the whole run, then lock each
+  // touched shard once. Scratch order within a shard preserves batch order
+  // (stable sort), i.e. increasing commit timestamps, so the common case
+  // below is still a cheap append.
+  struct Slot {
+    std::size_t shard;
+    const Write* write;
+    Timestamp commit_ts;
+  };
+  thread_local std::vector<Slot> scratch;
+  scratch.clear();
+  for (const TimestampedWrites& tw : batch) {
+    for (const auto& [key, w] : tw.writes->entries()) {
+      scratch.push_back(Slot{ShardOf(key), &w, tw.commit_ts});
+    }
+  }
+  std::stable_sort(scratch.begin(), scratch.end(),
+                   [](const Slot& a, const Slot& b) { return a.shard < b.shard; });
+  std::size_t i = 0;
+  while (i < scratch.size()) {
+    const std::size_t s = scratch[i].shard;
+    Shard& shard = shards_[s];
+    std::unique_lock lock(shard.mu);
+    for (; i < scratch.size() && scratch[i].shard == s; ++i) {
+      const Write& w = *scratch[i].write;
+      const Timestamp ts = scratch[i].commit_ts;
+      Chain& chain = shard.chains[w.key];
+      if (chain.empty() || chain.back().commit_ts < ts) {
+        chain.push_back(Version{ts, w.value, w.deleted});
+      } else {
+        // A later commit's version landed first (concurrent applicator run);
+        // keep the chain sorted by inserting in place. Equal timestamps can
+        // only be replayed duplicates of the same write — drop them.
+        auto pos = std::lower_bound(
+            chain.begin(), chain.end(), ts,
+            [](const Version& v, Timestamp t) { return v.commit_ts < t; });
+        if (pos != chain.end() && pos->commit_ts == ts) continue;
+        chain.insert(pos, Version{ts, w.value, w.deleted});
+      }
+    }
+  }
+}
+
 std::vector<std::pair<std::string, VersionedValue>> VersionedStore::Scan(
     const std::string& begin, const std::string& end,
     Timestamp snapshot) const {

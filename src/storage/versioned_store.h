@@ -68,6 +68,27 @@ class VersionedStore {
   /// cross-shard visibility atomicity is the caller's job (see class comment).
   void Apply(const WriteSet& writes, Timestamp commit_ts);
 
+  /// One element of a group install: a committed write set and its commit
+  /// timestamp. The pointed-to write set must outlive the ApplyBatch call.
+  struct TimestampedWrites {
+    const WriteSet* writes = nullptr;
+    Timestamp commit_ts = kInvalidTimestamp;
+  };
+
+  /// Installs a run of committed transactions in a single store pass: all
+  /// writes of all commits are bucketed by shard and each touched shard lock
+  /// is taken exactly once for the whole batch, instead of once per commit.
+  ///
+  /// `batch` must be in increasing commit-timestamp order. Unlike Apply,
+  /// versions may arrive at a key *out of order across calls* — the direct-
+  /// apply refresh engine installs independent runs from concurrent
+  /// applicator threads, and two non-overlapping transactions that wrote the
+  /// same key may land in either order — so versions are inserted at their
+  /// sorted chain position. Readers cannot observe the transient reordering:
+  /// the commit pipeline's visibility watermark only passes a timestamp once
+  /// every commit at or below it has fully installed.
+  void ApplyBatch(const std::vector<TimestampedWrites>& batch);
+
   /// Key-ordered scan of all keys in [begin, end) visible at `snapshot`,
   /// produced by a k-way merge of the per-shard ordered runs.
   /// An empty `end` means "to the end of the keyspace".

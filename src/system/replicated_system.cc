@@ -227,7 +227,8 @@ ReplicatedSystem::ReplicatedSystem(SystemConfig config)
         config_.record_state_chain});
     site->replica = std::make_unique<replication::Secondary>(
         site->db.get(),
-        replication::SecondaryOptions{config_.applicator_threads});
+        replication::SecondaryOptions{config_.applicator_threads,
+                                      config_.direct_apply_refresh});
     const bool wan = config_.network_latency.count() > 0 ||
                      config_.network_jitter.count() > 0;
     if (wan) {
@@ -337,7 +338,14 @@ std::string ReplicatedSystem::SystemStats::ToString() const {
                     : "seq=" + std::to_string(s.applied_seq) +
                           " lag=" + std::to_string(s.lag) +
                           " refreshed=" + std::to_string(s.refreshed_count) +
-                          " queue=" + std::to_string(s.update_queue_depth));
+                          " queue=" + std::to_string(s.update_queue_depth) +
+                          " translations=" +
+                          std::to_string(s.translation_count));
+    if (!s.failed && s.group_applies > 0) {
+      os << " group_apply[passes=" << s.group_applies
+         << " commits=" << s.group_applied_commits
+         << " max=" << s.max_group_apply << "]";
+    }
     if (!s.failed && (s.transport_delivered > 0 || s.link_dropped > 0)) {
       os << " transport[delivered=" << s.transport_delivered
          << " retx=" << s.transport_retransmits
@@ -371,6 +379,10 @@ ReplicatedSystem::SystemStats ReplicatedSystem::Stats() {
                     : 0;
       sec.refreshed_count = s->replica->refreshed_count();
       sec.update_queue_depth = s->replica->update_queue_depth();
+      sec.translation_count = s->replica->translation_count();
+      sec.group_applies = s->replica->group_applies();
+      sec.group_applied_commits = s->replica->group_applied_commits();
+      sec.max_group_apply = s->replica->max_group_apply();
       if (s->reliable) {
         const auto ch = s->reliable->stats();
         sec.transport_delivered = ch.records_delivered;
@@ -392,9 +404,21 @@ ReplicatedSystem::SystemStats ReplicatedSystem::Stats() {
 std::size_t ReplicatedSystem::GarbageCollectAll() {
   std::size_t reclaimed = primary_db_.GarbageCollect();
   std::shared_lock lock(sites_mu_);
+  // Fleet-wide floor for translation pruning: the minimum applied_seq over
+  // live secondaries. Below it every live site already serves newer state,
+  // so no future session floor can depend on a pruned translation.
+  Timestamp fleet_floor = 0;
+  bool have_floor = false;
+  for (auto& s : secondaries_) {
+    if (s->failed.load(std::memory_order_acquire)) continue;
+    const Timestamp seq = s->replica->applied_seq();
+    if (!have_floor || seq < fleet_floor) fleet_floor = seq;
+    have_floor = true;
+  }
   for (auto& s : secondaries_) {
     if (s->failed.load(std::memory_order_acquire)) continue;
     reclaimed += s->db->GarbageCollect();
+    if (have_floor) s->replica->PruneTranslations(fleet_floor);
   }
   return reclaimed;
 }
@@ -457,7 +481,8 @@ Status ReplicatedSystem::RecoverSecondary(std::size_t i) {
 
   auto fresh_replica = std::make_unique<replication::Secondary>(
       fresh_db.get(),
-      replication::SecondaryOptions{config_.applicator_threads});
+      replication::SecondaryOptions{config_.applicator_threads,
+                                    config_.direct_apply_refresh});
   // Dummy-transaction re-seed of seq(DBsec) (Section 4): the checkpoint
   // corresponds to the primary state checkpoint.as_of.
   const Timestamp seq = checkpoint.as_of;

@@ -29,6 +29,11 @@ struct SystemConfig {
   session::Guarantee guarantee = session::Guarantee::kStrongSessionSI;
   /// Applicator pool size at each secondary (Section 3.3).
   std::size_t applicator_threads = 4;
+  /// Refresh engine at each secondary: true (default) uses the direct-apply
+  /// engine (pre-allocated local commit timestamps + group installs into the
+  /// store, visibility via the commit watermark); false uses the legacy
+  /// transactional refresh path, kept for differential testing.
+  bool direct_apply_refresh = true;
   /// 0 = continuous propagation; > 0 models the paper's propagation_delay.
   std::chrono::milliseconds propagation_batch_interval{0};
   /// Per-record network latency on the primary -> secondary path (a
@@ -200,6 +205,15 @@ class ReplicatedSystem {
     Timestamp lag = 0;
     std::uint64_t refreshed_count = 0;
     std::size_t update_queue_depth = 0;
+    /// Size of the local->primary commit-timestamp translation table
+    /// (bounded by GarbageCollectAll's pruning).
+    std::size_t translation_count = 0;
+    /// Direct-apply engine counters: store passes, commits they covered
+    /// (avg group size = commits / passes), and the largest single group.
+    /// All zero under the legacy engine.
+    std::uint64_t group_applies = 0;
+    std::uint64_t group_applied_commits = 0;
+    std::uint64_t max_group_apply = 0;
     /// Transport-layer counters; all zero on the direct in-process path
     /// (no chaos transport configured).
     std::uint64_t transport_delivered = 0;
@@ -226,9 +240,13 @@ class ReplicatedSystem {
 
   /// Version garbage collection across the primary and every live
   /// secondary; each site prunes at its own safe horizon (oldest active
-  /// snapshot). Returns the total number of versions reclaimed. Pruning
-  /// never affects replication: the propagator ships update *records* from
-  /// the log, not store versions.
+  /// snapshot). Also prunes each secondary's local->primary translation
+  /// table below the fleet-wide floor (the minimum applied_seq across live
+  /// secondaries): every live site already serves state at least that new,
+  /// so a session floor derived from a pruned entry could never block or
+  /// reorder anything. Returns the total number of versions reclaimed.
+  /// Pruning never affects replication: the propagator ships update
+  /// *records* from the log, not store versions.
   std::size_t GarbageCollectAll();
 
   /// Blocks until every live secondary has applied all updates committed at

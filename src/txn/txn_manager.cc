@@ -128,6 +128,78 @@ void TxnManager::PublishCommit(Timestamp commit_ts) {
   }
 }
 
+Timestamp TxnManager::ExternalStart(TxnId id) {
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  const Timestamp start_ts = ++clock_;
+  if (observer_ != nullptr) observer_->OnStart(id, start_ts);
+  return start_ts;
+}
+
+void TxnManager::ExternalAbort(TxnId id) {
+  aborted_count_.fetch_add(1, std::memory_order_relaxed);
+  if (observer_ != nullptr) {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    observer_->OnAbort(id);
+  }
+}
+
+Timestamp TxnManager::BeginExternalCommit(TxnId id,
+                                          const storage::WriteSet& writes) {
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  const Timestamp commit_ts = ++clock_;
+  // The local log must carry the update records (cascaded propagators tail
+  // it), and validation of any concurrent local update transaction must see
+  // this commit: bump the per-shard watermarks and list the write set as
+  // installing. Emitting everything inside one clock_mu_ critical section
+  // keeps log order == timestamp order, the invariant every lemma rests on.
+  for (const auto& [key, w] : writes.entries()) {
+    shard_last_commit_[store_->ShardOf(key)] = commit_ts;
+    if (observer_ != nullptr) {
+      observer_->OnUpdate(id, key, w.value, w.deleted);
+    }
+  }
+  installing_.push_back(PendingInstall{commit_ts, &writes});
+  if (observer_ != nullptr) observer_->OnCommit(id, commit_ts, writes);
+  StageInflightCommit(commit_ts);
+  return commit_ts;
+}
+
+Timestamp TxnManager::FinishExternalCommit(Timestamp commit_ts) {
+  Timestamp new_visible;
+  {
+    std::lock_guard<std::mutex> lock(visible_mu_);
+    for (auto& inflight : inflight_commits_) {
+      if (inflight.ts == commit_ts) {
+        inflight.installed = true;
+        break;
+      }
+    }
+    new_visible = visible_ts_.load(std::memory_order_relaxed);
+    while (!inflight_commits_.empty() && inflight_commits_.front().installed) {
+      new_visible = inflight_commits_.front().ts;
+      inflight_commits_.pop_front();
+    }
+    if (new_visible > visible_ts_.load(std::memory_order_relaxed)) {
+      visible_ts_.store(new_visible, std::memory_order_release);
+      visible_cv_.notify_all();
+    }
+  }
+  // Unlist after installation (the caller installed before calling us): from
+  // here the store is authoritative for this commit's writes, visible or not
+  // — HasCommitAfter reads raw chains, not snapshots.
+  {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    for (auto it = installing_.begin(); it != installing_.end(); ++it) {
+      if (it->commit_ts == commit_ts) {
+        installing_.erase(it);
+        break;
+      }
+    }
+  }
+  committed_count_.fetch_add(1, std::memory_order_relaxed);
+  return new_visible;
+}
+
 Status TxnManager::CommitTxn(Transaction* t) {
   assert(t->state() == Transaction::State::kActive);
   if (t->write_set().empty()) {

@@ -103,6 +103,53 @@ class TxnManager {
                last_allocated_commit_;
   }
 
+  /// --- Externally-ordered commits (the secondary's direct-apply refresh
+  /// engine). The caller owns both the global order (timestamps are issued
+  /// in its call order) and version installation; FCW validation is skipped
+  /// entirely, which is sound only when the caller can prove its commits
+  /// never conflict — refresh transactions qualify, because conflicting
+  /// primary transactions were never concurrent after FCW at the primary.
+  ///
+  /// Protocol, per externally-applied transaction:
+  ///   1. id = AllocateTxnId()               (once, any thread)
+  ///   2. ExternalStart(id)                   (emits the start record)
+  ///   3. ts = BeginExternalCommit(id, ws)    (allocates the commit
+  ///      timestamp, emits update+commit records and the commit hook,
+  ///      stages the commit in the visibility pipeline)
+  ///   4. store()->Apply(...)/ApplyBatch(...) (install, any thread)
+  ///   5. FinishExternalCommit(ts)            (publish visibility)
+  /// `ws` must stay alive and unmodified until step 5 returns: until then
+  /// concurrent validators may read it through the installing list.
+  /// Between steps 3 and 5 the versions may be installed out of order
+  /// relative to other external commits; the visibility watermark only
+  /// advances over the fully installed prefix, so no snapshot ever observes
+  /// a torn or out-of-order state.
+
+  /// Reserves a fresh local transaction id without starting a transaction.
+  TxnId AllocateTxnId() {
+    return next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Emits a start record for an externally-applied transaction: allocates a
+  /// start timestamp under the clock mutex and notifies the observer, so the
+  /// local log preserves the start/commit interleaving of the origin site
+  /// (Lemmas 3.1-3.2 read the refresh schedule off this log).
+  Timestamp ExternalStart(TxnId id);
+
+  /// Emits an abort record for an externally-applied transaction that will
+  /// never commit (the origin site aborted it).
+  void ExternalAbort(TxnId id);
+
+  /// Step 3 of the protocol above. Returns the allocated commit timestamp.
+  Timestamp BeginExternalCommit(TxnId id, const storage::WriteSet& writes);
+
+  /// Step 5: marks `commit_ts` installed, advances the visibility watermark
+  /// over the installed prefix and unlists the commit. Never blocks (unlike
+  /// the client commit path there is no per-transaction acknowledgement to
+  /// order). Returns the new watermark, which may cover later external
+  /// commits finished out of order by other threads.
+  Timestamp FinishExternalCommit(Timestamp commit_ts);
+
   /// Total committed update transactions (used by tests and stats).
   std::uint64_t CommittedCount() const {
     return committed_count_.load(std::memory_order_relaxed);

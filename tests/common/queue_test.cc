@@ -145,5 +145,37 @@ TEST(BlockingQueueTest, ConcurrentProducersConsumers) {
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
+TEST(BlockingQueueTest, PushAllKeepsFifoOrder) {
+  BlockingQueue<int> q;
+  q.Push(0);
+  EXPECT_TRUE(q.PushAll(std::vector<int>{1, 2, 3}));  // move overload
+  const std::vector<int> burst{4, 5};
+  EXPECT_TRUE(q.PushAll(burst));  // copy overload
+  for (int i = 0; i <= 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BlockingQueueTest, PushAllWakesBlockedConsumer) {
+  BlockingQueue<int> q;
+  std::thread consumer([&] {
+    EXPECT_EQ(q.Pop(), 7);
+    EXPECT_EQ(q.Pop(), 8);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(q.PushAll(std::vector<int>{7, 8}));
+  consumer.join();
+}
+
+TEST(BlockingQueueTest, PushAllOnClosedQueueDropsBurst) {
+  BlockingQueue<int> q;
+  q.Close();
+  EXPECT_FALSE(q.PushAll(std::vector<int>{1, 2}));
+  EXPECT_TRUE(q.PushAll(std::vector<int>{}));  // empty burst is trivially ok
+  EXPECT_EQ(q.size(), 0u);
+}
+
 }  // namespace
 }  // namespace lazysi

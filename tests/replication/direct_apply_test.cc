@@ -1,0 +1,271 @@
+// Differential and regression tests for the direct-apply refresh engine:
+// the direct and legacy engines must produce byte-identical replica states
+// and state chains for the same propagated workload (aborts, deletes, and
+// commit-without-start recovery included), the local->primary translation
+// table must stay bounded under pruning, and the shared-mutex translation
+// path must be clean under contention (exercised hardest under TSan).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/database.h"
+#include "replication/primary.h"
+#include "replication/secondary.h"
+
+namespace lazysi {
+namespace replication {
+namespace {
+
+constexpr auto kWait = std::chrono::milliseconds(15000);
+
+TEST(DirectApplyTest, DirectAndLegacyEnginesProduceIdenticalState) {
+  engine::Database primary_db;
+  Primary primary(&primary_db);
+  engine::Database direct_db(engine::DatabaseOptions{1, "direct", true});
+  Secondary direct(&direct_db, SecondaryOptions{4, /*direct_apply=*/true});
+  engine::Database legacy_db(engine::DatabaseOptions{2, "legacy", true});
+  Secondary legacy(&legacy_db, SecondaryOptions{4, /*direct_apply=*/false});
+  primary.AttachSecondary(&direct);
+  primary.AttachSecondary(&legacy);
+  direct.Start();
+  legacy.Start();
+  primary.Start();
+
+  // Seeded concurrent workload over a SHARED hot keyspace: puts, deletes,
+  // voluntary aborts, plus involuntary first-committer-wins aborts.
+  constexpr int kWriters = 4;
+  constexpr int kTxnsPerWriter = 50;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      Rng rng(900 + w);
+      for (int i = 0; i < kTxnsPerWriter; ++i) {
+        auto t = primary_db.Begin();
+        const int ops = static_cast<int>(rng.UniformInt(1, 4));
+        for (int o = 0; o < ops; ++o) {
+          const std::string key = "k" + std::to_string(rng.Next(24));
+          if (rng.Bernoulli(0.2)) {
+            ASSERT_TRUE(t->Delete(key).ok());
+          } else {
+            ASSERT_TRUE(t->Put(key, std::to_string(i) + "/" +
+                                        std::to_string(o)).ok());
+          }
+        }
+        if (rng.Bernoulli(0.15)) {
+          t->Abort();
+        } else if (t->Commit().ok()) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  ASSERT_GT(committed.load(), 50);
+
+  ASSERT_TRUE(direct.WaitForSeq(primary_db.LatestCommitTs(), kWait));
+  ASSERT_TRUE(legacy.WaitForSeq(primary_db.LatestCommitTs(), kWait));
+  primary.Stop();
+  direct.Stop();
+  legacy.Stop();
+
+  // Theorem 3.1, executable form: identical per-commit state chains...
+  EXPECT_EQ(primary_db.StateHash(), direct_db.StateHash());
+  EXPECT_EQ(primary_db.StateHash(), legacy_db.StateHash());
+  const auto primary_chain = primary_db.StateChainHistory();
+  const auto direct_chain = direct_db.StateChainHistory();
+  const auto legacy_chain = legacy_db.StateChainHistory();
+  ASSERT_EQ(primary_chain.size(), direct_chain.size());
+  ASSERT_EQ(primary_chain.size(), legacy_chain.size());
+  for (std::size_t i = 0; i < primary_chain.size(); ++i) {
+    EXPECT_EQ(primary_chain[i].hash, direct_chain[i].hash) << "entry " << i;
+    EXPECT_EQ(primary_chain[i].hash, legacy_chain[i].hash) << "entry " << i;
+  }
+  // ...and identical materialized states.
+  const auto want =
+      primary_db.store()->Materialize(primary_db.LatestCommitTs());
+  EXPECT_EQ(want, direct_db.store()->Materialize(direct_db.LatestCommitTs()));
+  EXPECT_EQ(want, legacy_db.store()->Materialize(legacy_db.LatestCommitTs()));
+  // Both engines committed one refresh transaction per primary commit.
+  EXPECT_EQ(direct.refreshed_count(), legacy.refreshed_count());
+  EXPECT_EQ(direct.refreshed_count(),
+            static_cast<std::uint64_t>(committed.load()));
+}
+
+// A sink attached mid-stream can receive a commit whose start record it never
+// saw; both engines must recover by starting the refresh transaction at
+// commit time and still converge.
+void RunCommitWithoutStart(bool direct_mode) {
+  engine::Database primary_db;
+  Primary primary(&primary_db);
+
+  // Begin (and log the start of) a transaction BEFORE the secondary attaches.
+  auto orphan = primary_db.Begin();
+  ASSERT_TRUE(orphan->Put("orphan", "v1").ok());
+  primary.Start();
+  while (primary.propagator()->position() < primary_db.log()->Size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  engine::Database sec_db(engine::DatabaseOptions{1, "sec", true});
+  Secondary sec(&sec_db, SecondaryOptions{2, direct_mode});
+  primary.AttachSecondary(&sec);
+  sec.Start();
+
+  ASSERT_TRUE(orphan->Commit().ok());  // arrives with no start record
+  ASSERT_TRUE(primary_db.Put("after", "v2").ok());
+  ASSERT_TRUE(sec.WaitForSeq(primary_db.LatestCommitTs(), kWait));
+  primary.Stop();
+  sec.Stop();
+
+  const auto state = sec_db.store()->Materialize(sec_db.LatestCommitTs());
+  EXPECT_EQ(state.at("orphan"), "v1");
+  EXPECT_EQ(state.at("after"), "v2");
+  // The secondary saw every commit, so the chains still agree.
+  EXPECT_EQ(primary_db.StateHash(), sec_db.StateHash());
+  // The newest local commit translates exactly.
+  EXPECT_EQ(sec.TranslateLocalToPrimary(sec_db.LatestCommitTs()),
+            primary_db.LatestCommitTs());
+}
+
+TEST(DirectApplyTest, CommitWithoutStartRecoversDirect) {
+  RunCommitWithoutStart(/*direct_mode=*/true);
+}
+
+TEST(DirectApplyTest, CommitWithoutStartRecoversLegacy) {
+  RunCommitWithoutStart(/*direct_mode=*/false);
+}
+
+// Without pruning local_to_primary_ grows by one entry per refresh commit
+// forever; pruning at the applied horizon must bound it while keeping the
+// newest translation exact.
+TEST(DirectApplyTest, TranslationTableIsPrunedToHorizon) {
+  engine::Database primary_db;
+  Primary primary(&primary_db);
+  engine::Database sec_db(engine::DatabaseOptions{1, "sec", true});
+  Secondary sec(&sec_db, SecondaryOptions{2, /*direct_apply=*/true});
+  primary.AttachSecondary(&sec);
+  sec.Start();
+  primary.Start();
+
+  constexpr int kCommits = 200;
+  for (int i = 0; i < kCommits; ++i) {
+    ASSERT_TRUE(primary_db.Put("k" + std::to_string(i % 5),
+                               std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(sec.WaitForSeq(primary_db.LatestCommitTs(), kWait));
+
+  // One translation per refresh commit accumulated...
+  EXPECT_EQ(sec.translation_count(), static_cast<std::size_t>(kCommits));
+  // ...pruning at the applied horizon keeps only the entry at the horizon.
+  const std::size_t erased = sec.PruneTranslations(sec.applied_seq());
+  EXPECT_EQ(erased, static_cast<std::size_t>(kCommits - 1));
+  EXPECT_EQ(sec.translation_count(), 1u);
+  EXPECT_EQ(sec.TranslateLocalToPrimary(sec_db.LatestCommitTs()),
+            primary_db.LatestCommitTs());
+
+  primary.Stop();
+  sec.Stop();
+}
+
+// Readers translate under a shared lock while the refresher and commit hook
+// write and a pruner sweeps — the lock discipline must hold under load
+// (this is the TSan target for the shared_mutex conversion).
+TEST(DirectApplyTest, ContendedTranslationReadsDuringRefresh) {
+  engine::Database primary_db;
+  Primary primary(&primary_db);
+  engine::Database sec_db(engine::DatabaseOptions{1, "sec", true});
+  Secondary sec(&sec_db, SecondaryOptions{4, /*direct_apply=*/true});
+  primary.AttachSecondary(&sec);
+  sec.Start();
+  primary.Start();
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        (void)sec.TranslateLocalToPrimary(sec_db.LatestCommitTs());
+        (void)sec.translation_count();
+      }
+    });
+  }
+  std::thread pruner([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)sec.PruneTranslations(sec.applied_seq() / 2);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  constexpr int kCommits = 300;
+  for (int i = 0; i < kCommits; ++i) {
+    ASSERT_TRUE(primary_db.Put("k" + std::to_string(i % 7),
+                               std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(sec.WaitForSeq(primary_db.LatestCommitTs(), kWait));
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  pruner.join();
+  primary.Stop();
+  sec.Stop();
+
+  EXPECT_EQ(primary_db.StateHash(), sec_db.StateHash());
+}
+
+// Group-apply accounting: every refresh commit is covered by exactly one
+// store pass, and passes never exceed commits. A pre-built backlog gives the
+// single applicator a chance to coalesce (but the assertions hold for any
+// batching the scheduler produces).
+TEST(DirectApplyTest, GroupApplyCountersAccountForEveryCommit) {
+  engine::Database primary_db;
+  Primary primary(&primary_db);
+  engine::Database sec_db(engine::DatabaseOptions{1, "sec", true});
+  Secondary sec(&sec_db, SecondaryOptions{1, /*direct_apply=*/true});
+  primary.AttachSecondary(&sec);
+
+  constexpr std::uint64_t kCommits = 32;
+  for (std::uint64_t i = 0; i < kCommits; ++i) {
+    ASSERT_TRUE(primary_db.Put("k" + std::to_string(i), "v").ok());
+  }
+  sec.Start();
+  primary.Start();
+  ASSERT_TRUE(sec.WaitForSeq(primary_db.LatestCommitTs(), kWait));
+  primary.Stop();
+  sec.Stop();
+
+  EXPECT_EQ(sec.refreshed_count(), kCommits);
+  EXPECT_EQ(sec.group_applied_commits(), kCommits);
+  EXPECT_GE(sec.group_applies(), 1u);
+  EXPECT_LE(sec.group_applies(), kCommits);
+  EXPECT_GE(sec.max_group_apply(), 1u);
+  EXPECT_LE(sec.max_group_apply(), kCommits);
+  EXPECT_EQ(primary_db.StateHash(), sec_db.StateHash());
+}
+
+// The legacy engine never touches the group-apply machinery.
+TEST(DirectApplyTest, LegacyEngineReportsNoGroupApplies) {
+  engine::Database primary_db;
+  Primary primary(&primary_db);
+  engine::Database sec_db(engine::DatabaseOptions{1, "sec", true});
+  Secondary sec(&sec_db, SecondaryOptions{2, /*direct_apply=*/false});
+  primary.AttachSecondary(&sec);
+  sec.Start();
+  primary.Start();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(primary_db.Put("k" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(sec.WaitForSeq(primary_db.LatestCommitTs(), kWait));
+  primary.Stop();
+  sec.Stop();
+  EXPECT_EQ(sec.group_applies(), 0u);
+  EXPECT_EQ(sec.group_applied_commits(), 0u);
+  EXPECT_EQ(sec.max_group_apply(), 0u);
+}
+
+}  // namespace
+}  // namespace replication
+}  // namespace lazysi

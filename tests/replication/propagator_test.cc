@@ -184,6 +184,48 @@ TEST(PropagatorTest, AttachSinkAtRejectsNonQuiescedLsn) {
   prop.Stop();
 }
 
+TEST(PropagatorTest, AttachSinkAtDerivesBaseSeqFromSyncPoints) {
+  engine::Database db;
+  Propagator prop(db.log());
+  Queue early;
+  prop.AttachSink(&early);
+  prop.Start();
+
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db.Put("a" + std::to_string(i), "1").ok());
+  }
+  while (prop.position() < db.log()->Size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::size_t mid_lsn = db.log()->Size();  // quiesced
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(db.Put("b" + std::to_string(i), "2").ok());
+  }
+  while (prop.position() < db.log()->Size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Ground truth by full log scan: every non-update record below the attach
+  // LSN produced exactly one propagation record. AttachSinkAt must agree
+  // while counting only from the nearest recorded sync point.
+  std::uint64_t expected = 0;
+  for (std::size_t lsn = 0; lsn < mid_lsn; ++lsn) {
+    auto r = db.log()->At(lsn);
+    ASSERT_TRUE(r.has_value());
+    if (r->type != wal::LogRecordType::kUpdate) ++expected;
+  }
+  Queue mid;
+  auto seq = prop.AttachSinkAt(&mid, mid_lsn);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, expected);
+
+  Queue origin;
+  auto zero = prop.AttachSinkAt(&origin, 0);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(*zero, 0u);
+  prop.Stop();
+}
+
 TEST(PropagatorTest, BatchedModeDeliversInCycles) {
   engine::Database db;
   Propagator prop(db.log(), PropagatorOptions{std::chrono::milliseconds(80)});

@@ -31,6 +31,9 @@ struct PropertyParams {
   int propagation_batch_ms;
   std::string name;
   bool roam_reads = false;
+  /// Run the legacy transactional refresh engine instead of direct-apply,
+  /// so both engines stay covered by the SI checkers.
+  bool legacy_refresh = false;
 };
 
 class SystemPropertyTest : public ::testing::TestWithParam<PropertyParams> {};
@@ -45,6 +48,7 @@ TEST_P(SystemPropertyTest, HistorySatisfiesGuarantee) {
       std::chrono::milliseconds(p.propagation_batch_ms);
   config.read_block_timeout = std::chrono::milliseconds(20000);
   config.roam_reads = p.roam_reads;
+  config.direct_apply_refresh = !p.legacy_refresh;
   ReplicatedSystem sys(config);
   sys.Start();
 
@@ -156,7 +160,13 @@ INSTANTIATE_TEST_SUITE_P(
         PropertyParams{session::Guarantee::kPrefixConsistentSI, 3, 4, 25, 20,
                        "pcsi_roaming", /*roam_reads=*/true},
         PropertyParams{session::Guarantee::kStrongSI, 3, 3, 20, 20,
-                       "strong_roaming", /*roam_reads=*/true}),
+                       "strong_roaming", /*roam_reads=*/true},
+        PropertyParams{session::Guarantee::kStrongSessionSI, 2, 4, 25, 0,
+                       "session_legacy_refresh", /*roam_reads=*/false,
+                       /*legacy_refresh=*/true},
+        PropertyParams{session::Guarantee::kWeakSI, 2, 4, 30, 40,
+                       "weak_legacy_refresh", /*roam_reads=*/false,
+                       /*legacy_refresh=*/true}),
     [](const ::testing::TestParamInfo<PropertyParams>& info) {
       return info.param.name;
     });
