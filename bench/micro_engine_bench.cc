@@ -130,6 +130,65 @@ BENCHMARK(BM_SnapshotGetContended)
     ->ThreadRange(1, 8)
     ->UseRealTime();
 
+void BM_ReadOnlyBegin(benchmark::State& state) {
+  // Lock-free read-only begin: one atomic watermark load + a reader-slot
+  // CAS, no clock mutex. Contended threads measure whether concurrent RO
+  // begins scale instead of serializing on the timestamp lock.
+  static Database* db = nullptr;
+  if (state.thread_index() == 0) {
+    lazysi::engine::DatabaseOptions options;
+    options.record_state_chain = false;
+    db = new Database(options);
+    (void)db->Put("key", "v");
+  }
+  for (auto _ : state) {
+    auto t = db->Begin(/*read_only=*/true);
+    benchmark::DoNotOptimize(t.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete db;
+    db = nullptr;
+  }
+}
+BENCHMARK(BM_ReadOnlyBegin)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_SnapshotReadHot(benchmark::State& state) {
+  // Every thread reads the SAME row, so there is no lock striping to hide
+  // behind: the Arg toggles the shared-lock baseline (GetLocked, what every
+  // read paid before the lock-free chains) against the lock-free path
+  // (Get). locked:0/threads:N vs locked:1/threads:N is the before/after of
+  // the lock-free read work.
+  static VersionedStore* store = nullptr;
+  if (state.thread_index() == 0) {
+    store = new VersionedStore();
+    WriteSet ws;
+    ws.Put("hot", "v");
+    store->Apply(ws, 10);
+  }
+  const bool locked = state.range(0) != 0;
+  if (locked) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(store->GetLocked("hot", 100));
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(store->Get("hot", 100));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete store;
+    store = nullptr;
+  }
+}
+BENCHMARK(BM_SnapshotReadHot)
+    ->ArgNames({"locked"})
+    ->Arg(0)
+    ->Arg(1)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
 void BM_TxnMultiOpContended(benchmark::State& state) {
   static Database* db = nullptr;
   if (state.thread_index() == 0) {

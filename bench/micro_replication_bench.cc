@@ -209,6 +209,49 @@ void BM_WeakReadThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_WeakReadThroughput);
 
+void BM_ReadRoutingFreshVsBlind(benchmark::State& state) {
+  // Freshness routing vs blind round-robin roaming under per-secondary
+  // delivery jitter: after each session update the two secondaries catch up
+  // at independently jittered times, so at read time one is usually fresh
+  // and the other stale. Blind roaming sends half the reads to whichever
+  // site the round-robin picks — stale half the time, blocking on seq(c) —
+  // while the router places each read on a site that already covers the
+  // session (or the freshest one, which also unblocks soonest). Arg:
+  // routed=0 is the blind baseline, routed=1 the freshness router.
+  SystemConfig config;
+  config.num_secondaries = 2;
+  config.guarantee = Guarantee::kStrongSessionSI;
+  config.network_latency = std::chrono::milliseconds(1);
+  config.network_jitter = std::chrono::milliseconds(3);
+  if (state.range(0) != 0) {
+    config.freshness_routing = true;
+  } else {
+    config.roam_reads = true;
+  }
+  ReplicatedSystem sys(config);
+  sys.Start();
+  auto client = sys.ConnectTo(0);
+  std::uint64_t i = 0;
+  constexpr int kReadsPerUpdate = 4;
+  for (auto _ : state) {
+    (void)client->ExecuteUpdate([&](SystemTransaction& t) {
+      return t.Put("key", std::to_string(i++));
+    });
+    for (int r = 0; r < kReadsPerUpdate; ++r) {
+      auto read = client->BeginRead();
+      benchmark::DoNotOptimize((*read)->Get("key"));
+      (void)(*read)->Commit();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kReadsPerUpdate);
+  sys.Stop();
+}
+BENCHMARK(BM_ReadRoutingFreshVsBlind)
+    ->ArgNames({"routed"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_ChaosTransportThroughput(benchmark::State& state) {
   // Primary-commit -> secondary-applied throughput when every record crosses
   // the ReliableChannel-over-ChaosLink path (encode + CRC + ack machinery on

@@ -1,6 +1,7 @@
 #ifndef LAZYSI_ENGINE_DATABASE_H_
 #define LAZYSI_ENGINE_DATABASE_H_
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -79,9 +80,17 @@ class Database : private txn::TxnObserver {
   /// Version garbage collection: drops every version shadowed at the safe
   /// horizon (the oldest snapshot any in-flight transaction can read).
   /// Returns the number of versions reclaimed. Always safe to call — a
-  /// long-running reader simply pins the horizon.
+  /// long-running reader simply pins the horizon, and concurrent historical
+  /// Begins are covered by the floor handshake: the pruning upper bound is
+  /// published *before* the horizon scan of the active-snapshot table, and
+  /// the horizon is clamped to that bound, so a reader either appears in
+  /// the scan (horizon <= its snapshot) or observes the floor and reads
+  /// under the shard locks (see VersionedStore's reclamation contract).
   std::size_t GarbageCollect() {
-    return store_.PruneVersions(txn_manager_.MinActiveSnapshot());
+    const Timestamp bound = txn_manager_.LatestCommitTs();
+    store_.RaiseGcFloor(bound);
+    return store_.PruneVersions(
+        std::min(bound, txn_manager_.MinActiveSnapshot()));
   }
 
   storage::VersionedStore* store() { return &store_; }

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 
 #include "common/hash.h"
 
@@ -151,8 +152,12 @@ Result<Database::Checkpoint> LoadCheckpoint(const std::string& path) {
   return cp;
 }
 
-Result<std::size_t> ReplayLog(Database* db,
-                              const std::vector<wal::LogRecord>& records) {
+namespace {
+
+/// Legacy replay engine: one full local transaction per committed primary
+/// transaction, through the complete Begin/Put/Commit concurrency control.
+Result<std::size_t> ReplayTransactional(
+    Database* db, const std::vector<wal::LogRecord>& records) {
   // Rebuild per-transaction update lists exactly like the propagator
   // (Algorithm 3.1), then apply each committed transaction in log order.
   std::map<TxnId, std::vector<storage::Write>> lists;
@@ -189,6 +194,108 @@ Result<std::size_t> ReplayLog(Database* db,
     }
   }
   return applied;
+}
+
+/// Group-apply replay engine: write sets go through the externally-ordered
+/// commit protocol and runs of consecutive commits install in one
+/// VersionedStore pass, exactly like the secondary's direct-apply refresher
+/// (which is what replay simulates — see the file comment). FCW validation
+/// is safely skipped: the records come from one site's log, where
+/// conflicting transactions were never concurrent.
+Result<std::size_t> ReplayGrouped(Database* db,
+                                  const std::vector<wal::LogRecord>& records,
+                                  const ReplayOptions& options) {
+  struct Replaying {
+    TxnId local_id = 0;
+    std::vector<storage::Write> updates;
+  };
+  struct PendingInstall {
+    std::unique_ptr<storage::WriteSet> writes;  // alive until Finish
+    Timestamp local_commit_ts = kInvalidTimestamp;
+  };
+  txn::TxnManager* mgr = db->txn_manager();
+  std::map<TxnId, Replaying> lists;
+  std::vector<PendingInstall> group;
+  const std::size_t group_limit = options.group_limit > 0 ? options.group_limit
+                                                          : 1;
+  // Installs the buffered run in one store pass, then publishes visibility
+  // in allocation order (BeginExternalCommit was called in log order, so the
+  // buffer is already sorted by commit timestamp as ApplyBatch requires).
+  const auto flush = [&] {
+    if (group.empty()) return;
+    std::vector<storage::VersionedStore::TimestampedWrites> batch;
+    batch.reserve(group.size());
+    for (const auto& p : group) {
+      batch.push_back({p.writes.get(), p.local_commit_ts});
+    }
+    db->store()->ApplyBatch(batch);
+    for (const auto& p : group) {
+      mgr->FinishExternalCommit(p.local_commit_ts);
+    }
+    group.clear();
+  };
+  std::size_t applied = 0;
+  for (const auto& record : records) {
+    switch (record.type) {
+      case wal::LogRecordType::kStart: {
+        Replaying& r = lists[record.txn_id];
+        r.local_id = mgr->AllocateTxnId();
+        mgr->ExternalStart(r.local_id);
+        break;
+      }
+      case wal::LogRecordType::kUpdate:
+        lists[record.txn_id].updates.push_back(
+            storage::Write{record.key, record.value, record.deleted});
+        break;
+      case wal::LogRecordType::kCommit: {
+        auto it = lists.find(record.txn_id);
+        if (it == lists.end()) {
+          flush();
+          return Status::FailedPrecondition(
+              "log replay: commit for a transaction whose start precedes "
+              "the segment (checkpoint not quiesced)");
+        }
+        PendingInstall pending;
+        pending.writes = std::make_unique<storage::WriteSet>();
+        for (const auto& w : it->second.updates) {
+          if (w.deleted) {
+            pending.writes->Delete(w.key);
+          } else {
+            pending.writes->Put(w.key, w.value);
+          }
+        }
+        pending.local_commit_ts =
+            mgr->BeginExternalCommit(it->second.local_id, *pending.writes);
+        group.push_back(std::move(pending));
+        lists.erase(it);
+        ++applied;
+        if (group.size() >= group_limit) flush();
+        break;
+      }
+      case wal::LogRecordType::kAbort: {
+        auto it = lists.find(record.txn_id);
+        if (it != lists.end()) {
+          mgr->ExternalAbort(it->second.local_id);
+          lists.erase(it);
+        }
+        break;
+      }
+    }
+  }
+  flush();
+  // Transactions whose start is in the segment but whose outcome is not
+  // (crash mid-transaction): never committed, so abort them locally.
+  for (const auto& [id, r] : lists) mgr->ExternalAbort(r.local_id);
+  return applied;
+}
+
+}  // namespace
+
+Result<std::size_t> ReplayLog(Database* db,
+                              const std::vector<wal::LogRecord>& records,
+                              ReplayOptions options) {
+  return options.group_apply ? ReplayGrouped(db, records, options)
+                             : ReplayTransactional(db, records);
 }
 
 }  // namespace engine

@@ -32,12 +32,28 @@ Status SaveCheckpoint(const Database::Checkpoint& checkpoint,
 /// Reads a checkpoint written by SaveCheckpoint.
 Result<Database::Checkpoint> LoadCheckpoint(const std::string& path);
 
+struct ReplayOptions {
+  /// Group-apply engine: replayed write sets go through the externally-
+  /// ordered commit protocol (TxnManager::BeginExternalCommit +
+  /// VersionedStore::ApplyBatch), installing runs of consecutive commits in
+  /// one store pass each — the same machinery the secondary's direct-apply
+  /// refresher uses, so replay cost matches refresh cost instead of paying
+  /// full Begin/Put/Commit concurrency control per transaction. False runs
+  /// the legacy one-transaction-per-commit path.
+  bool group_apply = false;
+  /// Group-apply only: upper bound on commits installed per store pass.
+  std::size_t group_limit = 32;
+};
+
 /// Applies the committed transactions found in `records` to `db`, one local
 /// transaction per primary transaction, in commit order. Updates belonging
 /// to transactions that aborted (or never committed within `records`) are
-/// discarded. Returns the number of transactions applied.
+/// discarded. Returns the number of transactions applied. Both replay
+/// engines produce the same state and state-hash chain (asserted
+/// differentially in recovery_test).
 Result<std::size_t> ReplayLog(Database* db,
-                              const std::vector<wal::LogRecord>& records);
+                              const std::vector<wal::LogRecord>& records,
+                              ReplayOptions options = ReplayOptions());
 
 }  // namespace engine
 }  // namespace lazysi

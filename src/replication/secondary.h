@@ -141,6 +141,34 @@ class Secondary {
 
   bool direct_apply() const { return options_.direct_apply; }
 
+  /// Freshness-aware router instrumentation (Section 6's read routing,
+  /// generalized): read-only transactions routed here because this site's
+  /// seq(DBsec) already covered the session's seq(c) (no blocking needed)
+  /// vs. reads sent here as the freshest-available fallback, which must
+  /// block until seq(DBsec) catches up.
+  std::uint64_t ro_routed_fresh() const {
+    return ro_routed_fresh_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ro_blocked_on_freshness() const {
+    return ro_blocked_on_freshness_.load(std::memory_order_relaxed);
+  }
+  /// Read-only transactions currently open at this site — the router's load
+  /// signal.
+  std::uint64_t active_reads() const {
+    return active_reads_.load(std::memory_order_relaxed);
+  }
+
+  void CountRoutedFresh() {
+    ro_routed_fresh_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountBlockedOnFreshness() {
+    ro_blocked_on_freshness_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnReadStart() { active_reads_.fetch_add(1, std::memory_order_relaxed); }
+  void OnReadFinish() {
+    active_reads_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
   /// Direct-apply instrumentation: number of store passes, total commits
   /// they covered (avg group size = commits / passes), and the largest
   /// single group. All zero under the legacy engine.
@@ -220,6 +248,9 @@ class Secondary {
   std::unordered_map<TxnId, Timestamp> pending_translation_;
 
   std::atomic<std::uint64_t> refreshed_count_{0};
+  std::atomic<std::uint64_t> ro_routed_fresh_{0};
+  std::atomic<std::uint64_t> ro_blocked_on_freshness_{0};
+  std::atomic<std::uint64_t> active_reads_{0};
   std::atomic<std::uint64_t> group_applies_{0};
   std::atomic<std::uint64_t> group_applied_commits_{0};
   std::atomic<std::uint64_t> max_group_apply_{0};

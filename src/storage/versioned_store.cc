@@ -24,40 +24,143 @@ std::size_t RoundUpPow2(std::size_t n) {
 VersionedStore::VersionedStore(std::size_t shard_count)
     : shards_(RoundUpPow2(shard_count)), shard_mask_(shards_.size() - 1) {}
 
+VersionedStore::~VersionedStore() {
+  for (Shard& shard : shards_) {
+    // Every KeyNode ever created is reachable from its bucket (ghosts
+    // included); every live version node from its KeyNode head. Unlinked
+    // version nodes sit in the retired list.
+    for (std::atomic<KeyNode*>& bucket : shard.buckets) {
+      KeyNode* k = bucket.load(std::memory_order_relaxed);
+      while (k != nullptr) {
+        VersionNode* v = k->head.load(std::memory_order_relaxed);
+        while (v != nullptr) {
+          VersionNode* next = v->next.load(std::memory_order_relaxed);
+          delete v;
+          v = next;
+        }
+        KeyNode* next_key = k->bucket_next.load(std::memory_order_relaxed);
+        delete k;
+        k = next_key;
+      }
+    }
+    for (VersionNode* v : shard.retired) delete v;
+  }
+}
+
 std::size_t VersionedStore::ShardOf(const std::string& key) const {
   return static_cast<std::size_t>(Fnv1a64(key)) & shard_mask_;
 }
 
-const VersionedStore::Version* VersionedStore::VisibleVersion(
-    const Chain& chain, Timestamp snapshot) {
-  // Chains are in increasing commit_ts order; binary search for the newest
-  // version with commit_ts <= snapshot.
-  auto it = std::upper_bound(
-      chain.begin(), chain.end(), snapshot,
-      [](Timestamp s, const Version& v) { return s < v.commit_ts; });
-  if (it == chain.begin()) return nullptr;
-  return &*std::prev(it);
+const VersionedStore::VersionNode* VersionedStore::VisibleVersion(
+    const VersionNode* head, Timestamp snapshot) {
+  // Newest-first walk: the first node at or below the snapshot is the
+  // visible one. Acquire loads pair with the writers' release publications,
+  // so a node pointer observed here always refers to a fully constructed,
+  // immutable node.
+  const VersionNode* v = head;
+  while (v != nullptr && v->commit_ts > snapshot) {
+    v = v->next.load(std::memory_order_acquire);
+  }
+  return v;
+}
+
+const VersionedStore::KeyNode* VersionedStore::FindKeyNode(
+    const Shard& shard, std::uint64_t hash, const std::string& key) const {
+  const KeyNode* k =
+      shard.buckets[BucketOf(hash)].load(std::memory_order_acquire);
+  while (k != nullptr && (k->hash != hash || k->key != key)) {
+    k = k->bucket_next.load(std::memory_order_acquire);
+  }
+  return k;
 }
 
 Result<VersionedValue> VersionedStore::Get(const std::string& key,
                                            Timestamp snapshot) const {
-  const Shard& shard = shards_[ShardOf(key)];
+  const std::uint64_t hash = Fnv1a64(key);
+  const Shard& shard = shards_[static_cast<std::size_t>(hash) & shard_mask_];
+  const KeyNode* k = FindKeyNode(shard, hash, key);
+  if (k == nullptr) return Status::NotFound();
+  const VersionNode* v =
+      VisibleVersion(k->head.load(std::memory_order_acquire), snapshot);
+  if (v == nullptr || v->deleted) return Status::NotFound();
+  return VersionedValue{v->value, v->commit_ts};
+}
+
+Result<VersionedValue> VersionedStore::GetLocked(const std::string& key,
+                                                 Timestamp snapshot) const {
+  const std::uint64_t hash = Fnv1a64(key);
+  const Shard& shard = shards_[static_cast<std::size_t>(hash) & shard_mask_];
   std::shared_lock lock(shard.mu);
-  auto it = shard.chains.find(key);
-  if (it == shard.chains.end()) return Status::NotFound();
-  const Version* v = VisibleVersion(it->second, snapshot);
+  const KeyNode* k = FindKeyNode(shard, hash, key);
+  if (k == nullptr) return Status::NotFound();
+  const VersionNode* v =
+      VisibleVersion(k->head.load(std::memory_order_acquire), snapshot);
   if (v == nullptr || v->deleted) return Status::NotFound();
   return VersionedValue{v->value, v->commit_ts};
 }
 
 bool VersionedStore::HasCommitAfter(const std::string& key,
                                     Timestamp since) const {
-  const Shard& shard = shards_[ShardOf(key)];
-  std::shared_lock lock(shard.mu);
+  const std::uint64_t hash = Fnv1a64(key);
+  const Shard& shard = shards_[static_cast<std::size_t>(hash) & shard_mask_];
+  const KeyNode* k = FindKeyNode(shard, hash, key);
+  if (k == nullptr) return false;
+  // The head is always the newest version (sorted splices keep it so).
+  const VersionNode* head = k->head.load(std::memory_order_acquire);
+  return head != nullptr && head->commit_ts > since;
+}
+
+VersionedStore::KeyNode* VersionedStore::FindOrCreateKeyNode(
+    Shard& shard, std::uint64_t hash, const std::string& key) {
   auto it = shard.chains.find(key);
-  if (it == shard.chains.end()) return false;
-  const Chain& chain = it->second;
-  return !chain.empty() && chain.back().commit_ts > since;
+  if (it != shard.chains.end()) return it->second;
+  // The key may have been fully pruned earlier: its immortal KeyNode is
+  // still in the bucket (with a null head). Resurrect it rather than adding
+  // a duplicate a reader could shadow.
+  KeyNode* ghost = const_cast<KeyNode*>(FindKeyNode(shard, hash, key));
+  if (ghost != nullptr) {
+    shard.chains.emplace(key, ghost);
+    return ghost;
+  }
+  KeyNode* node = new KeyNode{key, hash};
+  std::atomic<KeyNode*>& bucket = shard.buckets[BucketOf(hash)];
+  node->bucket_next.store(bucket.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  // Release: a reader that sees the new bucket head sees the node's key,
+  // hash and bucket_next.
+  bucket.store(node, std::memory_order_release);
+  shard.chains.emplace(key, node);
+  return node;
+}
+
+void VersionedStore::InsertVersionSorted(KeyNode* node, Timestamp commit_ts,
+                                         const std::string& value,
+                                         bool deleted) {
+  VersionNode* head = node->head.load(std::memory_order_relaxed);
+  if (head == nullptr || head->commit_ts < commit_ts) {
+    VersionNode* v = new VersionNode{commit_ts, deleted, value};
+    v->next.store(head, std::memory_order_relaxed);
+    node->head.store(v, std::memory_order_release);
+    return;
+  }
+  if (head->commit_ts == commit_ts) return;  // replayed duplicate
+  // A later commit's version landed first (concurrent applicator runs);
+  // splice at the sorted position. Readers racing the splice see the chain
+  // with or without the new node — both are consistent, and the visibility
+  // watermark keeps the node below any issued snapshot until its commit's
+  // whole batch is installed.
+  VersionNode* prev = head;
+  for (;;) {
+    VersionNode* next = prev->next.load(std::memory_order_relaxed);
+    if (next == nullptr || next->commit_ts < commit_ts) {
+      VersionNode* v = new VersionNode{commit_ts, deleted, value};
+      v->next.store(next, std::memory_order_relaxed);
+      prev->next.store(v, std::memory_order_release);
+      return;
+    }
+    if (next->commit_ts == commit_ts) return;  // replayed duplicate
+    prev = next;
+  }
 }
 
 void VersionedStore::Apply(const WriteSet& writes, Timestamp commit_ts) {
@@ -78,9 +181,15 @@ void VersionedStore::Apply(const WriteSet& writes, Timestamp commit_ts) {
     std::unique_lock lock(shard.mu);
     for (; i < scratch.size() && scratch[i].first == s; ++i) {
       const Write& w = *scratch[i].second;
-      Chain& chain = shard.chains[w.key];
-      assert(chain.empty() || chain.back().commit_ts < commit_ts);
-      chain.push_back(Version{commit_ts, w.value, w.deleted});
+      KeyNode* node = FindOrCreateKeyNode(shard, Fnv1a64(w.key), w.key);
+      assert(node->head.load(std::memory_order_relaxed) == nullptr ||
+             node->head.load(std::memory_order_relaxed)->commit_ts <
+                 commit_ts);
+      VersionNode* v = new VersionNode{commit_ts, w.deleted, w.value};
+      v->next.store(node->head.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      // Release-publish: readers that see the new head see a complete node.
+      node->head.store(v, std::memory_order_release);
     }
   }
 }
@@ -88,8 +197,8 @@ void VersionedStore::Apply(const WriteSet& writes, Timestamp commit_ts) {
 void VersionedStore::ApplyBatch(const std::vector<TimestampedWrites>& batch) {
   // Bucket (shard, write, ts) triples across the whole run, then lock each
   // touched shard once. Scratch order within a shard preserves batch order
-  // (stable sort), i.e. increasing commit timestamps, so the common case
-  // below is still a cheap append.
+  // (stable sort), i.e. increasing commit timestamps, so the common case is
+  // a cheap head prepend.
   struct Slot {
     std::size_t shard;
     const Write* write;
@@ -111,20 +220,8 @@ void VersionedStore::ApplyBatch(const std::vector<TimestampedWrites>& batch) {
     std::unique_lock lock(shard.mu);
     for (; i < scratch.size() && scratch[i].shard == s; ++i) {
       const Write& w = *scratch[i].write;
-      const Timestamp ts = scratch[i].commit_ts;
-      Chain& chain = shard.chains[w.key];
-      if (chain.empty() || chain.back().commit_ts < ts) {
-        chain.push_back(Version{ts, w.value, w.deleted});
-      } else {
-        // A later commit's version landed first (concurrent applicator run);
-        // keep the chain sorted by inserting in place. Equal timestamps can
-        // only be replayed duplicates of the same write — drop them.
-        auto pos = std::lower_bound(
-            chain.begin(), chain.end(), ts,
-            [](const Version& v, Timestamp t) { return v.commit_ts < t; });
-        if (pos != chain.end() && pos->commit_ts == ts) continue;
-        chain.insert(pos, Version{ts, w.value, w.deleted});
-      }
+      KeyNode* node = FindOrCreateKeyNode(shard, Fnv1a64(w.key), w.key);
+      InsertVersionSorted(node, scratch[i].commit_ts, w.value, w.deleted);
     }
   }
 }
@@ -145,7 +242,8 @@ std::vector<std::pair<std::string, VersionedValue>> VersionedStore::Scan(
     auto it = shard.chains.lower_bound(begin);
     for (; it != shard.chains.end(); ++it) {
       if (!end.empty() && it->first >= end) break;
-      const Version* v = VisibleVersion(it->second, snapshot);
+      const VersionNode* v = VisibleVersion(
+          it->second->head.load(std::memory_order_acquire), snapshot);
       if (v != nullptr && !v->deleted) {
         run.emplace_back(it->first, VersionedValue{v->value, v->commit_ts});
       }
@@ -182,32 +280,64 @@ std::map<std::string, std::string> VersionedStore::Materialize(
   std::map<std::string, std::string> out;
   for (const Shard& shard : shards_) {
     std::shared_lock lock(shard.mu);
-    for (const auto& [key, chain] : shard.chains) {
-      const Version* v = VisibleVersion(chain, snapshot);
+    for (const auto& [key, node] : shard.chains) {
+      const VersionNode* v = VisibleVersion(
+          node->head.load(std::memory_order_acquire), snapshot);
       if (v != nullptr && !v->deleted) out[key] = v->value;
     }
   }
   return out;
 }
 
+void VersionedStore::RaiseGcFloor(Timestamp floor) {
+  Timestamp cur = gc_floor_.load(std::memory_order_seq_cst);
+  while (floor > cur && !gc_floor_.compare_exchange_weak(
+                            cur, floor, std::memory_order_seq_cst)) {
+  }
+}
+
 std::size_t VersionedStore::PruneVersions(Timestamp horizon) {
+  // Publish the floor before touching any chain: a historical Begin that
+  // misses this store is guaranteed to have been seen by the horizon
+  // computation, and one that ran later sees the floor and reads under the
+  // shard lock instead (the Dekker handshake of the class comment).
+  RaiseGcFloor(horizon);
   std::size_t dropped = 0;
   for (Shard& shard : shards_) {
     std::unique_lock lock(shard.mu);
     for (auto it = shard.chains.begin(); it != shard.chains.end();) {
-      Chain& chain = it->second;
-      // Keep the newest version with commit_ts <= horizon plus everything
-      // newer than the horizon.
-      auto keep = std::upper_bound(
-          chain.begin(), chain.end(), horizon,
-          [](Timestamp s, const Version& v) { return s < v.commit_ts; });
-      if (keep != chain.begin()) --keep;  // retain the visible-at-horizon one
-      dropped += static_cast<std::size_t>(keep - chain.begin());
-      chain.erase(chain.begin(), keep);
-      if (chain.empty() ||
-          (chain.size() == 1 && chain[0].deleted &&
-           chain[0].commit_ts <= horizon)) {
-        dropped += chain.size();
+      KeyNode* node = it->second;
+      // Find the boundary: the newest version with commit_ts <= horizon.
+      // Everything after it is shadowed for every reader at or above the
+      // horizon and can be freed on the spot (see reclamation contract).
+      VersionNode* boundary = node->head.load(std::memory_order_relaxed);
+      while (boundary != nullptr && boundary->commit_ts > horizon) {
+        boundary = boundary->next.load(std::memory_order_relaxed);
+      }
+      if (boundary == nullptr) {
+        ++it;  // nothing at or below the horizon
+        continue;
+      }
+      VersionNode* tail = boundary->next.load(std::memory_order_relaxed);
+      if (tail != nullptr) {
+        boundary->next.store(nullptr, std::memory_order_release);
+        while (tail != nullptr) {
+          VersionNode* next = tail->next.load(std::memory_order_relaxed);
+          delete tail;
+          tail = next;
+          ++dropped;
+        }
+      }
+      // A chain reduced to a single deleted tombstone at or below the
+      // horizon: the key no longer exists for any permissible snapshot.
+      // Unlink the chain and drop the key from the live map, but retire the
+      // tombstone (a reader at snapshot >= horizon may be holding it) and
+      // keep the KeyNode as a bucket ghost.
+      if (boundary == node->head.load(std::memory_order_relaxed) &&
+          boundary->deleted && boundary->commit_ts <= horizon) {
+        node->head.store(nullptr, std::memory_order_release);
+        shard.retired.push_back(boundary);
+        ++dropped;
         it = shard.chains.erase(it);
       } else {
         ++it;
@@ -221,12 +351,26 @@ void VersionedStore::InstallClone(const std::map<std::string, std::string>& stat
                                   Timestamp commit_ts) {
   for (Shard& shard : shards_) {
     std::unique_lock lock(shard.mu);
+    for (auto& [key, node] : shard.chains) {
+      // Retire the whole old chain; recovery runs without concurrent
+      // readers, but deferring reclamation keeps even a stray one safe.
+      VersionNode* v = node->head.load(std::memory_order_relaxed);
+      node->head.store(nullptr, std::memory_order_release);
+      while (v != nullptr) {
+        shard.retired.push_back(v);
+        v = v->next.load(std::memory_order_relaxed);
+      }
+    }
     shard.chains.clear();
   }
   for (const auto& [key, value] : state) {
-    Shard& shard = shards_[ShardOf(key)];
+    const std::uint64_t hash = Fnv1a64(key);
+    Shard& shard = shards_[static_cast<std::size_t>(hash) & shard_mask_];
     std::unique_lock lock(shard.mu);
-    shard.chains[key].push_back(Version{commit_ts, value, /*deleted=*/false});
+    KeyNode* node = FindOrCreateKeyNode(shard, hash, key);
+    VersionNode* v = new VersionNode{commit_ts, /*deleted=*/false, value};
+    v->next.store(nullptr, std::memory_order_relaxed);
+    node->head.store(v, std::memory_order_release);
   }
 }
 
@@ -243,7 +387,13 @@ std::size_t VersionedStore::VersionCount() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
     std::shared_lock lock(shard.mu);
-    for (const auto& [key, chain] : shard.chains) n += chain.size();
+    for (const auto& [key, node] : shard.chains) {
+      const VersionNode* v = node->head.load(std::memory_order_acquire);
+      while (v != nullptr) {
+        ++n;
+        v = v->next.load(std::memory_order_relaxed);
+      }
+    }
   }
   return n;
 }

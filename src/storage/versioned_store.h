@@ -1,7 +1,10 @@
 #ifndef LAZYSI_STORAGE_VERSIONED_STORE_H_
 #define LAZYSI_STORAGE_VERSIONED_STORE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -23,41 +26,90 @@ struct VersionedValue {
 };
 
 /// Multi-version key-value store: each key maps to a chain of versions in
-/// increasing commit-timestamp order. Reads at snapshot `s` return the newest
-/// version with commit_ts <= s and are therefore never blocked by writers —
-/// the property the paper identifies as SI's key benefit (Section 1).
+/// decreasing commit-timestamp order (newest first). Reads at snapshot `s`
+/// return the newest version with commit_ts <= s and are therefore never
+/// blocked by writers — the property the paper identifies as SI's key benefit
+/// (Section 1).
 ///
-/// Key chains are hash-partitioned across a fixed set of lock-striped shards,
-/// each with its own reader-writer lock and ordered map. Point operations
-/// (`Get`, `HasCommitAfter`, per-key installation) touch exactly one shard, so
-/// concurrent reads of different keys never contend on a shared lock word;
-/// `Scan` and `Materialize` merge the per-shard ordered runs.
+/// Layout — lock-free snapshot reads over lock-striped writers:
+///
+///  - Keys are hash-partitioned across a fixed set of shards. Each shard has
+///    (a) an ordered map used by writers, scans and counters under the
+///    shard's reader-writer lock, and (b) a fixed array of atomic bucket
+///    heads forming a lock-free hash index over immortal `KeyNode`s.
+///  - A key's versions form a singly-linked, newest-first chain of
+///    heap-allocated nodes. Writers (serialized per shard by the lock)
+///    publish a new node with a release store of the chain head or of the
+///    predecessor's `next`; every node is fully constructed before it is
+///    published and immutable afterwards (only its `next` pointer changes,
+///    and only to splice in an *older* node).
+///  - `Get` and `HasCommitAfter` take no lock at all: an acquire load of the
+///    bucket head finds the KeyNode, an acquire load of the chain head plus
+///    acquire `next` hops finds the newest version with commit_ts <=
+///    snapshot. Acquire/release pairing guarantees a reader that observes a
+///    node pointer observes the node's contents; a torn prefix is impossible
+///    because a chain is only ever extended by swinging exactly one pointer.
+///
+/// Reclamation contract (who may free what, and when):
+///
+///  - Shadowed tails: `PruneVersions(horizon)` cuts each chain after the
+///    newest node with commit_ts <= horizon (the boundary node) and frees
+///    the tail immediately. This is safe without hazard pointers *provided
+///    every concurrent lock-free reader runs at a snapshot >= horizon*: such
+///    a reader stops at (or before) the boundary node — whose timestamp is
+///    <= horizon <= its snapshot — and never loads the severed `next`.
+///    The TxnManager guarantees the proviso: it registers every snapshot in
+///    an active table before reading and GC horizons are computed from that
+///    table (see TxnManager::MinActiveSnapshot).
+///  - Historical readers below the horizon (time travel): `PruneVersions`
+///    first raises the monotone `gc_floor()` with a seq_cst store, and
+///    horizon computation scans the active table only afterwards; a reader
+///    registers its snapshot with a seq_cst store and only then loads the
+///    floor. This Dekker-style handshake means at least one side sees the
+///    other: either the pruner's horizon already accounts for the reader's
+///    snapshot, or the reader observes the raised floor and demotes itself
+///    to `GetLocked`, which excludes pruning via the shard lock.
+///  - Unlinked boundary nodes (a fully-deleted key's tombstone) may still be
+///    dereferenced by readers at snapshots >= horizon, so they are never
+///    freed in place: they are retired to a list reclaimed only in the
+///    destructor. KeyNodes are immortal for the store's lifetime (a pruned
+///    key leaves a ghost KeyNode with a null chain in its bucket; rewriting
+///    the key resurrects the ghost).
 ///
 /// Thread safety: all operations are safe for concurrent use. `Apply` locks
 /// one shard at a time and therefore does NOT make a multi-key commit visible
 /// atomically by itself; the TxnManager's commit pipeline provides atomicity
 /// by never issuing a snapshot >= commit_ts until the commit's installation
-/// has finished (the `visible_ts` watermark). Per-key chains must still grow
-/// in commit-timestamp order, which first-committer-wins guarantees: two
-/// transactions whose installations overlap can never share a key.
+/// has finished (the `visible_ts` watermark).
 class VersionedStore {
  public:
   static constexpr std::size_t kDefaultShardCount = 16;
 
   /// `shard_count` is rounded up to a power of two (minimum 1). A store with
-  /// one shard behaves exactly like the old single-global-lock layout, which
-  /// the contended benchmarks use as their baseline.
+  /// one shard reproduces the old single-global-lock layout for writers;
+  /// reads are lock-free regardless.
   explicit VersionedStore(std::size_t shard_count = kDefaultShardCount);
+  ~VersionedStore();
 
   VersionedStore(const VersionedStore&) = delete;
   VersionedStore& operator=(const VersionedStore&) = delete;
 
-  /// Snapshot read. NotFound when the key has no version visible at `snapshot`
-  /// (never written, written later, or deleted at the snapshot).
+  /// Lock-free snapshot read. NotFound when the key has no version visible
+  /// at `snapshot` (never written, written later, or deleted at the
+  /// snapshot). Callers must read at snapshots protected per the reclamation
+  /// contract above; unprotected historical reads go through GetLocked.
   Result<VersionedValue> Get(const std::string& key, Timestamp snapshot) const;
 
-  /// True if any committed version of `key` has commit_ts > `since`. This is
-  /// the first-committer-wins validation primitive: transaction T aborts iff
+  /// Snapshot read under the shard's reader lock. Semantically identical to
+  /// Get; used for snapshots below gc_floor() (safe against concurrent
+  /// pruning without the active-table handshake) and as the contended-read
+  /// benchmark baseline.
+  Result<VersionedValue> GetLocked(const std::string& key,
+                                   Timestamp snapshot) const;
+
+  /// True if any committed version of `key` has commit_ts > `since`; reads
+  /// only the chain head (chains are newest-first), lock-free. This is the
+  /// first-committer-wins validation primitive: transaction T aborts iff
   /// some overlapping committed transaction wrote a key T also wrote
   /// (Section 2.1).
   bool HasCommitAfter(const std::string& key, Timestamp since) const;
@@ -65,7 +117,8 @@ class VersionedStore {
   /// Installs all writes of one committed transaction with the given commit
   /// timestamp, locking each touched shard exactly once. Per-key commit
   /// timestamps must be increasing (enforced by the TxnManager's FCW rule);
-  /// cross-shard visibility atomicity is the caller's job (see class comment).
+  /// cross-shard visibility atomicity is the caller's job (see class
+  /// comment).
   void Apply(const WriteSet& writes, Timestamp commit_ts);
 
   /// One element of a group install: a committed write set and its commit
@@ -83,7 +136,7 @@ class VersionedStore {
   /// versions may arrive at a key *out of order across calls* — the direct-
   /// apply refresh engine installs independent runs from concurrent
   /// applicator threads, and two non-overlapping transactions that wrote the
-  /// same key may land in either order — so versions are inserted at their
+  /// same key may land in either order — so versions are spliced in at their
   /// sorted chain position. Readers cannot observe the transient reordering:
   /// the commit pipeline's visibility watermark only passes a timestamp once
   /// every commit at or below it has fully installed.
@@ -102,12 +155,34 @@ class VersionedStore {
 
   /// Drops all versions that are shadowed by a newer version with
   /// commit_ts <= horizon; the newest such version is kept so reads at or
-  /// after `horizon` still succeed. Shards are pruned independently.
-  /// Returns the number of versions dropped.
+  /// after `horizon` still succeed. A key left with only a deleted tombstone
+  /// at or below the horizon is dropped entirely. Shards are pruned
+  /// independently. Returns the number of versions dropped.
+  ///
+  /// Safety: see the reclamation contract in the class comment. Lock-free
+  /// readers concurrent with this call must be at snapshots >= horizon, which
+  /// holds when `horizon` <= the TxnManager's MinActiveSnapshot computed
+  /// after gc_floor() was raised (Database::GarbageCollect does both; raw
+  /// calls with a hand-picked horizon require external quiescence).
   std::size_t PruneVersions(Timestamp horizon);
+
+  /// Monotone high-water mark of every horizon ever passed to PruneVersions
+  /// (or RaiseGcFloor). Snapshot reads strictly below the floor must use
+  /// GetLocked; the TxnManager's BeginAtSnapshot checks this after pinning.
+  Timestamp gc_floor() const {
+    return gc_floor_.load(std::memory_order_seq_cst);
+  }
+
+  /// Raises gc_floor() to at least `floor` without pruning. The GC driver
+  /// publishes its upper bound *before* computing the exact horizon from the
+  /// active-snapshot table, closing the race against a concurrent historical
+  /// Begin (see the reclamation contract).
+  void RaiseGcFloor(Timestamp floor);
 
   /// Replaces the entire contents with `state`, all versions stamped
   /// `commit_ts`. Used when installing a recovery clone at a secondary.
+  /// Old chains are retired, not freed, so stray concurrent readers (there
+  /// should be none during recovery) never touch freed memory.
   void InstallClone(const std::map<std::string, std::string>& state,
                     Timestamp commit_ts);
 
@@ -121,23 +196,70 @@ class VersionedStore {
   std::size_t ShardOf(const std::string& key) const;
 
  private:
-  struct Version {
+  /// One version of one key. Immutable after publication except `next`,
+  /// which only ever changes to splice in an older node (ApplyBatch) or to
+  /// sever a pruned tail.
+  struct VersionNode {
     Timestamp commit_ts;
-    std::string value;
     bool deleted;
+    std::string value;
+    std::atomic<VersionNode*> next{nullptr};  // next-older version
   };
-  using Chain = std::vector<Version>;
+
+  /// Immortal per-key anchor: lives in exactly one bucket chain from first
+  /// write until the store is destroyed. `head` is the newest version
+  /// (nullptr when the key is fully pruned — a ghost awaiting resurrection).
+  struct KeyNode {
+    std::string key;
+    std::uint64_t hash;
+    std::atomic<VersionNode*> head{nullptr};
+    std::atomic<KeyNode*> bucket_next{nullptr};
+  };
+
+  /// Buckets per shard for the lock-free reader index (power of two).
+  static constexpr std::size_t kBucketsPerShard = 512;
 
   struct Shard {
     mutable std::shared_mutex mu;
-    std::map<std::string, Chain> chains;
+    /// Live keys; writers, scans and counters only (under `mu`).
+    std::map<std::string, KeyNode*> chains;
+    /// Lock-free reader index over all KeyNodes ever created in this shard
+    /// (including ghosts). Written only under `mu`, read without it.
+    std::vector<std::atomic<KeyNode*>> buckets =
+        std::vector<std::atomic<KeyNode*>>(kBucketsPerShard);
+    /// Unlinked version nodes that a concurrent reader may still hold;
+    /// reclaimed in the destructor (under `mu`).
+    std::vector<VersionNode*> retired;
   };
 
-  /// Newest version in `chain` visible at `snapshot`, or nullptr.
-  static const Version* VisibleVersion(const Chain& chain, Timestamp snapshot);
+  std::size_t BucketOf(std::uint64_t hash) const {
+    return (hash >> 16) & (kBucketsPerShard - 1);
+  }
+
+  /// Lock-free KeyNode lookup via the bucket index; nullptr when the key was
+  /// never written.
+  const KeyNode* FindKeyNode(const Shard& shard, std::uint64_t hash,
+                             const std::string& key) const;
+
+  /// Writer-side lookup-or-insert; caller holds the shard's unique lock.
+  /// Resurrects ghosts instead of creating duplicate KeyNodes.
+  KeyNode* FindOrCreateKeyNode(Shard& shard, std::uint64_t hash,
+                               const std::string& key);
+
+  /// Splices `{commit_ts, value, deleted}` into the (newest-first) chain at
+  /// its sorted position; drops exact-timestamp duplicates (replayed
+  /// writes). Caller holds the shard's unique lock.
+  void InsertVersionSorted(KeyNode* node, Timestamp commit_ts,
+                           const std::string& value, bool deleted);
+
+  /// Newest version with commit_ts <= snapshot, starting from an
+  /// acquire-loaded head; nullptr if none.
+  static const VersionNode* VisibleVersion(const VersionNode* head,
+                                           Timestamp snapshot);
 
   std::vector<Shard> shards_;
   std::size_t shard_mask_ = 0;  // shards_.size() - 1, size is a power of two
+  std::atomic<Timestamp> gc_floor_{0};
 };
 
 }  // namespace storage

@@ -16,7 +16,9 @@ SystemTransaction::SystemTransaction(
     SiteId site, bool read_only, std::uint64_t first_op_seq)
     : sys_(sys), session_(std::move(session)), txn_(std::move(txn)),
       secondary_(secondary), site_(site), read_only_(read_only),
-      first_op_seq_(first_op_seq) {}
+      first_op_seq_(first_op_seq) {
+  if (secondary_ != nullptr) secondary_->OnReadStart();
+}
 
 SystemTransaction::~SystemTransaction() {
   if (!finished_) Abort();
@@ -82,6 +84,7 @@ Status SystemTransaction::Commit() {
   if (finished_) return Status::FailedPrecondition("transaction finished");
   Status s = txn_->Commit();
   finished_ = true;
+  if (secondary_ != nullptr) secondary_->OnReadFinish();
   if (!s.ok()) return s;
   if (!read_only_) {
     commit_primary_ts_ = txn_->commit_ts();
@@ -113,6 +116,7 @@ void SystemTransaction::Abort() {
   if (finished_) return;
   txn_->Abort();
   finished_ = true;
+  if (secondary_ != nullptr) secondary_->OnReadFinish();
 }
 
 // ---------------------------------------------------------------------------
@@ -121,7 +125,16 @@ void SystemTransaction::Abort() {
 Result<std::unique_ptr<SystemTransaction>> ClientConnection::BeginRead() {
   std::size_t read_index = secondary_index_;
   ReplicatedSystem::SecondarySite* site = nullptr;
-  if (sys_->config().roam_reads) {
+  if (sys_->config().freshness_routing) {
+    // Freshness-aware placement: pick a secondary whose seq(DBsec) already
+    // covers what this session is owed, so the blocking rule below is
+    // satisfied on arrival. Guarantees that never gate reads on seq(c)
+    // (weak SI) route purely by load.
+    const Timestamp need = sys_->session_manager()->ReadsBlockOnSessionSeq()
+                               ? session_->seq()
+                               : 0;
+    site = sys_->RouteRead(need, &read_index);
+  } else if (sys_->config().roam_reads) {
     // Roaming mode: each read-only transaction goes to the next *live*
     // secondary round-robin. The session guarantee machinery must then do
     // all the ordering work (Section 7's PCSI-vs-strong-session-SI
@@ -283,10 +296,42 @@ void ReplicatedSystem::Start() {
     }
   }
   primary_.Start();
+  if (config_.gc_interval.count() > 0) {
+    {
+      std::lock_guard<std::mutex> lock(gc_mu_);
+      gc_stop_ = false;
+    }
+    gc_thread_ = std::thread(&ReplicatedSystem::GcLoop, this);
+  }
+}
+
+void ReplicatedSystem::GcLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(gc_mu_);
+      if (gc_cv_.wait_for(lock, config_.gc_interval,
+                          [this] { return gc_stop_; })) {
+        return;
+      }
+    }
+    // Translation pruning at non-quiesced points makes primary-coordinate
+    // history approximate below the horizon, so the cadence skips it when
+    // the run records history for offline SI checking.
+    GarbageCollectAll(/*prune_translations=*/!config_.record_history);
+    gc_passes_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void ReplicatedSystem::Stop() {
   if (!started_) return;
+  if (gc_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(gc_mu_);
+      gc_stop_ = true;
+    }
+    gc_cv_.notify_all();
+    gc_thread_.join();
+  }
   primary_.Stop();
   for (auto& site : secondaries_) {
     if (site->reliable) site->reliable->Stop();
@@ -327,6 +372,48 @@ ReplicatedSystem::SecondarySite* ReplicatedSystem::site(std::size_t i) {
   return s;
 }
 
+ReplicatedSystem::SecondarySite* ReplicatedSystem::RouteRead(
+    Timestamp need, std::size_t* index_out) {
+  std::shared_lock lock(sites_mu_);
+  SecondarySite* fresh_pick = nullptr;  // least-loaded among fresh-enough
+  std::size_t fresh_index = 0;
+  std::uint64_t fresh_load = 0;
+  SecondarySite* freshest = nullptr;  // fallback: maximum applied_seq
+  std::size_t freshest_index = 0;
+  Timestamp freshest_seq = 0;
+  for (std::size_t i = 0; i < secondaries_.size(); ++i) {
+    auto* s = secondaries_[i].get();
+    if (s->failed.load(std::memory_order_acquire)) continue;
+    const Timestamp seq = s->replica->applied_seq();
+    if (freshest == nullptr || seq > freshest_seq) {
+      freshest = s;
+      freshest_index = i;
+      freshest_seq = seq;
+    }
+    const std::uint64_t load = s->replica->active_reads();
+    if (seq >= need && (fresh_pick == nullptr || load < fresh_load)) {
+      fresh_pick = s;
+      fresh_index = i;
+      fresh_load = load;
+    }
+  }
+  // applied_seq only advances, so a site observed fresh stays fresh; the
+  // caller's WaitForSeq loop still covers the fallback pick (and a seq(c)
+  // that advanced after we sampled it, under ALG-STRONG-SI's global
+  // session).
+  if (fresh_pick != nullptr) {
+    fresh_pick->replica->CountRoutedFresh();
+    *index_out = fresh_index;
+    return fresh_pick;
+  }
+  if (freshest != nullptr) {
+    freshest->replica->CountBlockedOnFreshness();
+    *index_out = freshest_index;
+    return freshest;
+  }
+  return nullptr;
+}
+
 std::string ReplicatedSystem::SystemStats::ToString() const {
   std::ostringstream os;
   os << "primary: latest_commit_ts=" << primary_latest_commit_ts
@@ -341,6 +428,11 @@ std::string ReplicatedSystem::SystemStats::ToString() const {
                           " queue=" + std::to_string(s.update_queue_depth) +
                           " translations=" +
                           std::to_string(s.translation_count));
+    if (!s.failed && (s.ro_routed_fresh > 0 || s.ro_blocked_on_freshness > 0)) {
+      os << " router[fresh=" << s.ro_routed_fresh
+         << " blocked=" << s.ro_blocked_on_freshness
+         << " active=" << s.active_reads << "]";
+    }
     if (!s.failed && s.group_applies > 0) {
       os << " group_apply[passes=" << s.group_applies
          << " commits=" << s.group_applied_commits
@@ -379,6 +471,9 @@ ReplicatedSystem::SystemStats ReplicatedSystem::Stats() {
                     : 0;
       sec.refreshed_count = s->replica->refreshed_count();
       sec.update_queue_depth = s->replica->update_queue_depth();
+      sec.ro_routed_fresh = s->replica->ro_routed_fresh();
+      sec.ro_blocked_on_freshness = s->replica->ro_blocked_on_freshness();
+      sec.active_reads = s->replica->active_reads();
       sec.translation_count = s->replica->translation_count();
       sec.group_applies = s->replica->group_applies();
       sec.group_applied_commits = s->replica->group_applied_commits();
@@ -401,7 +496,7 @@ ReplicatedSystem::SystemStats ReplicatedSystem::Stats() {
   return stats;
 }
 
-std::size_t ReplicatedSystem::GarbageCollectAll() {
+std::size_t ReplicatedSystem::GarbageCollectAll(bool prune_translations) {
   std::size_t reclaimed = primary_db_.GarbageCollect();
   std::shared_lock lock(sites_mu_);
   // Fleet-wide floor for translation pruning: the minimum applied_seq over
@@ -418,7 +513,9 @@ std::size_t ReplicatedSystem::GarbageCollectAll() {
   for (auto& s : secondaries_) {
     if (s->failed.load(std::memory_order_acquire)) continue;
     reclaimed += s->db->GarbageCollect();
-    if (have_floor) s->replica->PruneTranslations(fleet_floor);
+    if (prune_translations && have_floor) {
+      s->replica->PruneTranslations(fleet_floor);
+    }
   }
   return reclaimed;
 }

@@ -3,9 +3,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -65,6 +68,23 @@ struct SystemConfig {
   /// difference (Section 7): under PCSI a roaming session's snapshots may
   /// regress between reads; under strong session SI they cannot.
   bool roam_reads = false;
+  /// Freshness-aware read routing (takes precedence over roam_reads): each
+  /// read-only transaction goes to the least-loaded live secondary whose
+  /// seq(DBsec) already covers the session's seq(c), so the blocking rule of
+  /// ALG-STRONG-SESSION-SI is satisfied *by placement* and the read starts
+  /// immediately. If no secondary is fresh enough the read falls back to the
+  /// freshest one and blocks there (counted in ro_blocked_on_freshness).
+  /// Under weak SI seq(c) never gates reads, so this degrades to pure
+  /// least-loaded balancing.
+  bool freshness_routing = false;
+  /// Background version-GC cadence: > 0 runs GarbageCollectAll on a
+  /// maintenance thread every interval while the system is started. 0 (the
+  /// default) disables it — tests that assert exact chain shapes or record
+  /// history for offline SI checking rely on GC running only when invoked
+  /// explicitly (the cadence also skips translation pruning when
+  /// record_history is set, since pruning at non-quiesced points makes
+  /// primary-coordinate history approximate).
+  std::chrono::milliseconds gc_interval{0};
   /// Keep per-commit state-hash chains (Theorem 3.1 assertions).
   bool record_state_chain = true;
 };
@@ -205,6 +225,13 @@ class ReplicatedSystem {
     Timestamp lag = 0;
     std::uint64_t refreshed_count = 0;
     std::size_t update_queue_depth = 0;
+    /// Freshness-router counters: reads placed here because seq(DBsec)
+    /// already covered the session's seq(c), reads sent here as the
+    /// freshest-available fallback (which then block), and read-only
+    /// transactions currently open (the router's load signal).
+    std::uint64_t ro_routed_fresh = 0;
+    std::uint64_t ro_blocked_on_freshness = 0;
+    std::uint64_t active_reads = 0;
     /// Size of the local->primary commit-timestamp translation table
     /// (bounded by GarbageCollectAll's pruning).
     std::size_t translation_count = 0;
@@ -246,8 +273,16 @@ class ReplicatedSystem {
   /// so a session floor derived from a pruned entry could never block or
   /// reorder anything. Returns the total number of versions reclaimed.
   /// Pruning never affects replication: the propagator ships update
-  /// *records* from the log, not store versions.
-  std::size_t GarbageCollectAll();
+  /// *records* from the log, not store versions. Pass prune_translations =
+  /// false to reclaim versions only (the background cadence does this when
+  /// history recording is on, because translation pruning at non-quiesced
+  /// points makes primary-coordinate history approximate).
+  std::size_t GarbageCollectAll(bool prune_translations = true);
+
+  /// Number of background GC passes completed (gc_interval cadence).
+  std::uint64_t gc_passes() const {
+    return gc_passes_.load(std::memory_order_relaxed);
+  }
 
   /// Blocks until every live secondary has applied all updates committed at
   /// the primary so far. Returns false on timeout.
@@ -285,6 +320,14 @@ class ReplicatedSystem {
   /// Looks up a live secondary site; nullptr when failed.
   SecondarySite* site(std::size_t i);
 
+  /// Freshness-aware read placement: the least-loaded live secondary with
+  /// applied_seq >= need, else the freshest live secondary (the read will
+  /// block there), else nullptr when every secondary has failed. Bumps the
+  /// chosen site's router counter and stores its index in *index_out.
+  SecondarySite* RouteRead(Timestamp need, std::size_t* index_out);
+
+  void GcLoop();
+
   replication::ReliableChannel::Options TransportOptions() const;
 
   SystemConfig config_;
@@ -296,6 +339,13 @@ class ReplicatedSystem {
   history::Recorder recorder_;
   std::atomic<std::size_t> next_secondary_{0};
   bool started_ = false;
+
+  /// Background GC cadence (gc_interval > 0).
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  bool gc_stop_ = false;
+  std::atomic<std::uint64_t> gc_passes_{0};
+  std::thread gc_thread_;
 };
 
 }  // namespace system

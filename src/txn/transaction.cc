@@ -29,7 +29,9 @@ Result<std::string> Transaction::Get(const std::string& key) {
     if (own->deleted) return Status::NotFound();
     return own->value;
   }
-  auto result = manager_->store()->Get(key, snapshot_ts_);
+  auto result = locked_reads_
+                    ? manager_->store()->GetLocked(key, snapshot_ts_)
+                    : manager_->store()->Get(key, snapshot_ts_);
   if (result.ok()) {
     reads_.push_back(ReadObservation{key, result->commit_ts, /*found=*/true,
                                      /*from_own_write=*/false});

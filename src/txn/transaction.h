@@ -91,6 +91,15 @@ class Transaction {
   Timestamp snapshot_ts_;
   Timestamp commit_ts_ = kInvalidTimestamp;
   bool read_only_;
+  /// Index into the TxnManager's lock-free active-snapshot slot array, or
+  /// kNoActiveSlot when the snapshot is tracked in the mutex-guarded
+  /// multiset (update transactions, slot-array overflow).
+  static constexpr int kNoActiveSlot = -1;
+  int active_slot_ = kNoActiveSlot;
+  /// Reads must take the shard lock: set for historical snapshots below the
+  /// store's GC floor, where the lock-free reclamation contract does not
+  /// cover the reader (see VersionedStore).
+  bool locked_reads_ = false;
   State state_ = State::kActive;
   storage::WriteSet write_set_;
   std::vector<ReadObservation> reads_;

@@ -1,6 +1,8 @@
 #include "txn/txn_manager.h"
 
 #include <cassert>
+#include <functional>
+#include <thread>
 
 namespace lazysi {
 namespace txn {
@@ -11,6 +13,7 @@ TxnManager::TxnManager(storage::VersionedStore* store, TxnObserver* observer)
       shard_last_commit_(store->shard_count(), kInvalidTimestamp) {}
 
 std::unique_ptr<Transaction> TxnManager::Begin(bool read_only) {
+  if (read_only) return BeginReadOnly();
   const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   Timestamp start_ts;
   Timestamp snapshot;
@@ -19,7 +22,7 @@ std::unique_ptr<Transaction> TxnManager::Begin(bool read_only) {
     // The start timestamp advances the clock so that start/commit order is
     // totally ordered and log order can mirror it.
     start_ts = ++clock_;
-    if (!read_only && observer_ != nullptr) {
+    if (observer_ != nullptr) {
       observer_->OnStart(id, start_ts);
     }
     // Strong SI: the snapshot is the latest fully installed committed state
@@ -40,21 +43,114 @@ std::unique_ptr<Transaction> TxnManager::Begin(bool read_only) {
       new Transaction(this, id, start_ts, snapshot, read_only));
 }
 
+std::unique_ptr<Transaction> TxnManager::BeginReadOnly() {
+  const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  Timestamp snapshot;
+  const int slot = ClaimReadSlot(&snapshot);
+  if (slot < 0) {
+    // Every slot taken (> kActiveSlots concurrent read-only transactions):
+    // fall back to the mutex-tracked tier.
+    snapshot = TrackActiveAtWatermark();
+  }
+  auto* t = new Transaction(this, id, /*start_ts=*/snapshot, snapshot,
+                            /*read_only=*/true);
+  t->active_slot_ = slot;
+  return std::unique_ptr<Transaction>(t);
+}
+
+int TxnManager::ClaimReadSlot(Timestamp* snapshot) {
+  // Thread-local probe hint: repeat callers from the same thread land on
+  // "their" slot with one CAS and never share a cache line with neighbours.
+  thread_local std::size_t hint =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  for (std::size_t probe = 0; probe < kActiveSlots; ++probe) {
+    const std::size_t idx = (hint + probe) & (kActiveSlots - 1);
+    std::atomic<Timestamp>& slot = active_slots_[idx].ts;
+    Timestamp expected = kFreeSlot;
+    Timestamp s = visible_ts_.load(std::memory_order_seq_cst);
+    if (!slot.compare_exchange_strong(expected, s,
+                                      std::memory_order_seq_cst)) {
+      continue;  // occupied; probe the next slot
+    }
+    // Publish-validate: the watermark may have advanced between our load
+    // and the publication, in which case a concurrent MinActiveSnapshot
+    // could have scanned before our publish *and* loaded the newer
+    // watermark — its horizon might exceed s. Re-publishing until the
+    // watermark is stable closes the window: once it validates, any
+    // horizon computed before our publish loaded a watermark <= s (the
+    // watermark is monotone and still s after our publish), and any
+    // computed after sees the slot.
+    for (;;) {
+      const Timestamp now = visible_ts_.load(std::memory_order_seq_cst);
+      if (now == s) break;
+      s = now;
+      slot.store(s, std::memory_order_seq_cst);
+    }
+    hint = idx;
+    *snapshot = s;
+    return static_cast<int>(idx);
+  }
+  return -1;
+}
+
+int TxnManager::ClaimHistoricalSlot(Timestamp snapshot) {
+  thread_local std::size_t hint =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  for (std::size_t probe = 0; probe < kActiveSlots; ++probe) {
+    const std::size_t idx = (hint + probe) & (kActiveSlots - 1);
+    Timestamp expected = kFreeSlot;
+    if (active_slots_[idx].ts.compare_exchange_strong(
+            expected, snapshot, std::memory_order_seq_cst)) {
+      hint = idx;
+      return static_cast<int>(idx);
+    }
+  }
+  return -1;
+}
+
+void TxnManager::ReleaseSnapshot(Transaction* t) {
+  if (t->active_slot_ >= 0) {
+    // Release ordering: the reader's chain traversals happen-before the
+    // slot frees, so a GC that sees the free slot also sees the reads done.
+    active_slots_[static_cast<std::size_t>(t->active_slot_)].ts.store(
+        kFreeSlot, std::memory_order_release);
+    t->active_slot_ = Transaction::kNoActiveSlot;
+    return;
+  }
+  UntrackActive(t->snapshot_ts());
+}
+
 Result<std::unique_ptr<Transaction>> TxnManager::BeginAtSnapshot(
     Timestamp snapshot) {
-  // Pin the snapshot before validating it: tracking first means any
-  // GC horizon computed from now on is capped at `snapshot`, closing the
-  // race where GarbageCollect pruned the snapshot between the visibility
-  // check and the pin.
-  TrackActive(snapshot);
-  if (snapshot > visible_ts_.load(std::memory_order_acquire)) {
-    UntrackActive(snapshot);
+  // Pin the snapshot before validating it: pinning first means any GC
+  // horizon computed from now on is capped at `snapshot`, closing the race
+  // where GarbageCollect pruned the snapshot between the visibility check
+  // and the pin.
+  const int slot = ClaimHistoricalSlot(snapshot);
+  if (slot < 0) TrackActive(snapshot);
+  auto untrack = [&] {
+    if (slot >= 0) {
+      active_slots_[static_cast<std::size_t>(slot)].ts.store(
+          kFreeSlot, std::memory_order_release);
+    } else {
+      UntrackActive(snapshot);
+    }
+  };
+  if (snapshot > visible_ts_.load(std::memory_order_seq_cst)) {
+    untrack();
     return Status::InvalidArgument(
         "snapshot is in the future of this site's committed state");
   }
+  // Floor check strictly after the pin (seq_cst on both sides): either the
+  // pruner's horizon scan saw our pin (horizon <= snapshot, lock-free reads
+  // are covered), or we see its raised floor here and demote every read to
+  // the locked path, which a concurrent prune excludes via the shard lock.
+  const bool locked_reads = snapshot < store_->gc_floor();
   const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
-  return std::unique_ptr<Transaction>(
-      new Transaction(this, id, snapshot, snapshot, /*read_only=*/true));
+  auto* t = new Transaction(this, id, snapshot, snapshot, /*read_only=*/true);
+  t->active_slot_ = slot;
+  t->locked_reads_ = locked_reads;
+  return std::unique_ptr<Transaction>(t);
 }
 
 Timestamp TxnManager::TrackActiveAtWatermark() {
@@ -76,10 +172,22 @@ void TxnManager::UntrackActive(Timestamp snapshot) {
 }
 
 Timestamp TxnManager::MinActiveSnapshot() const {
+  // Watermark first, slots second, both seq_cst: this is the counterpart of
+  // the readers' publish-validate (see BeginReadOnly). A reader whose slot
+  // this scan misses must have published after the scan started, and its
+  // validated snapshot is then >= the watermark loaded here, so the
+  // returned horizon cannot exceed it. Free slots hold kFreeSlot (= max)
+  // and never lower the min.
+  Timestamp m = visible_ts_.load(std::memory_order_seq_cst);
+  for (const ActiveSlot& slot : active_slots_) {
+    const Timestamp s = slot.ts.load(std::memory_order_seq_cst);
+    if (s < m) m = s;
+  }
   std::lock_guard<std::mutex> lock(active_mu_);
-  const Timestamp latest = visible_ts_.load(std::memory_order_acquire);
-  if (active_snapshots_.empty()) return latest;
-  return std::min(latest, *active_snapshots_.begin());
+  if (!active_snapshots_.empty()) {
+    m = std::min(m, *active_snapshots_.begin());
+  }
+  return m;
 }
 
 void TxnManager::StageInflightCommit(Timestamp commit_ts) {
@@ -222,7 +330,7 @@ Status TxnManager::CommitTxn(Transaction* t) {
       committed_count_.fetch_add(1, std::memory_order_relaxed);
     }
     t->state_ = Transaction::State::kCommitted;
-    UntrackActive(t->snapshot_ts());
+    ReleaseSnapshot(t);
     return Status::OK();
   }
 
@@ -300,14 +408,14 @@ Status TxnManager::CommitTxn(Transaction* t) {
   PublishCommit(commit_ts);
   committed_count_.fetch_add(1, std::memory_order_relaxed);
   t->state_ = Transaction::State::kCommitted;
-  UntrackActive(t->snapshot_ts());
+  ReleaseSnapshot(t);
   return Status::OK();
 }
 
 void TxnManager::AbortTxn(Transaction* t) {
   if (t->state() != Transaction::State::kActive) return;
   t->state_ = Transaction::State::kAborted;
-  UntrackActive(t->snapshot_ts());
+  ReleaseSnapshot(t);
   if (!t->read_only()) {
     // Only update-transaction aborts are interesting (FCW losers and client
     // rollbacks); dropped read-only handles are routine.

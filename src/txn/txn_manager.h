@@ -1,6 +1,7 @@
 #ifndef LAZYSI_TXN_TXN_MANAGER_H_
 #define LAZYSI_TXN_TXN_MANAGER_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -62,10 +63,29 @@ class TxnManager {
 
   /// Starts a transaction at the latest committed snapshot (the visibility
   /// watermark). Update transactions (read_only = false) emit a start record
-  /// to the observer under the timestamp mutex. The snapshot is registered
+  /// to the observer under the timestamp mutex; their snapshot is registered
   /// in the active set atomically with its choice, so the GC horizon can
-  /// never pass a snapshot a live transaction reads.
+  /// never pass a snapshot a live transaction reads. Read-only transactions
+  /// are dispatched to the lock-free BeginReadOnly path.
   std::unique_ptr<Transaction> Begin(bool read_only = false);
+
+  /// Lock-free read-only begin: the snapshot is the commit watermark, read
+  /// with an atomic load — no clock mutex, no clock bump, no log record
+  /// (weak SI lets a reader attach to any committed state, and the watermark
+  /// *is* the latest fully installed one, so this is still strong SI
+  /// locally). The snapshot is pinned in a fixed array of padded atomic
+  /// slots with a publish-validate handshake: publish the snapshot (seq_cst
+  /// store), then re-load the watermark and re-publish until it is
+  /// unchanged. Paired with MinActiveSnapshot — which loads the watermark
+  /// *before* scanning the slots, also seq_cst — this guarantees any
+  /// concurrently computed GC horizon is <= the pinned snapshot: either the
+  /// horizon scan sees the slot, or it ran entirely before the publish, in
+  /// which case its watermark load (and hence the horizon) is <= the
+  /// validated snapshot by monotonicity of the watermark. Falls back to the
+  /// mutex-tracked multiset if all slots are taken. The transaction's
+  /// start_ts equals its snapshot (read-only transactions no longer consume
+  /// clock ticks; they are invisible to the log and to other sites).
+  std::unique_ptr<Transaction> BeginReadOnly();
 
   /// Starts a *read-only* transaction pinned to the historical snapshot
   /// `snapshot` (time travel over the version chains — weak SI explicitly
@@ -74,7 +94,9 @@ class TxnManager {
   /// exceed the visibility watermark; versions below the prune horizon may
   /// be gone, in which case reads return NotFound. The snapshot is pinned
   /// in the active set *before* validation so a concurrent GarbageCollect
-  /// cannot prune it between the check and the pin.
+  /// cannot prune it between the check and the pin; if the snapshot lies
+  /// below the store's GC floor the transaction reads under the shard lock
+  /// (see VersionedStore's reclamation contract).
   Result<std::unique_ptr<Transaction>> BeginAtSnapshot(Timestamp snapshot);
 
   /// The visibility watermark: timestamp of the most recent *fully
@@ -219,10 +241,35 @@ class TxnManager {
   std::deque<InflightCommit> inflight_commits_;
   Timestamp last_allocated_commit_ = 0;
 
-  /// Snapshots of in-flight transactions, for the GC horizon. Begin loads
-  /// the watermark and registers it under this mutex in one step, so a
-  /// concurrently computed horizon either includes the new snapshot or
-  /// predates it.
+  /// Snapshots of in-flight transactions, for the GC horizon — two tiers.
+  ///
+  /// Tier 1 (lock-free, the read-only hot path): a fixed array of
+  /// cache-line-padded atomic slots. A free slot holds kFreeSlot (= max
+  /// timestamp, so it never lowers a min-scan); claiming is a CAS from
+  /// kFreeSlot guided by a thread-local hint, releasing is a plain store.
+  /// All slot and watermark accesses on this path are seq_cst; the
+  /// publish-validate handshake (see BeginReadOnly) makes a concurrently
+  /// computed horizon always <= any pinned snapshot.
+  ///
+  /// Tier 2 (mutex-guarded multiset): update transactions — whose Begin
+  /// already serializes on the clock mutex for the start record — and
+  /// overflow when every slot is taken. Begin loads the watermark and
+  /// registers it under active_mu_ in one step, so a concurrently computed
+  /// horizon either includes the new snapshot or predates it.
+  static constexpr Timestamp kFreeSlot = ~Timestamp{0};
+  static constexpr std::size_t kActiveSlots = 256;
+  struct alignas(64) ActiveSlot {
+    std::atomic<Timestamp> ts{kFreeSlot};
+  };
+  std::array<ActiveSlot, kActiveSlots> active_slots_;
+  /// Claims a slot pinned to the (validated) current watermark; returns the
+  /// slot index and writes the snapshot, or -1 when the array is full.
+  int ClaimReadSlot(Timestamp* snapshot);
+  /// Claims a slot pinned to an explicit historical snapshot; -1 when full.
+  int ClaimHistoricalSlot(Timestamp snapshot);
+  /// Frees the transaction's slot, or untracks from the multiset.
+  void ReleaseSnapshot(Transaction* t);
+
   mutable std::mutex active_mu_;
   std::multiset<Timestamp> active_snapshots_;
   /// Atomically picks the current watermark as a snapshot and tracks it.

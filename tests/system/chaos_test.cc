@@ -20,11 +20,16 @@ namespace lazysi {
 namespace system {
 namespace {
 
-TEST(ChaosTest, FaultyTransportIsInvisibleToClients) {
+/// Parametrized over the refresh engine (true = direct-apply, false =
+/// legacy transactional), so the chaos transport composes with both.
+class ChaosEngineTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ChaosEngineTest, FaultyTransportIsInvisibleToClients) {
   SystemConfig config;
   config.num_secondaries = 2;
   config.guarantee = session::Guarantee::kStrongSessionSI;
   config.record_history = true;
+  config.direct_apply_refresh = GetParam();
   config.read_block_timeout = std::chrono::milliseconds(30000);
   config.transport_faults.drop_probability = 0.10;
   config.transport_faults.duplicate_probability = 0.05;
@@ -113,6 +118,13 @@ TEST(ChaosTest, FaultyTransportIsInvisibleToClients) {
   EXPECT_GT(delivered, 0u);
 }
 
+INSTANTIATE_TEST_SUITE_P(
+    BothEngines, ChaosEngineTest, ::testing::Bool(),
+    [](const ::testing::TestParamInfo<bool>& info) {
+      return info.param ? std::string("DirectApply")
+                        : std::string("LegacyRefresh");
+    });
+
 TEST(ChaosTest, DisconnectHeavyProfileResyncsThroughLog) {
   // A profile aggressive enough to force repeated disconnects; every resync
   // goes through Propagator::AttachSinkAt and must land the secondary on a
@@ -151,12 +163,13 @@ TEST(ChaosTest, DisconnectHeavyProfileResyncsThroughLog) {
   EXPECT_GT(stats.secondaries[0].transport_resyncs, 0u);
 }
 
-TEST(ChaosTest, FailAndRecoverUnderChaosTransport) {
+TEST_P(ChaosEngineTest, FailAndRecoverUnderChaosTransport) {
   // Section 3.4's crash/recovery cycle composed with the chaos transport:
   // the recovered secondary rejoins through a fresh link + channel attached
   // at the checkpoint, then catches up across the faulty wire.
   SystemConfig config;
   config.num_secondaries = 2;
+  config.direct_apply_refresh = GetParam();
   config.transport_faults.drop_probability = 0.08;
   config.transport_faults.duplicate_probability = 0.04;
   config.transport_faults.corrupt_probability = 0.04;

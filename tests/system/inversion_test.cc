@@ -105,6 +105,59 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string("Unknown");
     });
 
+// A session whose reads roam across secondaries via the freshness router
+// never observes an inversion: placement lands each read on a secondary
+// whose seq(DBsec) already covers seq(c), or falls back to blocking on the
+// freshest one — either way the blocking rule of ALG-STRONG-SESSION-SI
+// holds at whichever site serves the read.
+TEST(RoutedRoamingTest, SessionNeverObservesInversionAcrossSecondaries) {
+  SystemConfig config;
+  config.num_secondaries = 3;
+  config.guarantee = session::Guarantee::kStrongSessionSI;
+  config.record_history = true;
+  config.freshness_routing = true;
+  config.propagation_batch_interval = std::chrono::milliseconds(30);
+  ReplicatedSystem sys(config);
+  sys.Start();
+
+  auto customer = sys.Connect();
+  constexpr int kRounds = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::string order = "order/" + std::to_string(round);
+    ASSERT_TRUE(customer
+                    ->ExecuteUpdate([&](SystemTransaction& t) {
+                      return t.Put(order, "purchased");
+                    })
+                    .ok());
+    auto check = customer->BeginRead();
+    ASSERT_TRUE(check.ok());
+    // The session's own purchase is always visible, wherever the read
+    // landed.
+    auto status = (*check)->Get(order);
+    ASSERT_TRUE(status.ok()) << "inversion in round " << round << ": "
+                             << status.status();
+    EXPECT_EQ(*status, "purchased");
+    ASSERT_TRUE((*check)->Commit().ok());
+  }
+  sys.WaitForReplication();
+  const auto stats = sys.Stats();
+  sys.Stop();
+
+  // Every read went through the router.
+  std::uint64_t routed = 0;
+  for (const auto& sec : stats.secondaries) {
+    routed += sec.ro_routed_fresh + sec.ro_blocked_on_freshness;
+  }
+  EXPECT_EQ(routed, static_cast<std::uint64_t>(kRounds));
+
+  history::SIChecker checker(sys.recorder()->Snapshot());
+  auto weak = checker.CheckWeakSI();
+  EXPECT_TRUE(weak.ok) << weak.violation;
+  auto report = checker.CheckStrongSessionSI();
+  EXPECT_TRUE(report.ok) << report.violation;
+  EXPECT_EQ(checker.CountSessionInversions(), 0u);
+}
+
 // Cross-session inversions are permitted under strong session SI — that is
 // precisely the cost it does not pay (Definition 2.2).
 TEST(CrossSessionTest, SessionSIAllowsCrossSessionStaleness) {

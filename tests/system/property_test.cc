@@ -34,6 +34,9 @@ struct PropertyParams {
   /// Run the legacy transactional refresh engine instead of direct-apply,
   /// so both engines stay covered by the SI checkers.
   bool legacy_refresh = false;
+  /// Freshness-aware read routing: reads go to the least-loaded secondary
+  /// whose seq(DBsec) already covers the session's seq(c).
+  bool freshness_routing = false;
 };
 
 class SystemPropertyTest : public ::testing::TestWithParam<PropertyParams> {};
@@ -49,6 +52,7 @@ TEST_P(SystemPropertyTest, HistorySatisfiesGuarantee) {
   config.read_block_timeout = std::chrono::milliseconds(20000);
   config.roam_reads = p.roam_reads;
   config.direct_apply_refresh = !p.legacy_refresh;
+  config.freshness_routing = p.freshness_routing;
   ReplicatedSystem sys(config);
   sys.Start();
 
@@ -166,7 +170,16 @@ INSTANTIATE_TEST_SUITE_P(
                        /*legacy_refresh=*/true},
         PropertyParams{session::Guarantee::kWeakSI, 2, 4, 30, 40,
                        "weak_legacy_refresh", /*roam_reads=*/false,
-                       /*legacy_refresh=*/true}),
+                       /*legacy_refresh=*/true},
+        PropertyParams{session::Guarantee::kWeakSI, 3, 4, 30, 20,
+                       "weak_routed", /*roam_reads=*/false,
+                       /*legacy_refresh=*/false, /*freshness_routing=*/true},
+        PropertyParams{session::Guarantee::kStrongSessionSI, 3, 6, 25, 20,
+                       "session_routed", /*roam_reads=*/false,
+                       /*legacy_refresh=*/false, /*freshness_routing=*/true},
+        PropertyParams{session::Guarantee::kStrongSI, 3, 3, 20, 20,
+                       "strong_routed", /*roam_reads=*/false,
+                       /*legacy_refresh=*/false, /*freshness_routing=*/true}),
     [](const ::testing::TestParamInfo<PropertyParams>& info) {
       return info.param.name;
     });

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "system/replicated_system.h"
 
 namespace lazysi {
@@ -71,6 +74,120 @@ TEST(SystemGcTest, ReclaimsAcrossAllSites) {
   EXPECT_EQ(sys.GarbageCollectAll(), 3u * 4u);
   EXPECT_EQ(sys.primary_db()->store()->VersionCount(), 1u);
   // Replication continues to work after pruning.
+  ASSERT_TRUE(client
+                  ->ExecuteUpdate([](SystemTransaction& t) {
+                    return t.Put("hot", "after-gc");
+                  })
+                  .ok());
+  ASSERT_TRUE(sys.WaitForReplication());
+  EXPECT_EQ(sys.secondary_db(0)->Get("hot").value(), "after-gc");
+  sys.Stop();
+}
+
+TEST(SystemStatsTest, RouterCountsFreshPlacements) {
+  SystemConfig config;
+  config.num_secondaries = 3;
+  config.guarantee = session::Guarantee::kStrongSessionSI;
+  config.freshness_routing = true;
+  ReplicatedSystem sys(config);
+  sys.Start();
+  auto client = sys.Connect();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client
+                    ->ExecuteUpdate([&](SystemTransaction& t) {
+                      return t.Put("k" + std::to_string(i), "v");
+                    })
+                    .ok());
+    // Every secondary catches up before the read, so a fresh replica always
+    // exists and the router must never fall back to block-on-freshest.
+    ASSERT_TRUE(sys.WaitForReplication());
+    ASSERT_TRUE(client
+                    ->ExecuteRead([&](SystemTransaction& t) {
+                      return t.Get("k" + std::to_string(i)).status();
+                    })
+                    .ok());
+  }
+  auto stats = sys.Stats();
+  std::uint64_t fresh = 0, blocked = 0;
+  for (const auto& sec : stats.secondaries) {
+    fresh += sec.ro_routed_fresh;
+    blocked += sec.ro_blocked_on_freshness;
+    EXPECT_EQ(sec.active_reads, 0u);  // all reads finished
+  }
+  EXPECT_EQ(fresh, 5u);
+  EXPECT_EQ(blocked, 0u);
+  EXPECT_NE(stats.ToString().find("router[fresh="), std::string::npos);
+  sys.Stop();
+}
+
+TEST(SystemStatsTest, RouterFallsBackToFreshestWhenNoneFresh) {
+  SystemConfig config;
+  config.num_secondaries = 2;
+  config.guarantee = session::Guarantee::kStrongSessionSI;
+  config.freshness_routing = true;
+  // Slow, batched propagation: right after an update commits, no secondary
+  // covers the session's seq(c) yet, so the read must take the
+  // block-on-freshest fallback (and still see its own write, per the
+  // session guarantee).
+  config.propagation_batch_interval = std::chrono::milliseconds(60);
+  ReplicatedSystem sys(config);
+  sys.Start();
+  auto client = sys.Connect();
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(client
+                    ->ExecuteUpdate([&](SystemTransaction& t) {
+                      return t.Put("announcement", std::to_string(round));
+                    })
+                    .ok());
+    const std::string want = std::to_string(round);
+    ASSERT_TRUE(client
+                    ->ExecuteRead([&](SystemTransaction& t) {
+                      auto v = t.Get("announcement");
+                      if (!v.ok()) return v.status();
+                      return v.value() == want
+                                 ? Status::OK()
+                                 : Status::Internal("stale read");
+                    })
+                    .ok());
+  }
+  auto stats = sys.Stats();
+  std::uint64_t blocked = 0;
+  for (const auto& sec : stats.secondaries) {
+    blocked += sec.ro_blocked_on_freshness;
+  }
+  EXPECT_GT(blocked, 0u);
+  sys.Stop();
+}
+
+TEST(SystemGcTest, BackgroundCadenceReclaims) {
+  SystemConfig config;
+  config.num_secondaries = 1;
+  config.guarantee = session::Guarantee::kWeakSI;
+  config.gc_interval = std::chrono::milliseconds(5);
+  ReplicatedSystem sys(config);
+  sys.Start();
+  auto client = sys.Connect();
+  for (int round = 0; round < 8; ++round) {
+    ASSERT_TRUE(client
+                    ->ExecuteUpdate([&](SystemTransaction& t) {
+                      return t.Put("hot", std::to_string(round));
+                    })
+                    .ok());
+  }
+  ASSERT_TRUE(sys.WaitForReplication());
+  // The maintenance thread prunes without any explicit GarbageCollectAll
+  // call; poll until the shadowed versions are gone at both sites.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline &&
+         (sys.primary_db()->store()->VersionCount() > 1 ||
+          sys.secondary_db(0)->store()->VersionCount() > 1)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(sys.gc_passes(), 0u);
+  EXPECT_EQ(sys.primary_db()->store()->VersionCount(), 1u);
+  EXPECT_EQ(sys.secondary_db(0)->store()->VersionCount(), 1u);
+  // Replication and reads still work after background pruning.
   ASSERT_TRUE(client
                   ->ExecuteUpdate([](SystemTransaction& t) {
                     return t.Put("hot", "after-gc");

@@ -186,6 +186,66 @@ TEST(ConcurrentStressTest, WritersReadersAndGcPreserveSnapshotIsolation) {
   EXPECT_EQ(checker.CountGlobalInversions(), 0u);
 }
 
+// Aimed squarely at the lock-free read path: Begin(read_only) performs no
+// mutex acquisition and Get walks atomically-published newest-first version
+// chains while a writer keeps prepending to the hot key and the collector
+// concurrently severs shadowed tails. The TSan preset runs this test to
+// certify the acquire/release publication and the seq_cst reader-slot /
+// gc-floor handshakes; the assertions check the two properties the
+// lock-free design must deliver: reads always hit a version at least as new
+// as the GC horizon, and successive read-only snapshots in one thread never
+// regress (visible watermark monotonicity).
+TEST(ConcurrentStressTest, LockFreeHotReadsRaceWritersAndGc) {
+  engine::Database db;
+  ASSERT_TRUE(db.Put("hot", "0").ok());
+
+  constexpr int kReaders = 4;
+  constexpr int kHotWrites = 500;
+  constexpr int kReadsPerThread = 800;
+  std::atomic<bool> writer_done{false};
+  std::vector<std::thread> threads;
+
+  // One hot writer: uncontended sequential overwrites grow the chain as
+  // fast as possible (no FCW aborts to slow it down).
+  threads.emplace_back([&] {
+    for (int i = 1; i <= kHotWrites; ++i) {
+      auto txn = db.Begin();
+      ASSERT_TRUE(txn->Put("hot", std::to_string(i)).ok());
+      ASSERT_TRUE(txn->Commit().ok());
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  // Collector: prunes continuously, so readers race chain truncation the
+  // whole run.
+  threads.emplace_back([&] {
+    while (!writer_done.load(std::memory_order_acquire)) {
+      db.GarbageCollect();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      long long last_seen = 0;
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        auto txn = db.Begin(/*read_only=*/true);
+        auto v = txn->Get("hot");
+        ASSERT_TRUE(v.ok()) << "GC reclaimed the version a lock-free "
+                               "snapshot was reading";
+        const long long seen = std::stoll(*v);
+        // visible_ts only advances, so per-thread snapshots are monotone.
+        ASSERT_GE(seen, last_seen);
+        last_seen = seen;
+        ASSERT_TRUE(txn->Commit().ok());
+      }
+    });
+  }
+
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(db.Get("hot").value(), std::to_string(kHotWrites));
+}
+
 }  // namespace
 }  // namespace txn
 }  // namespace lazysi

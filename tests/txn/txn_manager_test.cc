@@ -30,10 +30,17 @@ TEST_F(TxnManagerTest, StrongSIStartSeesLatestCommit) {
   ASSERT_TRUE(t1->Put("a", "1").ok());
   ASSERT_TRUE(t1->Commit().ok());
   // Strong SI (Definition 2.1): a transaction beginning after t1's commit
-  // must see t1's update.
+  // must see t1's update — its snapshot covers t1's commit timestamp. The
+  // read-only begin is lock-free and consumes no clock tick, so its
+  // start_ts equals its snapshot rather than a fresh clock value.
   auto t2 = manager_.Begin(/*read_only=*/true);
-  EXPECT_GT(t2->start_ts(), t1->commit_ts());
+  EXPECT_GE(t2->snapshot_ts(), t1->commit_ts());
+  EXPECT_EQ(t2->start_ts(), t2->snapshot_ts());
   EXPECT_EQ(t2->Get("a").value(), "1");
+  // Update transactions still draw start timestamps from the clock, above
+  // every issued commit timestamp.
+  auto t3 = manager_.Begin();
+  EXPECT_GT(t3->start_ts(), t1->commit_ts());
 }
 
 TEST_F(TxnManagerTest, SnapshotIgnoresLaterCommits) {
