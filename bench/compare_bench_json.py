@@ -7,7 +7,10 @@ Usage:
 
 Benchmarks are matched by name. With --metric auto (the default) a row is
 compared on items_per_second when both sides report it (higher is better),
-falling back to real_time (lower is better). A row regresses when the
+falling back to real_time (lower is better). Rows that report a p95_lag_ts
+counter (the replay catch-up benchmarks' 95th-percentile freshness lag) are
+additionally gated on it, lower is better — a replica that "keeps up" must
+not start lagging even when its throughput holds. A row regresses when the
 candidate is worse than the baseline by more than the threshold fraction.
 Exits 1 if any matched row regressed, 0 otherwise. Rows present on only one
 side are listed but never fail the comparison (benchmarks come and go across
@@ -68,24 +71,31 @@ def main():
     width = max(len(n) for n in common)
     print(f"{'benchmark':<{width}}  {'metric':<16} {'baseline':>12} "
           f"{'candidate':>12} {'change':>8}")
-    for name in common:
-        metric = pick_metric(base[name], cand[name], args.metric)
-        if metric is None:
-            print(f"{name:<{width}}  (no comparable metric)")
-            continue
-        b, c = base[name][metric], cand[name][metric]
+    def compare_one(name, metric, b, c, higher_is_better):
         if b == 0:
             print(f"{name:<{width}}  {metric:<16} (baseline is zero)")
-            continue
-        higher_is_better = metric == "items_per_second"
+            return
         change = (c - b) / b
         worse = -change if higher_is_better else change
         mark = ""
         if worse > args.threshold:
             mark = "  << REGRESSION"
-            regressions.append(name)
+            regressions.append(f"{name} [{metric}]")
         print(f"{name:<{width}}  {metric:<16} {b:>12.4g} {c:>12.4g} "
               f"{change:>+7.1%}{mark}")
+
+    for name in common:
+        metric = pick_metric(base[name], cand[name], args.metric)
+        if metric is None:
+            print(f"{name:<{width}}  (no comparable metric)")
+        else:
+            compare_one(name, metric, base[name][metric], cand[name][metric],
+                        higher_is_better=metric == "items_per_second")
+        # Lag counters gate independently of the primary metric: a catch-up
+        # row may hold throughput while its tail freshness lag blows up.
+        if "p95_lag_ts" in base[name] and "p95_lag_ts" in cand[name]:
+            compare_one(name, "p95_lag_ts", base[name]["p95_lag_ts"],
+                        cand[name]["p95_lag_ts"], higher_is_better=False)
 
     for name in only_base:
         print(f"{name:<{width}}  (removed in candidate)")

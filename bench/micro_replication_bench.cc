@@ -163,6 +163,104 @@ BENCHMARK(BM_RefreshCatchup)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
+void BM_ParallelReplayCatchup(benchmark::State& state) {
+  // The parallel-pipeline scaling matrix: the same contended backlog as
+  // BM_RefreshCatchup — plus deletes and aborts, so the decode pool sees the
+  // full record mix — replayed through the direct-apply engine at several
+  // decode/apply widths. decode:0 is the serial direct-apply baseline (one
+  // refresher thread decodes and allocates inline); decode>0 selects the
+  // three-stage pipeline. Items are refresh commits/second; p95_lag_ts is
+  // the 95th-percentile freshness lag (primary latest commit ts minus
+  // seq(DBsec)) sampled during catch-up — the "always keeps up" number, and
+  // the row compare_bench_json.py gates on (lower is better).
+  const auto decode = static_cast<std::size_t>(state.range(0));
+  const auto applicators = static_cast<std::size_t>(state.range(1));
+
+  engine::Database primary_db(
+      engine::DatabaseOptions{lazysi::kPrimarySiteId, "primary", false});
+  constexpr int kRounds = 150;
+  constexpr int kConcurrent = 8;
+  constexpr int kOpsPerTxn = 4;
+  std::uint64_t commits = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    std::vector<std::unique_ptr<lazysi::txn::Transaction>> txns;
+    for (int t = 0; t < kConcurrent; ++t) txns.push_back(primary_db.Begin());
+    for (int t = 0; t < kConcurrent; ++t) {
+      for (int o = 0; o < kOpsPerTxn; ++o) {
+        const std::string key =
+            "k" + std::to_string((t * kOpsPerTxn + o) % 512) + "/" +
+            std::to_string(t);
+        if (o == kOpsPerTxn - 1 && r % 5 == 0) {
+          (void)txns[t]->Delete(key);
+        } else {
+          (void)txns[t]->Put(key, std::to_string(r));
+        }
+      }
+    }
+    for (int t = 0; t < kConcurrent; ++t) {
+      if (t == kConcurrent - 1 && r % 7 == 0) {
+        txns[t]->Abort();  // abort records flow down the wire too
+      } else if (txns[t]->Commit().ok()) {
+        ++commits;
+      }
+    }
+  }
+  const lazysi::Timestamp target = primary_db.LatestCommitTs();
+
+  std::vector<double> lag_samples;
+  bool timed_out = false;
+  for (auto _ : state) {
+    engine::Database sec_db(engine::DatabaseOptions{1, "sec", false});
+    replication::SecondaryOptions opts;
+    opts.applicator_threads = applicators;
+    opts.direct_apply = true;
+    opts.decode_threads = decode;
+    replication::Secondary sec(&sec_db, opts);
+    replication::Propagator prop(primary_db.log());
+    sec.Start();
+    prop.AttachSink(sec.update_queue());
+    std::atomic<bool> sampling{true};
+    std::vector<double> iter_lags;
+    std::thread sampler([&] {
+      while (sampling.load(std::memory_order_acquire)) {
+        iter_lags.push_back(static_cast<double>(target - sec.applied_seq()));
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+    const auto begin = std::chrono::steady_clock::now();
+    prop.Start();
+    const bool ok = sec.WaitForSeq(target, std::chrono::milliseconds(60000));
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count());
+    sampling.store(false, std::memory_order_release);
+    sampler.join();
+    prop.Stop();
+    sec.Stop();
+    if (!ok) {
+      timed_out = true;
+      break;
+    }
+    lag_samples.insert(lag_samples.end(), iter_lags.begin(), iter_lags.end());
+  }
+  if (timed_out) {
+    state.SkipWithError("secondary failed to catch up within 60s");
+    return;
+  }
+  state.SetItemsProcessed(state.iterations() * commits);
+  if (!lag_samples.empty()) {
+    std::sort(lag_samples.begin(), lag_samples.end());
+    const std::size_t idx = (lag_samples.size() * 95) / 100;
+    state.counters["p95_lag_ts"] =
+        lag_samples[idx >= lag_samples.size() ? lag_samples.size() - 1 : idx];
+  }
+}
+BENCHMARK(BM_ParallelReplayCatchup)
+    ->ArgNames({"decode", "applicators"})
+    ->ArgsProduct({{0, 2, 4}, {1, 2, 4}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SessionReadAfterWrite(benchmark::State& state) {
   // The read-your-writes round trip under ALG-STRONG-SESSION-SI: update at
   // the primary, then a session read that must wait for the refresh.

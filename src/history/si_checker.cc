@@ -256,8 +256,18 @@ std::size_t SIChecker::CountInversions(bool same_session_only) const {
     for (const auto& read : txn.reads) {
       auto it = versions_.find(read.key);
       if (it == versions_.end()) continue;
+      // Newest snapshot any consistent explanation of this read can use.
+      // A read observing absence after a delete is explained by a snapshot
+      // inside the tombstone's absence window, so the tombstone itself (and
+      // anything older) is not "missed"; only versions at or beyond every
+      // allowed window count. For a found read this degenerates to the next
+      // version's timestamp, matching the naive comparison.
+      std::string error;
+      const IntervalSet allowed = ConstraintForRead(read, &error);
+      Timestamp max_hi = 0;
+      for (const auto& [lo, hi] : allowed) max_hi = std::max(max_hi, hi);
       for (const auto& v : it->second) {
-        if (v.ts <= read.version_primary_ts) continue;
+        if (v.ts < max_hi) continue;  // some consistent snapshot covers v
         // Find the writer's record to compare real-time order and label.
         auto writer_it = by_order_id_.find(v.writer_order_id);
         if (writer_it == by_order_id_.end()) continue;

@@ -17,6 +17,13 @@ namespace replication {
 struct PropStart {
   TxnId txn_id = kInvalidTxnId;
   Timestamp start_ts = kInvalidTimestamp;
+  /// Position of this record in the propagator's canonical broadcast stream
+  /// (its records_broadcast counter at emission). Stamped once at the
+  /// propagator, preserved across the wire and transport resyncs, so a
+  /// replica can detect stream discontinuities end-to-end and the parallel
+  /// replay pipeline can fan records out and re-sequence the decoded results
+  /// by tag.
+  std::uint64_t seq = 0;
 };
 
 /// commit_p(T) together with T's complete update list. Updates ride with the
@@ -27,12 +34,16 @@ struct PropCommit {
   Timestamp commit_ts = kInvalidTimestamp;
   /// T's updates in execution order.
   std::vector<storage::Write> updates;
+  /// Broadcast-stream position; see PropStart::seq.
+  std::uint64_t seq = 0;
 };
 
 /// abort_p(T): tells refreshers to abandon the refresh transaction they
 /// started when T's start record arrived.
 struct PropAbort {
   TxnId txn_id = kInvalidTxnId;
+  /// Broadcast-stream position; see PropStart::seq.
+  std::uint64_t seq = 0;
 };
 
 /// One element of a secondary's FIFO update queue. Records arrive in primary

@@ -55,7 +55,8 @@ Result<std::uint64_t> Propagator::AttachSinkAt(
     switch (rec->type) {
       case wal::LogRecordType::kStart:
         lists[rec->txn_id];  // mark txn as started inside the slice
-        replay.push_back(PropStart{rec->txn_id, rec->timestamp});
+        replay.push_back(
+            PropStart{rec->txn_id, rec->timestamp, base_seq + replay.size()});
         break;
       case wal::LogRecordType::kUpdate:
         if (!lists.count(rec->txn_id)) {
@@ -73,14 +74,15 @@ Result<std::uint64_t> Propagator::AttachSinkAt(
               "checkpoint LSN is not quiesced: commit of a transaction "
               "started before the checkpoint");
         }
-        replay.push_back(
-            PropCommit{rec->txn_id, rec->timestamp, std::move(it->second)});
+        replay.push_back(PropCommit{rec->txn_id, rec->timestamp,
+                                    std::move(it->second),
+                                    base_seq + replay.size()});
         lists.erase(it);
         break;
       }
       case wal::LogRecordType::kAbort:
         lists.erase(rec->txn_id);
-        replay.push_back(PropAbort{rec->txn_id});
+        replay.push_back(PropAbort{rec->txn_id, base_seq + replay.size()});
         break;
     }
   }
@@ -204,8 +206,13 @@ void Propagator::ConsumeLocked(const wal::LogRecord& record) {
 void Propagator::BufferLocked(PropagationRecord record) {
   // Counted at buffering time: the flush happens under the same mu_ hold, so
   // a sink attached afterwards (AttachSink also takes mu_) starts exactly at
-  // the post-burst sequence number it will first observe.
-  records_broadcast_.fetch_add(1, std::memory_order_relaxed);
+  // the post-burst sequence number it will first observe. The pre-increment
+  // value is also the record's stream position, stamped into the record so
+  // receivers can spot discontinuities after the wire and transport layers
+  // have had their way with the batch framing.
+  const std::uint64_t seq =
+      records_broadcast_.fetch_add(1, std::memory_order_relaxed);
+  std::visit([seq](auto& r) { r.seq = seq; }, record);
   burst_.push_back(std::move(record));
 }
 

@@ -9,6 +9,7 @@ Secondary::Secondary(engine::Database* db, SecondaryOptions options)
     : db_(db), options_(options) {
   if (options_.applicator_threads == 0) options_.applicator_threads = 1;
   if (options_.group_apply_limit == 0) options_.group_apply_limit = 1;
+  parallel_engine_ = options_.direct_apply && options_.decode_threads > 0;
   // Publish the local->primary commit-timestamp translation atomically with
   // version visibility (the hook runs under the engine's timestamp mutex),
   // so any reader whose snapshot includes a refresh commit can translate it.
@@ -36,8 +37,23 @@ void Secondary::Start() {
   tasks_.Reopen();
   direct_tasks_.Reopen();
   pending_queue_.Reopen();
-  refresher_ = std::thread([this] { RefresherLoop(); });
+  decode_queue_.Reopen();
+  reorder_.Reset();
+  scheduler_.Reopen();
   applicators_.reserve(options_.applicator_threads);
+  if (parallel_engine_) {
+    refresher_ = std::thread([this] { IngestLoop(); });
+    decoders_.reserve(options_.decode_threads);
+    for (std::size_t i = 0; i < options_.decode_threads; ++i) {
+      decoders_.emplace_back([this] { DecodeLoop(); });
+    }
+    sequencer_ = std::thread([this] { SequencerLoop(); });
+    for (std::size_t i = 0; i < options_.applicator_threads; ++i) {
+      applicators_.emplace_back([this] { ParallelApplicatorLoop(); });
+    }
+    return;
+  }
+  refresher_ = std::thread([this] { RefresherLoop(); });
   for (std::size_t i = 0; i < options_.applicator_threads; ++i) {
     if (options_.direct_apply) {
       applicators_.emplace_back([this] { DirectApplicatorLoop(); });
@@ -51,6 +67,26 @@ void Secondary::Stop() {
   if (!started_) return;
   update_queue_.Close();
   refresher_.join();
+  if (parallel_engine_) {
+    // Stage-by-stage shutdown, upstream first, each stage fully drained
+    // before the next closes. Nothing past ingest may be dropped: a decoded
+    // commit the sequencer already allocated has its commit record in the
+    // local log, and abandoning its installation would wedge the visibility
+    // watermark below it forever. Draining in stage order also means the
+    // reorder buffer holds a gapless set when the sequencer does its final
+    // pops, so the contiguous-prefix pop empties it completely.
+    decode_queue_.Close();
+    for (auto& t : decoders_) t.join();
+    decoders_.clear();
+    reorder_.Close();
+    sequencer_.join();
+    scheduler_.Close();
+    for (auto& t : applicators_) t.join();
+    applicators_.clear();
+    direct_txns_.clear();
+    started_ = false;
+    return;
+  }
   tasks_.Close();
   direct_tasks_.Close();
   pending_queue_.Close();
@@ -104,6 +140,29 @@ std::size_t Secondary::PruneTranslations(Timestamp primary_horizon) {
 std::size_t Secondary::translation_count() const {
   std::shared_lock lock(translate_mu_);
   return local_to_primary_.size() + pending_translation_.size();
+}
+
+std::uint64_t Secondary::SampleLoadEstimate() {
+  // ewma += (sample - ewma) / 8, in x1024 fixed point so small loads do not
+  // truncate to zero steps. Lock-free CAS loop: concurrent samplers each
+  // fold in their own observation; losing a race just retries against the
+  // fresher estimate. When the quotient truncates to zero the estimate still
+  // steps by one toward the sample, so it converges exactly instead of
+  // sticking within 7 counts of the target forever.
+  const auto sample =
+      static_cast<std::uint64_t>(active_reads_.load(std::memory_order_relaxed))
+      << 10;
+  std::uint64_t prev = load_ewma_.load(std::memory_order_relaxed);
+  std::uint64_t next;
+  do {
+    const auto delta =
+        static_cast<std::int64_t>(sample) - static_cast<std::int64_t>(prev);
+    auto step = delta / 8;
+    if (step == 0 && delta != 0) step = delta > 0 ? 1 : -1;
+    next = static_cast<std::uint64_t>(static_cast<std::int64_t>(prev) + step);
+  } while (!load_ewma_.compare_exchange_weak(prev, next,
+                                             std::memory_order_relaxed));
+  return next;
 }
 
 void Secondary::AdvanceSeq(Timestamp primary_commit_ts) {
@@ -169,21 +228,7 @@ void Secondary::DirectRefreshRecord(PropagationRecord& record) {
     tm->ExternalStart(local_id);
     direct_txns_[start->txn_id] = local_id;
   } else if (auto* commit = std::get_if<PropCommit>(&record)) {
-    TxnId local_id;
-    auto it = direct_txns_.find(commit->txn_id);
-    if (it != direct_txns_.end()) {
-      local_id = it->second;
-      direct_txns_.erase(it);
-    } else {
-      // Commit for a transaction whose start record we never saw. This
-      // happens only for sinks attached mid-stream without a quiesced
-      // checkpoint; recover by starting the refresh transaction now (its
-      // updates are value writes, so a later snapshot is safe).
-      LAZYSI_WARN("secondary: commit without start record, txn="
-                  << commit->txn_id);
-      local_id = tm->AllocateTxnId();
-      tm->ExternalStart(local_id);
-    }
+    const TxnId local_id = ResolveCommitTxn(commit->txn_id);
     auto writes = std::make_unique<storage::WriteSet>();
     for (const storage::Write& w : commit->updates) {
       if (w.deleted) {
@@ -254,6 +299,327 @@ void Secondary::LegacyRefreshRecord(PropagationRecord& record, bool* shutdown) {
   }
 }
 
+TxnId Secondary::ResolveCommitTxn(TxnId primary_txn_id) {
+  txn::TxnManager* tm = db_->txn_manager();
+  auto it = direct_txns_.find(primary_txn_id);
+  if (it != direct_txns_.end()) {
+    const TxnId local_id = it->second;
+    direct_txns_.erase(it);
+    return local_id;
+  }
+  // Commit for a transaction whose start record we never saw. This happens
+  // only for sinks attached mid-stream without a quiesced checkpoint;
+  // recover by starting the refresh transaction now (its updates are value
+  // writes, so a later snapshot is safe).
+  LAZYSI_WARN("secondary: commit without start record, txn="
+              << primary_txn_id);
+  const TxnId local_id = tm->AllocateTxnId();
+  tm->ExternalStart(local_id);
+  return local_id;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel replay pipeline.
+// ---------------------------------------------------------------------------
+
+bool Secondary::ReorderBuffer::Admit(std::uint64_t seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  space_cv_.wait(lock, [&] { return closed_ || seq < next_ + kWindow; });
+  return !closed_;
+}
+
+void Secondary::ReorderBuffer::Put(std::uint64_t seq, DecodedRecord record) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(seq, std::move(record));
+  }
+  ready_cv_.notify_one();
+}
+
+std::vector<Secondary::DecodedRecord> Secondary::ReorderBuffer::PopReady() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_cv_.wait(lock, [&] {
+    return closed_ || (!pending_.empty() && pending_.begin()->first == next_);
+  });
+  std::vector<DecodedRecord> out;
+  while (!pending_.empty() && pending_.begin()->first == next_) {
+    out.push_back(std::move(pending_.begin()->second));
+    pending_.erase(pending_.begin());
+    ++next_;
+  }
+  if (!out.empty()) space_cv_.notify_all();
+  return out;
+}
+
+void Secondary::ReorderBuffer::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+void Secondary::ReorderBuffer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.clear();
+  next_ = 0;
+  closed_ = false;
+}
+
+void Secondary::ApplyScheduler::Submit(DirectTask task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(std::move(task));
+  }
+  cv_.notify_all();
+}
+
+Secondary::ApplyScheduler::Run Secondary::ApplyScheduler::ClaimRun(
+    std::size_t limit) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    if (!pending_.empty()) {
+      return (pending_.front().footprint & busy_) == 0;
+    }
+    return closed_;
+  });
+  Run run;
+  if (pending_.empty()) return run;  // closed and drained
+  // Greedy head prefix: stop at the first task whose footprint collides with
+  // a concurrently active run. Collision with *this* run's mask is fine —
+  // tasks inside one run install sequentially in one timestamp-ordered
+  // ApplyBatch pass, so intra-run key overlap is harmless.
+  while (run.tasks.size() < limit && !pending_.empty() &&
+         (pending_.front().footprint & busy_) == 0) {
+    run.mask |= pending_.front().footprint;
+    run.tasks.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  busy_ |= run.mask;
+  return run;
+}
+
+void Secondary::ApplyScheduler::CompleteRun(std::uint64_t mask) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_ &= ~mask;
+  }
+  cv_.notify_all();
+}
+
+void Secondary::ApplyScheduler::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Secondary::ApplyScheduler::Reopen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.clear();
+  busy_ = 0;
+  closed_ = false;
+}
+
+std::size_t Secondary::ApplyScheduler::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+void Secondary::IngestLoop() {
+  // Pipeline stage 0: the only consumer of the update queue. Assigns each
+  // record a gapless local pipeline sequence number (robust across restarts
+  // and resyncs, unlike the propagator-stamped seq, which legitimately gaps
+  // when records were broadcast into a closed queue) and fans the record to
+  // the decode pool. The reorder-buffer window is the pipeline's
+  // backpressure: ingest stalls here when decode or allocation falls behind.
+  std::uint64_t next_seq = 0;
+  std::uint64_t expected_wire_seq = 0;
+  bool have_expected = false;
+  for (;;) {
+    std::vector<PropagationRecord> batch =
+        update_queue_.PopBatch(kRefresherBatchSize);
+    if (batch.empty()) return;  // closed and drained
+    for (PropagationRecord& record : batch) {
+      const std::uint64_t wire_seq =
+          std::visit([](const auto& r) { return r.seq; }, record);
+      if (have_expected && wire_seq != expected_wire_seq) {
+        stream_discontinuities_.fetch_add(1, std::memory_order_relaxed);
+        LAZYSI_WARN("secondary: propagation stream discontinuity, expected seq "
+                    << expected_wire_seq << " got " << wire_seq);
+      }
+      expected_wire_seq = wire_seq + 1;
+      have_expected = true;
+      if (!reorder_.Admit(next_seq)) return;
+      decode_queue_.Push(DecodeJob{next_seq, std::move(record)});
+      ++next_seq;
+    }
+  }
+}
+
+Secondary::DecodedRecord Secondary::DecodeRecord(
+    PropagationRecord& record) const {
+  DecodedRecord out;
+  if (auto* start = std::get_if<PropStart>(&record)) {
+    out.kind = DecodedRecord::Kind::kStart;
+    out.txn_id = start->txn_id;
+    out.primary_ts = start->start_ts;
+  } else if (auto* commit = std::get_if<PropCommit>(&record)) {
+    out.kind = DecodedRecord::Kind::kCommit;
+    out.txn_id = commit->txn_id;
+    out.primary_ts = commit->commit_ts;
+    out.writes = std::make_unique<storage::WriteSet>();
+    for (const storage::Write& w : commit->updates) {
+      if (w.deleted) {
+        out.writes->Delete(w.key);
+      } else {
+        out.writes->Put(w.key, w.value);
+      }
+    }
+    out.footprint = db_->store()->ShardFootprint(*out.writes);
+  } else if (auto* abort = std::get_if<PropAbort>(&record)) {
+    out.kind = DecodedRecord::Kind::kAbort;
+    out.txn_id = abort->txn_id;
+  }
+  return out;
+}
+
+void Secondary::DecodeLoop() {
+  // Pipeline stage 1: all per-record CPU work — write-set construction and
+  // shard-footprint extraction — off the ordered path. Results re-sequence
+  // through the reorder buffer; this loop needs no ordering of its own.
+  while (auto job = decode_queue_.Pop()) {
+    reorder_.Put(job->seq, DecodeRecord(job->record));
+  }
+}
+
+void Secondary::FlushCommitBatch(std::vector<PendingCommit>* batch) {
+  if (batch->empty()) return;
+  txn::TxnManager* tm = db_->txn_manager();
+  {
+    // Stage every translation before allocating the local commit timestamps:
+    // BeginExternalCommitBatch runs the commit hook synchronously, and the
+    // hook must find the staged primary timestamp.
+    std::unique_lock lock(translate_mu_);
+    for (const PendingCommit& pc : *batch) {
+      pending_translation_[pc.local_id] = pc.primary_ts;
+    }
+  }
+  std::vector<txn::TxnManager::ExternalCommitRequest> requests;
+  requests.reserve(batch->size());
+  for (const PendingCommit& pc : *batch) {
+    requests.push_back({pc.local_id, pc.writes.get()});
+  }
+  // The tiny ordered section: the whole batch's timestamps come from one
+  // clock-mutex hold, in batch (= primary-commit) order.
+  const std::vector<Timestamp> allocated = tm->BeginExternalCommitBatch(requests);
+  {
+    std::lock_guard<std::mutex> lock(visibility_mu_);
+    for (std::size_t i = 0; i < batch->size(); ++i) {
+      visibility_fifo_.emplace_back(allocated[i], (*batch)[i].primary_ts);
+    }
+  }
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    PendingCommit& pc = (*batch)[i];
+    scheduler_.Submit(DirectTask{std::move(pc.writes), allocated[i],
+                                 pc.primary_ts, pc.footprint});
+  }
+  batch->clear();
+}
+
+void Secondary::SequencerLoop() {
+  // Pipeline stage 2: consumes the reordered stream in pipeline-sequence
+  // (= primary log) order and does nothing but bookkeeping and timestamp
+  // allocation. Commits batch through BeginExternalCommitBatch; a start or
+  // abort first flushes the accumulated batch so the local log's record
+  // interleaving exactly mirrors the primary log's (the snapshot of a
+  // refresh transaction is defined by its position among emitted commits).
+  txn::TxnManager* tm = db_->txn_manager();
+  std::vector<PendingCommit> batch;
+  batch.reserve(kSequencerBatch);
+  for (;;) {
+    std::vector<DecodedRecord> ready = reorder_.PopReady();
+    if (ready.empty()) {
+      FlushCommitBatch(&batch);
+      return;  // closed and drained
+    }
+    for (DecodedRecord& rec : ready) {
+      switch (rec.kind) {
+        case DecodedRecord::Kind::kStart: {
+          FlushCommitBatch(&batch);
+          const TxnId local_id = tm->AllocateTxnId();
+          tm->ExternalStart(local_id);
+          direct_txns_[rec.txn_id] = local_id;
+          break;
+        }
+        case DecodedRecord::Kind::kCommit: {
+          const TxnId local_id = ResolveCommitTxn(rec.txn_id);
+          batch.push_back(PendingCommit{local_id, std::move(rec.writes),
+                                        rec.primary_ts, rec.footprint});
+          if (batch.size() >= kSequencerBatch) FlushCommitBatch(&batch);
+          break;
+        }
+        case DecodedRecord::Kind::kAbort: {
+          FlushCommitBatch(&batch);
+          auto it = direct_txns_.find(rec.txn_id);
+          if (it != direct_txns_.end()) {
+            tm->ExternalAbort(it->second);
+            direct_txns_.erase(it);
+          }
+          break;
+        }
+      }
+    }
+    // Flush at burst end rather than waiting for a full batch: when the
+    // stream goes quiet the allocated prefix reaches the applicators (and
+    // the watermark) immediately.
+    FlushCommitBatch(&batch);
+  }
+}
+
+void Secondary::ParallelApplicatorLoop() {
+  // Pipeline stage 3: Algorithm 3.3 in key-disjoint group-apply form. Each
+  // claimed run's shard footprint is exclusive against every other in-flight
+  // run, so concurrent ApplyBatch passes never interleave installs on the
+  // same key and per-key version order equals timestamp order by
+  // construction. Publication stays serialized by the visibility watermark
+  // regardless of install interleaving.
+  for (;;) {
+    ApplyScheduler::Run run = scheduler_.ClaimRun(options_.group_apply_limit);
+    if (run.tasks.empty()) return;  // closed and drained
+    std::vector<storage::VersionedStore::TimestampedWrites> installs;
+    installs.reserve(run.tasks.size());
+    for (const DirectTask& task : run.tasks) {
+      installs.push_back({task.writes.get(), task.local_commit_ts});
+    }
+    db_->store()->ApplyBatch(installs);
+    // Versions are fully installed: release the run's shard claim before the
+    // visibility pass so a same-key successor run can start installing (its
+    // timestamps are higher — order per key is preserved).
+    scheduler_.CompleteRun(run.mask);
+    CountGroupApply(run.tasks.size());
+    Timestamp watermark = kInvalidTimestamp;
+    for (const DirectTask& task : run.tasks) {
+      watermark =
+          db_->txn_manager()->FinishExternalCommit(task.local_commit_ts);
+    }
+    refreshed_count_.fetch_add(run.tasks.size(), std::memory_order_relaxed);
+    AdvanceSeqToWatermark(watermark);
+  }
+}
+
+void Secondary::CountGroupApply(std::size_t batch_size) {
+  group_applies_.fetch_add(1, std::memory_order_relaxed);
+  group_applied_commits_.fetch_add(batch_size, std::memory_order_relaxed);
+  std::uint64_t prev = max_group_apply_.load(std::memory_order_relaxed);
+  while (batch_size > prev &&
+         !max_group_apply_.compare_exchange_weak(prev, batch_size,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
 void Secondary::DirectApplicatorLoop() {
   // Algorithm 3.3, group-apply form: drain a run of consecutive refresh
   // commits and install all their writes in one store pass. Tasks arrive in
@@ -271,13 +637,7 @@ void Secondary::DirectApplicatorLoop() {
       installs.push_back({task.writes.get(), task.local_commit_ts});
     }
     db_->store()->ApplyBatch(installs);
-    group_applies_.fetch_add(1, std::memory_order_relaxed);
-    group_applied_commits_.fetch_add(batch.size(), std::memory_order_relaxed);
-    std::uint64_t prev = max_group_apply_.load(std::memory_order_relaxed);
-    while (batch.size() > prev &&
-           !max_group_apply_.compare_exchange_weak(prev, batch.size(),
-                                                   std::memory_order_relaxed)) {
-    }
+    CountGroupApply(batch.size());
     // Mark the whole group installed, then advance seq(DBsec) once: the
     // watermark is monotone, so the last returned value covers everything
     // this batch (and possibly other threads' batches) unblocked —

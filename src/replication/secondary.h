@@ -39,6 +39,13 @@ struct SecondaryOptions {
   /// Direct-apply only: upper bound on the run of consecutive refresh
   /// commits an applicator group-applies in a single store pass.
   std::size_t group_apply_limit = 32;
+  /// Direct-apply only: number of decode-pool workers in the parallel replay
+  /// pipeline. Greater than zero (the default) selects the three-stage
+  /// pipeline — decode pool, ordered timestamp allocation, key-disjoint
+  /// concurrent group-apply. Zero selects the serial direct-apply path (one
+  /// refresher thread decodes and allocates inline), kept alive for
+  /// differential testing against the pipeline.
+  std::size_t decode_threads = 2;
 };
 
 /// A secondary site's refresh machinery: the FIFO update queue (kept outside
@@ -48,8 +55,8 @@ struct SecondaryOptions {
 ///
 /// Two interchangeable refresh engines implement the algorithms:
 ///
-///  - The **direct-apply engine** (default). The refresher turns each
-///    propagated commit record into a pre-allocated local commit timestamp
+///  - The **direct-apply engine** (default). Each propagated commit record
+///    becomes a pre-allocated local commit timestamp
 ///    (TxnManager::BeginExternalCommit, called in primary-commit order, so
 ///    local commit order == primary commit order by construction — Lemma
 ///    3.3); applicator threads install the write sets concurrently with
@@ -62,6 +69,30 @@ struct SecondaryOptions {
 ///    emitted log (every previously emitted commit, exactly the set a
 ///    BeginAtSnapshot at the current watermark target would pin), so
 ///    PropStart only emits the local start record and moves on.
+///
+///    With decode_threads > 0 (the default) the direct engine runs as a
+///    three-stage **parallel replay pipeline**:
+///
+///      1. An ingest thread tags each arriving record with a gapless local
+///         sequence number and fans it to a pool of decode workers, which do
+///         the CPU work off the ordered path: write-set construction and
+///         shard-footprint extraction. Decoded records re-sequence through a
+///         bounded reorder buffer.
+///      2. A sequencer thread consumes the reordered stream and does nothing
+///         but timestamp allocation, batching consecutive commits through
+///         TxnManager::BeginExternalCommitBatch — one clock-mutex hold per
+///         batch instead of per commit. This is the tiny ordered section;
+///         everything before and after it is concurrent.
+///      3. Applicators claim *key-disjoint* runs of allocated commits (64-bit
+///         shard-footprint bitmaps; a run is claimable only while its
+///         footprint is disjoint from every in-flight run's) and install
+///         them concurrently via ApplyBatch. Disjointness means same-key
+///         installs always happen in increasing timestamp order, and the
+///         watermark FIFO still only advances seq(DBsec) over fully
+///         installed prefixes.
+///
+///    decode_threads = 0 preserves the serial single-refresher direct path
+///    for differential testing.
 ///  - The **legacy transactional engine** (direct_apply = false): refresh
 ///    transactions run through the full local concurrency control; the
 ///    refresher blocks each start on PendingQueue::WaitEmpty and applicators
@@ -152,10 +183,30 @@ class Secondary {
   std::uint64_t ro_blocked_on_freshness() const {
     return ro_blocked_on_freshness_.load(std::memory_order_relaxed);
   }
-  /// Read-only transactions currently open at this site — the router's load
-  /// signal.
+  /// Read-only transactions currently open at this site — the raw input to
+  /// the router's load signal.
   std::uint64_t active_reads() const {
     return active_reads_.load(std::memory_order_relaxed);
+  }
+
+  /// Folds the current active_reads() sample into an exponentially weighted
+  /// moving average (alpha = 1/8) and returns the updated estimate in
+  /// fixed-point (x1024) units. The router samples this instead of the raw
+  /// gauge: the EWMA gives routing hysteresis, so one transient burst on the
+  /// least-loaded fresh site no longer flips every subsequent read to
+  /// another replica and back (herd oscillation).
+  std::uint64_t SampleLoadEstimate();
+
+  /// Last published EWMA load estimate, fixed-point x1024 (monitoring/tests).
+  std::uint64_t load_estimate() const {
+    return load_ewma_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of gaps observed in the propagator-stamped record sequence
+  /// (diagnostic: counts dropped/duplicated records at stream joins, e.g.
+  /// restarts with a closed update queue).
+  std::uint64_t stream_discontinuities() const {
+    return stream_discontinuities_.load(std::memory_order_relaxed);
   }
 
   void CountRoutedFresh() {
@@ -187,6 +238,12 @@ class Secondary {
   /// lock round-trip; bounds the latency of a Stop() racing a large burst.
   static constexpr std::size_t kRefresherBatchSize = 256;
 
+  /// Upper bound on commits the sequencer pushes through one
+  /// BeginExternalCommitBatch call (one clock-mutex hold). The batch is also
+  /// flushed whenever the reordered stream interleaves a start or abort, so
+  /// local log order always mirrors primary log order.
+  static constexpr std::size_t kSequencerBatch = 64;
+
   /// Legacy engine task: a begun refresh transaction plus its updates.
   struct ApplyTask {
     std::unique_ptr<txn::Transaction> txn;
@@ -203,6 +260,100 @@ class Secondary {
     std::unique_ptr<storage::WriteSet> writes;
     Timestamp local_commit_ts = kInvalidTimestamp;
     Timestamp primary_commit_ts = kInvalidTimestamp;
+    /// Shard-occupancy bitmap of the write set (parallel pipeline only; the
+    /// serial path leaves it zero). See VersionedStore::ShardFootprint.
+    std::uint64_t footprint = 0;
+  };
+
+  /// Pipeline stage 1 input: a propagation record tagged with its gapless
+  /// local pipeline sequence number.
+  struct DecodeJob {
+    std::uint64_t seq = 0;
+    PropagationRecord record;
+  };
+
+  /// Pipeline stage 1 output: the record with all CPU work done — write set
+  /// built, shard footprint extracted — ready for ordered allocation.
+  struct DecodedRecord {
+    enum class Kind { kStart, kCommit, kAbort };
+    Kind kind = Kind::kStart;
+    TxnId txn_id = kInvalidTxnId;
+    Timestamp primary_ts = kInvalidTimestamp;  // start_ts / commit_ts
+    std::unique_ptr<storage::WriteSet> writes;  // commits only
+    std::uint64_t footprint = 0;                // commits only
+  };
+
+  /// A decoded commit awaiting its turn through the ordered section.
+  struct PendingCommit {
+    TxnId local_id = kInvalidTxnId;
+    std::unique_ptr<storage::WriteSet> writes;
+    Timestamp primary_ts = kInvalidTimestamp;
+    std::uint64_t footprint = 0;
+  };
+
+  /// Re-sequences decode-pool output back into pipeline-sequence order. The
+  /// ingest thread admits a sequence number only while it is inside a bounded
+  /// window past the sequencer's position, which backpressures ingest when
+  /// decoding or allocation falls behind instead of buffering without bound.
+  class ReorderBuffer {
+   public:
+    /// Blocks until `seq` fits in the window; false once closed.
+    bool Admit(std::uint64_t seq);
+    void Put(std::uint64_t seq, DecodedRecord record);
+    /// Pops the contiguous ready prefix, blocking until at least one record
+    /// is ready. Empty result means closed and fully drained.
+    std::vector<DecodedRecord> PopReady();
+    void Close();
+    /// Restores the initial open state (restart after Stop).
+    void Reset();
+
+   private:
+    /// In-flight bound: records admitted but not yet handed to the
+    /// sequencer. Large enough to keep the decode pool busy across bursts,
+    /// small enough that a stalled pipeline caps memory at window x record.
+    static constexpr std::uint64_t kWindow = 4096;
+
+    std::mutex mu_;
+    std::condition_variable ready_cv_;
+    std::condition_variable space_cv_;
+    std::map<std::uint64_t, DecodedRecord> pending_;
+    std::uint64_t next_ = 0;  // next sequence number the sequencer consumes
+    bool closed_ = false;
+  };
+
+  /// Hands applicators key-disjoint runs of allocated commits. Claiming is
+  /// head-prefix only: a run always starts at the oldest unclaimed commit,
+  /// and is claimable only while its shard footprint is disjoint from every
+  /// in-flight run's (busy mask). Consequences: (a) two concurrent ApplyBatch
+  /// calls never touch the same shard bit, so same-key version installs
+  /// always happen in increasing timestamp order; (b) every claimed bit is
+  /// owned by exactly one run, so completion clears with busy &= ~mask;
+  /// (c) progress is guaranteed — the head conflicts only with runs that are
+  /// actively installing and will complete.
+  class ApplyScheduler {
+   public:
+    struct Run {
+      std::vector<DirectTask> tasks;  // empty => closed and drained
+      std::uint64_t mask = 0;
+    };
+
+    void Submit(DirectTask task);
+    /// Blocks until the head run is claimable (or closed and drained), then
+    /// claims up to `limit` consecutive head tasks whose combined footprint
+    /// is disjoint from the busy mask. Tasks *within* a run may overlap each
+    /// other — they install in one ordered ApplyBatch pass.
+    Run ClaimRun(std::size_t limit);
+    void CompleteRun(std::uint64_t mask);
+    void Close();
+    void Reopen();
+    std::size_t depth() const;
+
+   private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<DirectTask> pending_;
+    std::uint64_t busy_ = 0;
+    bool closed_ = false;
   };
 
   void RefresherLoop();
@@ -210,24 +361,50 @@ class Secondary {
   void DirectRefreshRecord(PropagationRecord& record);
   void ApplicatorLoop();
   void DirectApplicatorLoop();
+
+  /// Parallel pipeline threads.
+  void IngestLoop();
+  void DecodeLoop();
+  void SequencerLoop();
+  void ParallelApplicatorLoop();
+  DecodedRecord DecodeRecord(PropagationRecord& record) const;
+  /// Resolves the local txn id for a primary commit (normal start-record path
+  /// or the commit-without-start recovery); shared by both direct engines.
+  TxnId ResolveCommitTxn(TxnId primary_txn_id);
+  /// Pushes the accumulated commit batch through the ordered section: one
+  /// translate staging pass, one BeginExternalCommitBatch, one visibility
+  /// FIFO append, then submits every task to the apply scheduler.
+  void FlushCommitBatch(std::vector<PendingCommit>* batch);
+
   void AdvanceSeq(Timestamp primary_commit_ts);
   /// Direct engine: pops the visibility FIFO up to the local watermark and
   /// advances seq(DBsec) to the newest covered primary commit.
   void AdvanceSeqToWatermark(Timestamp local_watermark);
+  /// Group-apply counter updates shared by both direct apply paths.
+  void CountGroupApply(std::size_t batch_size);
 
   engine::Database* db_;
   SecondaryOptions options_;
+  /// True when this site runs the three-stage parallel replay pipeline
+  /// (direct_apply with decode_threads > 0). Fixed at construction.
+  bool parallel_engine_ = false;
 
   BlockingQueue<PropagationRecord> update_queue_;
   PendingQueue pending_queue_;  // legacy engine only
   BlockingQueue<ApplyTask> tasks_;
-  BlockingQueue<DirectTask> direct_tasks_;
+  BlockingQueue<DirectTask> direct_tasks_;  // serial direct engine only
+
+  /// Parallel pipeline plumbing (unused by the other engines).
+  BlockingQueue<DecodeJob> decode_queue_;
+  ReorderBuffer reorder_;
+  ApplyScheduler scheduler_;
 
   /// Legacy engine: refresh transactions begun on start records, keyed by
   /// primary TxnId. Touched only by the refresher thread.
   std::map<TxnId, std::unique_ptr<txn::Transaction>> refresh_txns_;
-  /// Direct engine: local txn ids of externally started transactions, keyed
-  /// by primary TxnId. Touched only by the refresher thread.
+  /// Direct engines: local txn ids of externally started transactions, keyed
+  /// by primary TxnId. Touched only by the refresher thread (serial) or the
+  /// sequencer thread (parallel) — never both in the same configuration.
   std::map<TxnId, TxnId> direct_txns_;
 
   std::atomic<Timestamp> applied_seq_{0};
@@ -251,11 +428,17 @@ class Secondary {
   std::atomic<std::uint64_t> ro_routed_fresh_{0};
   std::atomic<std::uint64_t> ro_blocked_on_freshness_{0};
   std::atomic<std::uint64_t> active_reads_{0};
+  /// EWMA of active_reads_, fixed-point x1024, alpha = 1/8 (see
+  /// SampleLoadEstimate).
+  std::atomic<std::uint64_t> load_ewma_{0};
+  std::atomic<std::uint64_t> stream_discontinuities_{0};
   std::atomic<std::uint64_t> group_applies_{0};
   std::atomic<std::uint64_t> group_applied_commits_{0};
   std::atomic<std::uint64_t> max_group_apply_{0};
 
   std::thread refresher_;
+  std::vector<std::thread> decoders_;
+  std::thread sequencer_;
   std::vector<std::thread> applicators_;
   bool started_ = false;
 };

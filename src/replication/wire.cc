@@ -66,10 +66,12 @@ void EncodeRecord(const PropagationRecord& record, std::string* out) {
   if (const auto* s = std::get_if<PropStart>(&record)) {
     out->push_back(static_cast<char>(kTagStart));
     PutVarint(out, s->txn_id);
+    PutVarint(out, s->seq);
     PutVarint(out, s->start_ts);
   } else if (const auto* c = std::get_if<PropCommit>(&record)) {
     out->push_back(static_cast<char>(kTagCommit));
     PutVarint(out, c->txn_id);
+    PutVarint(out, c->seq);
     PutVarint(out, c->commit_ts);
     PutVarint(out, c->updates.size());
     for (const auto& w : c->updates) {
@@ -80,6 +82,7 @@ void EncodeRecord(const PropagationRecord& record, std::string* out) {
   } else if (const auto* a = std::get_if<PropAbort>(&record)) {
     out->push_back(static_cast<char>(kTagAbort));
     PutVarint(out, a->txn_id);
+    PutVarint(out, a->seq);
   }
 }
 
@@ -90,9 +93,9 @@ Result<PropagationRecord> DecodeRecord(const std::string& data,
   }
   const auto tag = static_cast<std::uint8_t>(data[*offset]);
   ++(*offset);
-  std::uint64_t txn_id = 0;
-  if (!GetVarint(data, offset, &txn_id)) {
-    return Status::InvalidArgument("wire: truncated txn id");
+  std::uint64_t txn_id = 0, seq = 0;
+  if (!GetVarint(data, offset, &txn_id) || !GetVarint(data, offset, &seq)) {
+    return Status::InvalidArgument("wire: truncated record header");
   }
   switch (tag) {
     case kTagStart: {
@@ -100,7 +103,7 @@ Result<PropagationRecord> DecodeRecord(const std::string& data,
       if (!GetVarint(data, offset, &ts)) {
         return Status::InvalidArgument("wire: truncated start ts");
       }
-      return PropagationRecord(PropStart{txn_id, ts});
+      return PropagationRecord(PropStart{txn_id, ts, seq});
     }
     case kTagCommit: {
       std::uint64_t ts = 0, count = 0;
@@ -115,7 +118,7 @@ Result<PropagationRecord> DecodeRecord(const std::string& data,
       if (count > (data.size() - *offset) / 3) {
         return Status::InvalidArgument("wire: update count exceeds payload");
       }
-      PropCommit commit{txn_id, ts, {}};
+      PropCommit commit{txn_id, ts, {}, seq};
       commit.updates.reserve(count);
       for (std::uint64_t i = 0; i < count; ++i) {
         storage::Write w;
@@ -130,7 +133,7 @@ Result<PropagationRecord> DecodeRecord(const std::string& data,
       return PropagationRecord(std::move(commit));
     }
     case kTagAbort:
-      return PropagationRecord(PropAbort{txn_id});
+      return PropagationRecord(PropAbort{txn_id, seq});
     default:
       return Status::InvalidArgument("wire: unknown tag");
   }

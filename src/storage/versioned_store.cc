@@ -51,6 +51,14 @@ std::size_t VersionedStore::ShardOf(const std::string& key) const {
   return static_cast<std::size_t>(Fnv1a64(key)) & shard_mask_;
 }
 
+std::uint64_t VersionedStore::ShardFootprint(const WriteSet& writes) const {
+  std::uint64_t mask = 0;
+  for (const auto& [key, w] : writes.entries()) {
+    mask |= std::uint64_t{1} << (ShardOf(key) & 63);
+  }
+  return mask;
+}
+
 const VersionedStore::VersionNode* VersionedStore::VisibleVersion(
     const VersionNode* head, Timestamp snapshot) {
   // Newest-first walk: the first node at or below the snapshot is the

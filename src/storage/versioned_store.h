@@ -195,6 +195,15 @@ class VersionedStore {
   /// TxnManager keys its per-shard last-commit watermarks off this mapping.
   std::size_t ShardOf(const std::string& key) const;
 
+  /// 64-bit shard-occupancy bitmap of a write set: bit (ShardOf(key) mod 64)
+  /// is set for every key the set touches. Two write sets with disjoint
+  /// footprints touch disjoint shards (the converse may not hold when the
+  /// store has more than 64 shards — the fold is conservative, so a false
+  /// collision only costs parallelism, never correctness). The secondary's
+  /// key-disjoint apply scheduler runs non-overlapping runs concurrently
+  /// based on these masks.
+  std::uint64_t ShardFootprint(const WriteSet& writes) const;
+
  private:
   /// One version of one key. Immutable after publication except `next`,
   /// which only ever changes to splice in an older node (ApplyBatch) or to

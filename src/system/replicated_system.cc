@@ -238,10 +238,12 @@ ReplicatedSystem::ReplicatedSystem(SystemConfig config)
     site->db = std::make_unique<engine::Database>(engine::DatabaseOptions{
         static_cast<SiteId>(i + 1), "secondary-" + std::to_string(i),
         config_.record_state_chain});
-    site->replica = std::make_unique<replication::Secondary>(
-        site->db.get(),
-        replication::SecondaryOptions{config_.applicator_threads,
-                                      config_.direct_apply_refresh});
+    replication::SecondaryOptions sec_opts;
+    sec_opts.applicator_threads = config_.applicator_threads;
+    sec_opts.direct_apply = config_.direct_apply_refresh;
+    sec_opts.decode_threads = config_.decode_threads;
+    site->replica = std::make_unique<replication::Secondary>(site->db.get(),
+                                                             sec_opts);
     const bool wan = config_.network_latency.count() > 0 ||
                      config_.network_jitter.count() > 0;
     if (wan) {
@@ -390,7 +392,11 @@ ReplicatedSystem::SecondarySite* ReplicatedSystem::RouteRead(
       freshest_index = i;
       freshest_seq = seq;
     }
-    const std::uint64_t load = s->replica->active_reads();
+    // EWMA load estimate rather than the instantaneous gauge: a transient
+    // burst of reads on one site decays over ~8 routing decisions instead of
+    // flipping the pick (and the herd) on every sample, which is the
+    // hysteresis that keeps placement stable under bursty load.
+    const std::uint64_t load = s->replica->SampleLoadEstimate();
     if (seq >= need && (fresh_pick == nullptr || load < fresh_load)) {
       fresh_pick = s;
       fresh_index = i;
@@ -431,7 +437,8 @@ std::string ReplicatedSystem::SystemStats::ToString() const {
     if (!s.failed && (s.ro_routed_fresh > 0 || s.ro_blocked_on_freshness > 0)) {
       os << " router[fresh=" << s.ro_routed_fresh
          << " blocked=" << s.ro_blocked_on_freshness
-         << " active=" << s.active_reads << "]";
+         << " active=" << s.active_reads
+         << " ewma=" << (s.load_estimate / 1024.0) << "]";
     }
     if (!s.failed && s.group_applies > 0) {
       os << " group_apply[passes=" << s.group_applies
@@ -474,6 +481,7 @@ ReplicatedSystem::SystemStats ReplicatedSystem::Stats() {
       sec.ro_routed_fresh = s->replica->ro_routed_fresh();
       sec.ro_blocked_on_freshness = s->replica->ro_blocked_on_freshness();
       sec.active_reads = s->replica->active_reads();
+      sec.load_estimate = s->replica->load_estimate();
       sec.translation_count = s->replica->translation_count();
       sec.group_applies = s->replica->group_applies();
       sec.group_applied_commits = s->replica->group_applied_commits();
@@ -576,10 +584,12 @@ Status ReplicatedSystem::RecoverSecondary(std::size_t i) {
   auto install = fresh_db->InstallCheckpoint(checkpoint);
   if (!install.ok()) return install.status();
 
-  auto fresh_replica = std::make_unique<replication::Secondary>(
-      fresh_db.get(),
-      replication::SecondaryOptions{config_.applicator_threads,
-                                    config_.direct_apply_refresh});
+  replication::SecondaryOptions sec_opts;
+  sec_opts.applicator_threads = config_.applicator_threads;
+  sec_opts.direct_apply = config_.direct_apply_refresh;
+  sec_opts.decode_threads = config_.decode_threads;
+  auto fresh_replica =
+      std::make_unique<replication::Secondary>(fresh_db.get(), sec_opts);
   // Dummy-transaction re-seed of seq(DBsec) (Section 4): the checkpoint
   // corresponds to the primary state checkpoint.as_of.
   const Timestamp seq = checkpoint.as_of;

@@ -37,6 +37,12 @@ struct SystemConfig {
   /// store, visibility via the commit watermark); false uses the legacy
   /// transactional refresh path, kept for differential testing.
   bool direct_apply_refresh = true;
+  /// Decode-pool size at each secondary's direct-apply engine. > 0 (the
+  /// default) selects the parallel replay pipeline (decode pool -> batched
+  /// ordered timestamp allocation -> key-disjoint concurrent group-apply);
+  /// 0 selects the serial single-refresher direct path. Ignored when
+  /// direct_apply_refresh is false.
+  std::size_t decode_threads = 2;
   /// 0 = continuous propagation; > 0 models the paper's propagation_delay.
   std::chrono::milliseconds propagation_batch_interval{0};
   /// Per-record network latency on the primary -> secondary path (a
@@ -232,6 +238,9 @@ class ReplicatedSystem {
     std::uint64_t ro_routed_fresh = 0;
     std::uint64_t ro_blocked_on_freshness = 0;
     std::uint64_t active_reads = 0;
+    /// EWMA load estimate the router actually samples (fixed-point x1024;
+    /// divide by 1024 for the smoothed active-read count).
+    std::uint64_t load_estimate = 0;
     /// Size of the local->primary commit-timestamp translation table
     /// (bounded by GarbageCollectAll's pruning).
     std::size_t translation_count = 0;

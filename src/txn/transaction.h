@@ -1,6 +1,7 @@
 #ifndef LAZYSI_TXN_TRANSACTION_H_
 #define LAZYSI_TXN_TRANSACTION_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -91,11 +92,11 @@ class Transaction {
   Timestamp snapshot_ts_;
   Timestamp commit_ts_ = kInvalidTimestamp;
   bool read_only_;
-  /// Index into the TxnManager's lock-free active-snapshot slot array, or
-  /// kNoActiveSlot when the snapshot is tracked in the mutex-guarded
-  /// multiset (update transactions, slot-array overflow).
-  static constexpr int kNoActiveSlot = -1;
-  int active_slot_ = kNoActiveSlot;
+  /// The transaction's slot in the TxnManager's lock-free active-snapshot
+  /// bank chain, or nullptr when the snapshot is tracked in the mutex-guarded
+  /// multiset (update transactions). Banks live as long as the manager, so
+  /// the pointer stays valid for the transaction's whole lifetime.
+  std::atomic<Timestamp>* active_slot_ = nullptr;
   /// Reads must take the shard lock: set for historical snapshots below the
   /// store's GC floor, where the lock-free reclamation contract does not
   /// cover the reader (see VersionedStore).

@@ -12,6 +12,17 @@ TxnManager::TxnManager(storage::VersionedStore* store, TxnObserver* observer)
       observer_(observer),
       shard_last_commit_(store->shard_count(), kInvalidTimestamp) {}
 
+TxnManager::~TxnManager() {
+  // Banks beyond the inline first one were heap-allocated by GrowBank; no
+  // transaction may outlive the manager, so no slot pointer dangles.
+  SlotBank* bank = first_bank_.next.load(std::memory_order_acquire);
+  while (bank != nullptr) {
+    SlotBank* next = bank->next.load(std::memory_order_acquire);
+    delete bank;
+    bank = next;
+  }
+}
+
 std::unique_ptr<Transaction> TxnManager::Begin(bool read_only) {
   if (read_only) return BeginReadOnly();
   const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
@@ -46,75 +57,99 @@ std::unique_ptr<Transaction> TxnManager::Begin(bool read_only) {
 std::unique_ptr<Transaction> TxnManager::BeginReadOnly() {
   const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   Timestamp snapshot;
-  const int slot = ClaimReadSlot(&snapshot);
-  if (slot < 0) {
-    // Every slot taken (> kActiveSlots concurrent read-only transactions):
-    // fall back to the mutex-tracked tier.
-    snapshot = TrackActiveAtWatermark();
-  }
+  std::atomic<Timestamp>* slot = ClaimReadSlot(&snapshot);
   auto* t = new Transaction(this, id, /*start_ts=*/snapshot, snapshot,
                             /*read_only=*/true);
   t->active_slot_ = slot;
   return std::unique_ptr<Transaction>(t);
 }
 
-int TxnManager::ClaimReadSlot(Timestamp* snapshot) {
+std::atomic<Timestamp>* TxnManager::TryClaimExisting(Timestamp value,
+                                                     SlotBank** tail) {
   // Thread-local probe hint: repeat callers from the same thread land on
   // "their" slot with one CAS and never share a cache line with neighbours.
   thread_local std::size_t hint =
       std::hash<std::thread::id>{}(std::this_thread::get_id());
-  for (std::size_t probe = 0; probe < kActiveSlots; ++probe) {
-    const std::size_t idx = (hint + probe) & (kActiveSlots - 1);
-    std::atomic<Timestamp>& slot = active_slots_[idx].ts;
-    Timestamp expected = kFreeSlot;
-    Timestamp s = visible_ts_.load(std::memory_order_seq_cst);
-    if (!slot.compare_exchange_strong(expected, s,
-                                      std::memory_order_seq_cst)) {
-      continue;  // occupied; probe the next slot
+  SlotBank* bank = &first_bank_;
+  for (;;) {
+    for (std::size_t probe = 0; probe < kSlotsPerBank; ++probe) {
+      const std::size_t idx = (hint + probe) & (kSlotsPerBank - 1);
+      std::atomic<Timestamp>& slot = bank->slots[idx].ts;
+      Timestamp expected = kFreeSlot;
+      if (slot.compare_exchange_strong(expected, value,
+                                       std::memory_order_seq_cst)) {
+        hint = idx;
+        return &slot;
+      }
     }
-    // Publish-validate: the watermark may have advanced between our load
-    // and the publication, in which case a concurrent MinActiveSnapshot
-    // could have scanned before our publish *and* loaded the newer
-    // watermark — its horizon might exceed s. Re-publishing until the
-    // watermark is stable closes the window: once it validates, any
-    // horizon computed before our publish loaded a watermark <= s (the
-    // watermark is monotone and still s after our publish), and any
-    // computed after sees the slot.
-    for (;;) {
-      const Timestamp now = visible_ts_.load(std::memory_order_seq_cst);
-      if (now == s) break;
-      s = now;
-      slot.store(s, std::memory_order_seq_cst);
+    SlotBank* next = bank->next.load(std::memory_order_seq_cst);
+    if (next == nullptr) {
+      *tail = bank;
+      return nullptr;
     }
-    hint = idx;
-    *snapshot = s;
-    return static_cast<int>(idx);
+    bank = next;
   }
-  return -1;
 }
 
-int TxnManager::ClaimHistoricalSlot(Timestamp snapshot) {
-  thread_local std::size_t hint =
-      std::hash<std::thread::id>{}(std::this_thread::get_id());
-  for (std::size_t probe = 0; probe < kActiveSlots; ++probe) {
-    const std::size_t idx = (hint + probe) & (kActiveSlots - 1);
-    Timestamp expected = kFreeSlot;
-    if (active_slots_[idx].ts.compare_exchange_strong(
-            expected, snapshot, std::memory_order_seq_cst)) {
-      hint = idx;
-      return static_cast<int>(idx);
-    }
+std::atomic<Timestamp>* TxnManager::GrowBank(Timestamp value, SlotBank* tail) {
+  // Slot 0 is pre-claimed before the bank is reachable; the seq_cst link CAS
+  // is the slot's publication (the same role the claiming CAS plays for an
+  // existing slot in the scan order argument — see MinActiveSnapshot).
+  auto* fresh = new SlotBank;
+  fresh->slots[0].ts.store(value, std::memory_order_relaxed);
+  SlotBank* expected = nullptr;
+  if (tail->next.compare_exchange_strong(expected, fresh,
+                                         std::memory_order_seq_cst)) {
+    bank_count_.fetch_add(1, std::memory_order_relaxed);
+    return &fresh->slots[0].ts;
   }
-  return -1;
+  // Another thread linked a bank first; its slots are fair game — retry the
+  // probe instead.
+  delete fresh;
+  return nullptr;
+}
+
+std::atomic<Timestamp>* TxnManager::ClaimReadSlot(Timestamp* snapshot) {
+  std::atomic<Timestamp>* slot = nullptr;
+  Timestamp s = visible_ts_.load(std::memory_order_seq_cst);
+  while (slot == nullptr) {
+    SlotBank* tail = nullptr;
+    slot = TryClaimExisting(s, &tail);
+    if (slot == nullptr) slot = GrowBank(s, tail);
+  }
+  // Publish-validate: the watermark may have advanced between our load
+  // and the publication, in which case a concurrent MinActiveSnapshot
+  // could have scanned before our publish *and* loaded the newer
+  // watermark — its horizon might exceed s. Re-publishing until the
+  // watermark is stable closes the window: once it validates, any
+  // horizon computed before our publish loaded a watermark <= s (the
+  // watermark is monotone and still s after our publish), and any
+  // computed after sees the slot.
+  for (;;) {
+    const Timestamp now = visible_ts_.load(std::memory_order_seq_cst);
+    if (now == s) break;
+    s = now;
+    slot->store(s, std::memory_order_seq_cst);
+  }
+  *snapshot = s;
+  return slot;
+}
+
+std::atomic<Timestamp>* TxnManager::ClaimHistoricalSlot(Timestamp snapshot) {
+  for (;;) {
+    SlotBank* tail = nullptr;
+    std::atomic<Timestamp>* slot = TryClaimExisting(snapshot, &tail);
+    if (slot == nullptr) slot = GrowBank(snapshot, tail);
+    if (slot != nullptr) return slot;
+  }
 }
 
 void TxnManager::ReleaseSnapshot(Transaction* t) {
-  if (t->active_slot_ >= 0) {
+  if (t->active_slot_ != nullptr) {
     // Release ordering: the reader's chain traversals happen-before the
     // slot frees, so a GC that sees the free slot also sees the reads done.
-    active_slots_[static_cast<std::size_t>(t->active_slot_)].ts.store(
-        kFreeSlot, std::memory_order_release);
-    t->active_slot_ = Transaction::kNoActiveSlot;
+    t->active_slot_->store(kFreeSlot, std::memory_order_release);
+    t->active_slot_ = nullptr;
     return;
   }
   UntrackActive(t->snapshot_ts());
@@ -126,16 +161,8 @@ Result<std::unique_ptr<Transaction>> TxnManager::BeginAtSnapshot(
   // horizon computed from now on is capped at `snapshot`, closing the race
   // where GarbageCollect pruned the snapshot between the visibility check
   // and the pin.
-  const int slot = ClaimHistoricalSlot(snapshot);
-  if (slot < 0) TrackActive(snapshot);
-  auto untrack = [&] {
-    if (slot >= 0) {
-      active_slots_[static_cast<std::size_t>(slot)].ts.store(
-          kFreeSlot, std::memory_order_release);
-    } else {
-      UntrackActive(snapshot);
-    }
-  };
+  std::atomic<Timestamp>* slot = ClaimHistoricalSlot(snapshot);
+  auto untrack = [&] { slot->store(kFreeSlot, std::memory_order_release); };
   if (snapshot > visible_ts_.load(std::memory_order_seq_cst)) {
     untrack();
     return Status::InvalidArgument(
@@ -176,12 +203,18 @@ Timestamp TxnManager::MinActiveSnapshot() const {
   // the readers' publish-validate (see BeginReadOnly). A reader whose slot
   // this scan misses must have published after the scan started, and its
   // validated snapshot is then >= the watermark loaded here, so the
-  // returned horizon cannot exceed it. Free slots hold kFreeSlot (= max)
-  // and never lower the min.
+  // returned horizon cannot exceed it. The same argument covers a whole
+  // missed bank: the seq_cst link CAS is the publication of its pre-claimed
+  // slot, so a scan whose null `next` load precedes the link also loaded
+  // the watermark before the claimer validated. Free slots hold kFreeSlot
+  // (= max) and never lower the min.
   Timestamp m = visible_ts_.load(std::memory_order_seq_cst);
-  for (const ActiveSlot& slot : active_slots_) {
-    const Timestamp s = slot.ts.load(std::memory_order_seq_cst);
-    if (s < m) m = s;
+  for (const SlotBank* bank = &first_bank_; bank != nullptr;
+       bank = bank->next.load(std::memory_order_seq_cst)) {
+    for (const ActiveSlot& slot : bank->slots) {
+      const Timestamp s = slot.ts.load(std::memory_order_seq_cst);
+      if (s < m) m = s;
+    }
   }
   std::lock_guard<std::mutex> lock(active_mu_);
   if (!active_snapshots_.empty()) {
@@ -270,6 +303,39 @@ Timestamp TxnManager::BeginExternalCommit(TxnId id,
   if (observer_ != nullptr) observer_->OnCommit(id, commit_ts, writes);
   StageInflightCommit(commit_ts);
   return commit_ts;
+}
+
+std::vector<Timestamp> TxnManager::BeginExternalCommitBatch(
+    const std::vector<ExternalCommitRequest>& batch) {
+  std::vector<Timestamp> allocated;
+  allocated.reserve(batch.size());
+  if (batch.empty()) return allocated;
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  for (const ExternalCommitRequest& req : batch) {
+    const Timestamp commit_ts = ++clock_;
+    for (const auto& [key, w] : req.writes->entries()) {
+      shard_last_commit_[store_->ShardOf(key)] = commit_ts;
+      if (observer_ != nullptr) {
+        observer_->OnUpdate(req.id, key, w.value, w.deleted);
+      }
+    }
+    installing_.push_back(PendingInstall{commit_ts, req.writes});
+    if (observer_ != nullptr) observer_->OnCommit(req.id, commit_ts, *req.writes);
+    allocated.push_back(commit_ts);
+  }
+  // Stage the whole run in the visibility pipeline under one visible_mu_
+  // hold. Staging is normally interleaved with allocation (StageInflightCommit
+  // under clock_mu_), but clock_mu_ is held across the entire loop above, so
+  // no other commit can have been allocated in between and appending the run
+  // here keeps the inflight deque sorted by timestamp.
+  {
+    std::lock_guard<std::mutex> visible_lock(visible_mu_);
+    for (const Timestamp ts : allocated) {
+      inflight_commits_.push_back(InflightCommit{ts, /*installed=*/false});
+    }
+    last_allocated_commit_ = allocated.back();
+  }
+  return allocated;
 }
 
 Timestamp TxnManager::FinishExternalCommit(Timestamp commit_ts) {

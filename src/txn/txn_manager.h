@@ -60,6 +60,7 @@ class TxnManager {
  public:
   /// `observer` may be nullptr; it is not owned.
   TxnManager(storage::VersionedStore* store, TxnObserver* observer = nullptr);
+  ~TxnManager();
 
   /// Starts a transaction at the latest committed snapshot (the visibility
   /// watermark). Update transactions (read_only = false) emit a start record
@@ -165,6 +166,24 @@ class TxnManager {
   /// Step 3 of the protocol above. Returns the allocated commit timestamp.
   Timestamp BeginExternalCommit(TxnId id, const storage::WriteSet& writes);
 
+  /// One element of a batched step 3: an externally-applied transaction and
+  /// its write set (same lifetime contract as BeginExternalCommit's `ws`).
+  struct ExternalCommitRequest {
+    TxnId id = kInvalidTxnId;
+    const storage::WriteSet* writes = nullptr;
+  };
+
+  /// Batched step 3: allocates commit timestamps for a *run* of external
+  /// commits under a single clock-mutex hold (and stages them in the
+  /// visibility pipeline under a single visible-mutex hold), instead of one
+  /// lock round-trip per commit. Timestamps are issued in `batch` order, so
+  /// the caller's order is the commit order — the secondary's replay
+  /// sequencer passes runs of consecutive primary commits here, keeping its
+  /// ordered section as small as one mutex acquisition per run. Returns the
+  /// allocated timestamps, index-aligned with `batch`.
+  std::vector<Timestamp> BeginExternalCommitBatch(
+      const std::vector<ExternalCommitRequest>& batch);
+
   /// Step 5: marks `commit_ts` installed, advances the visibility watermark
   /// over the installed prefix and unlists the commit. Never blocks (unlike
   /// the client commit path there is no per-transaction acknowledgement to
@@ -243,32 +262,64 @@ class TxnManager {
 
   /// Snapshots of in-flight transactions, for the GC horizon — two tiers.
   ///
-  /// Tier 1 (lock-free, the read-only hot path): a fixed array of
-  /// cache-line-padded atomic slots. A free slot holds kFreeSlot (= max
+  /// Tier 1 (lock-free, the read-only hot path): a chain of fixed-size banks
+  /// of cache-line-padded atomic slots. A free slot holds kFreeSlot (= max
   /// timestamp, so it never lowers a min-scan); claiming is a CAS from
   /// kFreeSlot guided by a thread-local hint, releasing is a plain store.
-  /// All slot and watermark accesses on this path are seq_cst; the
-  /// publish-validate handshake (see BeginReadOnly) makes a concurrently
-  /// computed horizon always <= any pinned snapshot.
+  /// When every slot in every bank is taken, the claimer allocates a fresh
+  /// bank with its snapshot pre-written into slot 0 and links it at the
+  /// chain tail with a seq_cst CAS — the link *is* the slot's publication,
+  /// so begins never fall off the lock-free path no matter how many
+  /// read-only sessions are live. Banks are never unlinked (16 KiB apiece;
+  /// a burst of N concurrent readers permanently sizes the chain for N,
+  /// which is the steady state that produced the burst). All slot, link and
+  /// watermark accesses on this path are seq_cst; the publish-validate
+  /// handshake (see BeginReadOnly) makes a concurrently computed horizon
+  /// always <= any pinned snapshot, and a horizon scan that misses a
+  /// just-linked bank precedes the link in the seq_cst order, so its
+  /// watermark load bounds it the same way a missed slot store does.
   ///
-  /// Tier 2 (mutex-guarded multiset): update transactions — whose Begin
-  /// already serializes on the clock mutex for the start record — and
-  /// overflow when every slot is taken. Begin loads the watermark and
-  /// registers it under active_mu_ in one step, so a concurrently computed
-  /// horizon either includes the new snapshot or predates it.
+  /// Tier 2 (mutex-guarded multiset): update transactions, whose Begin
+  /// already serializes on the clock mutex for the start record. Begin loads
+  /// the watermark and registers it under active_mu_ in one step, so a
+  /// concurrently computed horizon either includes the new snapshot or
+  /// predates it.
   static constexpr Timestamp kFreeSlot = ~Timestamp{0};
-  static constexpr std::size_t kActiveSlots = 256;
+  static constexpr std::size_t kSlotsPerBank = 256;
   struct alignas(64) ActiveSlot {
     std::atomic<Timestamp> ts{kFreeSlot};
   };
-  std::array<ActiveSlot, kActiveSlots> active_slots_;
-  /// Claims a slot pinned to the (validated) current watermark; returns the
-  /// slot index and writes the snapshot, or -1 when the array is full.
-  int ClaimReadSlot(Timestamp* snapshot);
-  /// Claims a slot pinned to an explicit historical snapshot; -1 when full.
-  int ClaimHistoricalSlot(Timestamp snapshot);
+  struct SlotBank {
+    std::array<ActiveSlot, kSlotsPerBank> slots;
+    std::atomic<SlotBank*> next{nullptr};
+  };
+  /// Head of the bank chain (inline; extra banks are heap-allocated and
+  /// freed only in the destructor).
+  SlotBank first_bank_;
+  std::atomic<std::size_t> bank_count_{1};
+  /// Claims a slot pinned to the (validated) current watermark; writes the
+  /// snapshot. Grows the chain when full — never fails.
+  std::atomic<Timestamp>* ClaimReadSlot(Timestamp* snapshot);
+  /// Claims a slot pinned to an explicit historical snapshot; grows when
+  /// full — never fails.
+  std::atomic<Timestamp>* ClaimHistoricalSlot(Timestamp snapshot);
+  /// Probes every existing bank for a free slot, CASing `value` in; nullptr
+  /// when all are occupied. Writes the bank chain tail to *tail.
+  std::atomic<Timestamp>* TryClaimExisting(Timestamp value, SlotBank** tail);
+  /// Allocates and links a fresh bank whose slot 0 holds `value`; returns
+  /// that slot, or nullptr if another thread linked a bank first (retry the
+  /// probe).
+  std::atomic<Timestamp>* GrowBank(Timestamp value, SlotBank* tail);
   /// Frees the transaction's slot, or untracks from the multiset.
   void ReleaseSnapshot(Transaction* t);
+
+ public:
+  /// Number of reader-slot banks ever linked (monitoring; growth test).
+  std::size_t slot_bank_count() const {
+    return bank_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
 
   mutable std::mutex active_mu_;
   std::multiset<Timestamp> active_snapshots_;

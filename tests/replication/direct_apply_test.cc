@@ -1,13 +1,16 @@
-// Differential and regression tests for the direct-apply refresh engine:
-// the direct and legacy engines must produce byte-identical replica states
-// and state chains for the same propagated workload (aborts, deletes, and
-// commit-without-start recovery included), the local->primary translation
-// table must stay bounded under pruning, and the shared-mutex translation
-// path must be clean under contention (exercised hardest under TSan).
+// Differential and regression tests for the replay engines: the legacy
+// transactional engine, the serial direct-apply engine, and the parallel
+// replay pipeline (at several decode/apply widths) must produce
+// byte-identical replica states and state chains for the same propagated
+// workload (aborts, deletes, and commit-without-start recovery included),
+// the local->primary translation table must stay bounded under pruning, and
+// the shared-mutex translation path must be clean under contention
+// (exercised hardest under TSan).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -22,17 +25,50 @@ namespace {
 
 constexpr auto kWait = std::chrono::milliseconds(15000);
 
-TEST(DirectApplyTest, DirectAndLegacyEnginesProduceIdenticalState) {
+/// One replay-engine configuration under test.
+struct EngineParam {
+  const char* name;
+  bool direct_apply;
+  std::size_t decode_threads;
+  std::size_t applicator_threads;
+};
+
+SecondaryOptions MakeOptions(const EngineParam& p) {
+  SecondaryOptions opts;
+  opts.applicator_threads = p.applicator_threads;
+  opts.direct_apply = p.direct_apply;
+  opts.decode_threads = p.decode_threads;
+  return opts;
+}
+
+const EngineParam kAllEngines[] = {
+    {"Legacy", false, 0, 4},
+    {"DirectSerial", true, 0, 4},
+    {"Parallel1", true, 1, 1},
+    {"Parallel2", true, 2, 2},
+    {"Parallel4", true, 4, 4},
+};
+
+std::string EngineName(const ::testing::TestParamInfo<EngineParam>& info) {
+  return info.param.name;
+}
+
+// The core differential: every engine configuration replays the same
+// concurrent primary workload and must land on the same state, the same
+// per-commit state chain, and the same refresh-commit count.
+TEST(DirectApplyTest, AllReplayEnginesProduceIdenticalState) {
   engine::Database primary_db;
   Primary primary(&primary_db);
-  engine::Database direct_db(engine::DatabaseOptions{1, "direct", true});
-  Secondary direct(&direct_db, SecondaryOptions{4, /*direct_apply=*/true});
-  engine::Database legacy_db(engine::DatabaseOptions{2, "legacy", true});
-  Secondary legacy(&legacy_db, SecondaryOptions{4, /*direct_apply=*/false});
-  primary.AttachSecondary(&direct);
-  primary.AttachSecondary(&legacy);
-  direct.Start();
-  legacy.Start();
+  std::vector<std::unique_ptr<engine::Database>> dbs;
+  std::vector<std::unique_ptr<Secondary>> secs;
+  for (std::size_t i = 0; i < std::size(kAllEngines); ++i) {
+    dbs.push_back(std::make_unique<engine::Database>(engine::DatabaseOptions{
+        static_cast<SiteId>(i + 1), kAllEngines[i].name, true}));
+    secs.push_back(std::make_unique<Secondary>(dbs.back().get(),
+                                               MakeOptions(kAllEngines[i])));
+    primary.AttachSecondary(secs.back().get());
+    secs.back()->Start();
+  }
   primary.Start();
 
   // Seeded concurrent workload over a SHARED hot keyspace: puts, deletes,
@@ -67,39 +103,40 @@ TEST(DirectApplyTest, DirectAndLegacyEnginesProduceIdenticalState) {
   for (auto& t : writers) t.join();
   ASSERT_GT(committed.load(), 50);
 
-  ASSERT_TRUE(direct.WaitForSeq(primary_db.LatestCommitTs(), kWait));
-  ASSERT_TRUE(legacy.WaitForSeq(primary_db.LatestCommitTs(), kWait));
+  for (auto& sec : secs) {
+    ASSERT_TRUE(sec->WaitForSeq(primary_db.LatestCommitTs(), kWait));
+  }
   primary.Stop();
-  direct.Stop();
-  legacy.Stop();
+  for (auto& sec : secs) sec->Stop();
 
   // Theorem 3.1, executable form: identical per-commit state chains...
-  EXPECT_EQ(primary_db.StateHash(), direct_db.StateHash());
-  EXPECT_EQ(primary_db.StateHash(), legacy_db.StateHash());
   const auto primary_chain = primary_db.StateChainHistory();
-  const auto direct_chain = direct_db.StateChainHistory();
-  const auto legacy_chain = legacy_db.StateChainHistory();
-  ASSERT_EQ(primary_chain.size(), direct_chain.size());
-  ASSERT_EQ(primary_chain.size(), legacy_chain.size());
-  for (std::size_t i = 0; i < primary_chain.size(); ++i) {
-    EXPECT_EQ(primary_chain[i].hash, direct_chain[i].hash) << "entry " << i;
-    EXPECT_EQ(primary_chain[i].hash, legacy_chain[i].hash) << "entry " << i;
-  }
-  // ...and identical materialized states.
   const auto want =
       primary_db.store()->Materialize(primary_db.LatestCommitTs());
-  EXPECT_EQ(want, direct_db.store()->Materialize(direct_db.LatestCommitTs()));
-  EXPECT_EQ(want, legacy_db.store()->Materialize(legacy_db.LatestCommitTs()));
-  // Both engines committed one refresh transaction per primary commit.
-  EXPECT_EQ(direct.refreshed_count(), legacy.refreshed_count());
-  EXPECT_EQ(direct.refreshed_count(),
-            static_cast<std::uint64_t>(committed.load()));
+  for (std::size_t e = 0; e < secs.size(); ++e) {
+    SCOPED_TRACE(kAllEngines[e].name);
+    EXPECT_EQ(primary_db.StateHash(), dbs[e]->StateHash());
+    const auto chain = dbs[e]->StateChainHistory();
+    ASSERT_EQ(primary_chain.size(), chain.size());
+    for (std::size_t i = 0; i < primary_chain.size(); ++i) {
+      EXPECT_EQ(primary_chain[i].hash, chain[i].hash) << "entry " << i;
+    }
+    // ...and identical materialized states.
+    EXPECT_EQ(want, dbs[e]->store()->Materialize(dbs[e]->LatestCommitTs()));
+    // Every engine committed one refresh transaction per primary commit.
+    EXPECT_EQ(secs[e]->refreshed_count(),
+              static_cast<std::uint64_t>(committed.load()));
+    // The propagation stream reached each site gapless.
+    EXPECT_EQ(secs[e]->stream_discontinuities(), 0u);
+  }
 }
 
+class ReplayEngineTest : public ::testing::TestWithParam<EngineParam> {};
+
 // A sink attached mid-stream can receive a commit whose start record it never
-// saw; both engines must recover by starting the refresh transaction at
+// saw; every engine must recover by starting the refresh transaction at
 // commit time and still converge.
-void RunCommitWithoutStart(bool direct_mode) {
+TEST_P(ReplayEngineTest, CommitWithoutStartRecovers) {
   engine::Database primary_db;
   Primary primary(&primary_db);
 
@@ -112,7 +149,7 @@ void RunCommitWithoutStart(bool direct_mode) {
   }
 
   engine::Database sec_db(engine::DatabaseOptions{1, "sec", true});
-  Secondary sec(&sec_db, SecondaryOptions{2, direct_mode});
+  Secondary sec(&sec_db, MakeOptions(GetParam()));
   primary.AttachSecondary(&sec);
   sec.Start();
 
@@ -132,13 +169,38 @@ void RunCommitWithoutStart(bool direct_mode) {
             primary_db.LatestCommitTs());
 }
 
-TEST(DirectApplyTest, CommitWithoutStartRecoversDirect) {
-  RunCommitWithoutStart(/*direct_mode=*/true);
+// A stop/restart cycle mid-stream drops queued records (Section 3.4's
+// failure model) and every engine must keep working afterwards; the parallel
+// pipeline must also tear down and rebuild its stages cleanly.
+TEST_P(ReplayEngineTest, SurvivesStopStartCycle) {
+  engine::Database primary_db;
+  Primary primary(&primary_db);
+  engine::Database sec_db;
+  Secondary sec(&sec_db, MakeOptions(GetParam()));
+  primary.AttachSecondary(&sec);
+  sec.Start();
+  primary.Start();
+
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(primary_db.Put("a" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(sec.WaitForSeq(primary_db.LatestCommitTs(), kWait));
+  sec.Stop();
+  sec.Start();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(primary_db.Put("b" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(sec.WaitForSeq(primary_db.LatestCommitTs(), kWait));
+  primary.Stop();
+  sec.Stop();
+
+  const auto state = sec_db.store()->Materialize(sec_db.LatestCommitTs());
+  EXPECT_EQ(state.at("a0"), "v");
+  EXPECT_EQ(state.at("b19"), "v");
 }
 
-TEST(DirectApplyTest, CommitWithoutStartRecoversLegacy) {
-  RunCommitWithoutStart(/*direct_mode=*/false);
-}
+INSTANTIATE_TEST_SUITE_P(Engines, ReplayEngineTest,
+                         ::testing::ValuesIn(kAllEngines), EngineName);
 
 // Without pruning local_to_primary_ grows by one entry per refresh commit
 // forever; pruning at the applied horizon must bound it while keeping the

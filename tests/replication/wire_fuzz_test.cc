@@ -20,10 +20,12 @@ std::vector<PropagationRecord> RandomBatch(Rng* rng, int n) {
   for (int i = 0; i < n; ++i) {
     switch (rng->Next(3)) {
       case 0:
-        batch.push_back(PropStart{rng->Next(1 << 20), rng->Next(1 << 30)});
+        batch.push_back(PropStart{rng->Next(1 << 20), rng->Next(1 << 30),
+                                  rng->Next(1 << 24)});
         break;
       case 1: {
-        PropCommit c{rng->Next(1 << 20), rng->Next(1 << 30), {}};
+        PropCommit c{rng->Next(1 << 20), rng->Next(1 << 30), {},
+                     rng->Next(1 << 24)};
         const auto updates = rng->Next(4);
         for (std::uint64_t u = 0; u < updates; ++u) {
           c.updates.push_back(storage::Write{
@@ -34,7 +36,7 @@ std::vector<PropagationRecord> RandomBatch(Rng* rng, int n) {
         break;
       }
       default:
-        batch.push_back(PropAbort{rng->Next(1 << 20)});
+        batch.push_back(PropAbort{rng->Next(1 << 20), rng->Next(1 << 24)});
     }
   }
   return batch;
@@ -99,6 +101,7 @@ TEST(WireFuzzTest, HugeStringLengthRejectedWithoutOverflow) {
   std::string buf;
   buf.push_back(2);          // kTagCommit
   PutVarint(&buf, 1);        // txn id
+  PutVarint(&buf, 7);        // stream seq
   PutVarint(&buf, 10);       // commit ts
   PutVarint(&buf, 1);        // one update
   PutVarint(&buf, std::numeric_limits<std::uint64_t>::max() - 2);  // key len
@@ -115,6 +118,7 @@ TEST(WireFuzzTest, HugeUpdateCountRejectedBeforeAllocation) {
   std::string buf;
   buf.push_back(2);                   // kTagCommit
   PutVarint(&buf, 1);                 // txn id
+  PutVarint(&buf, 7);                 // stream seq
   PutVarint(&buf, 10);                // commit ts
   PutVarint(&buf, std::uint64_t{1} << 32);  // update count
   std::size_t offset = 0;

@@ -20,16 +20,39 @@ namespace lazysi {
 namespace system {
 namespace {
 
-/// Parametrized over the refresh engine (true = direct-apply, false =
-/// legacy transactional), so the chaos transport composes with both.
-class ChaosEngineTest : public ::testing::TestWithParam<bool> {};
+/// One replay-engine configuration: the legacy transactional engine, the
+/// serial direct-apply engine, or the parallel replay pipeline at several
+/// decode/apply widths — so the chaos transport composes with every engine.
+struct ChaosEngineParam {
+  const char* name;
+  bool direct_apply;
+  std::size_t decode_threads;
+  std::size_t applicator_threads;
+};
+
+const ChaosEngineParam kChaosEngines[] = {
+    {"LegacyRefresh", false, 0, 4},
+    {"DirectSerial", true, 0, 4},
+    {"Parallel1", true, 1, 1},
+    {"Parallel2", true, 2, 2},
+    {"Parallel4", true, 4, 4},
+};
+
+class ChaosEngineTest : public ::testing::TestWithParam<ChaosEngineParam> {
+ protected:
+  void ApplyEngine(SystemConfig* config) const {
+    config->direct_apply_refresh = GetParam().direct_apply;
+    config->decode_threads = GetParam().decode_threads;
+    config->applicator_threads = GetParam().applicator_threads;
+  }
+};
 
 TEST_P(ChaosEngineTest, FaultyTransportIsInvisibleToClients) {
   SystemConfig config;
   config.num_secondaries = 2;
   config.guarantee = session::Guarantee::kStrongSessionSI;
   config.record_history = true;
-  config.direct_apply_refresh = GetParam();
+  ApplyEngine(&config);
   config.read_block_timeout = std::chrono::milliseconds(30000);
   config.transport_faults.drop_probability = 0.10;
   config.transport_faults.duplicate_probability = 0.05;
@@ -50,9 +73,23 @@ TEST_P(ChaosEngineTest, FaultyTransportIsInvisibleToClients) {
       auto conn = sys.Connect();
       for (int i = 0; i < kTxnsPerClient; ++i) {
         if (rng.Bernoulli(0.5)) {
+          // Mostly counter increments, with occasional deletes and voluntary
+          // aborts so the replay engines see the full record mix (deleted
+          // versions, abort records) across the faulty wire.
+          if (rng.Bernoulli(0.05)) {
+            auto txn = conn->BeginUpdate();
+            ASSERT_TRUE(txn.ok()) << txn.status();
+            ASSERT_TRUE(
+                (*txn)->Put("k" + std::to_string(rng.Next(10)), "doomed")
+                    .ok());
+            (*txn)->Abort();
+            continue;
+          }
+          const bool del = rng.Bernoulli(0.1);
           Status s = conn->ExecuteUpdate(
               [&](SystemTransaction& t) -> Status {
                 const std::string key = "k" + std::to_string(rng.Next(10));
+                if (del) return t.Delete(key);
                 auto v = t.Get(key);
                 const int cur = v.ok() ? std::stoi(*v) : 0;
                 return t.Put(key, std::to_string(cur + 1));
@@ -119,10 +156,9 @@ TEST_P(ChaosEngineTest, FaultyTransportIsInvisibleToClients) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    BothEngines, ChaosEngineTest, ::testing::Bool(),
-    [](const ::testing::TestParamInfo<bool>& info) {
-      return info.param ? std::string("DirectApply")
-                        : std::string("LegacyRefresh");
+    AllEngines, ChaosEngineTest, ::testing::ValuesIn(kChaosEngines),
+    [](const ::testing::TestParamInfo<ChaosEngineParam>& info) {
+      return std::string(info.param.name);
     });
 
 TEST(ChaosTest, DisconnectHeavyProfileResyncsThroughLog) {
@@ -169,7 +205,7 @@ TEST_P(ChaosEngineTest, FailAndRecoverUnderChaosTransport) {
   // at the checkpoint, then catches up across the faulty wire.
   SystemConfig config;
   config.num_secondaries = 2;
-  config.direct_apply_refresh = GetParam();
+  ApplyEngine(&config);
   config.transport_faults.drop_probability = 0.08;
   config.transport_faults.duplicate_probability = 0.04;
   config.transport_faults.corrupt_probability = 0.04;

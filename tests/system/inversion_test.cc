@@ -158,6 +158,49 @@ TEST(RoutedRoamingTest, SessionNeverObservesInversionAcrossSecondaries) {
   EXPECT_EQ(checker.CountSessionInversions(), 0u);
 }
 
+// The router's load signal is an EWMA of active reads, not the raw gauge:
+// when a burst of reads ends, the estimate decays geometrically over
+// subsequent routing decisions instead of snapping to zero. That is the
+// hysteresis that stops one transient burst from flipping placement (and
+// the herd) on every sample. Routing correctness under the EWMA — every
+// read placed fresh or blocked-on-freshest, zero session inversions — is
+// asserted by RoutedRoamingTest above.
+TEST(RoutedRoamingTest, LoadEstimateSmoothsTransientBursts) {
+  SystemConfig config;
+  config.num_secondaries = 2;
+  config.freshness_routing = true;
+  ReplicatedSystem sys(config);
+  sys.Start();
+  auto* sec = sys.secondary(0);
+  ASSERT_NE(sec, nullptr);
+  EXPECT_EQ(sec->load_estimate(), 0u);
+
+  // A sustained burst: the estimate converges up toward the gauge.
+  for (int i = 0; i < 16; ++i) sec->OnReadStart();
+  std::uint64_t est = 0;
+  for (int i = 0; i < 64; ++i) est = sec->SampleLoadEstimate();
+  EXPECT_GE(est, 15u << 10);  // within 1 read of 16 after 64 samples
+  EXPECT_LE(est, 16u << 10);
+
+  // Burst ends: the raw gauge drops to zero instantly...
+  for (int i = 0; i < 16; ++i) sec->OnReadFinish();
+  EXPECT_EQ(sec->active_reads(), 0u);
+  // ...but one routing sample sheds only ~1/8 of the estimate.
+  const std::uint64_t after_one = sec->SampleLoadEstimate();
+  EXPECT_GT(after_one, est / 2);
+  EXPECT_LT(after_one, est);
+  // The decay is monotone and converges exactly to zero (the +-1 floor step
+  // keeps it from sticking just above the target forever).
+  std::uint64_t prev = after_one;
+  for (int i = 0; i < 400 && sec->load_estimate() > 0; ++i) {
+    const std::uint64_t next = sec->SampleLoadEstimate();
+    EXPECT_LE(next, prev);
+    prev = next;
+  }
+  EXPECT_EQ(sec->load_estimate(), 0u);
+  sys.Stop();
+}
+
 // Cross-session inversions are permitted under strong session SI — that is
 // precisely the cost it does not pay (Definition 2.2).
 TEST(CrossSessionTest, SessionSIAllowsCrossSessionStaleness) {

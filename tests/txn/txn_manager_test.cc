@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "storage/versioned_store.h"
 
 namespace lazysi {
@@ -152,6 +158,107 @@ TEST_F(TxnManagerTest, CountersTrackOutcomes) {
   EXPECT_EQ(manager_.CommittedCount(), 4u);
   EXPECT_EQ(manager_.AbortedCount(), 1u);
   EXPECT_EQ(manager_.LatestCommitTs(), t1->commit_ts());
+}
+
+TEST_F(TxnManagerTest, ReaderSlotBanksGrowBeyondOneBank) {
+  // More concurrent read-only transactions than one 256-slot bank holds:
+  // begins must stay on the lock-free slot path by growing the bank chain
+  // instead of falling back to the mutex-guarded multiset.
+  ASSERT_TRUE([&] {
+    auto t = manager_.Begin();
+    return t->Put("a", "1").ok() && t->Commit().ok();
+  }());
+  EXPECT_EQ(manager_.slot_bank_count(), 1u);
+
+  constexpr std::size_t kReaders = 600;  // needs at least three banks
+  std::vector<std::unique_ptr<Transaction>> readers;
+  readers.reserve(kReaders);
+  for (std::size_t i = 0; i < kReaders; ++i) {
+    readers.push_back(manager_.Begin(/*read_only=*/true));
+  }
+  EXPECT_GE(manager_.slot_bank_count(), 3u);
+
+  // Every held snapshot — including those parked in grown banks — pins the
+  // GC horizon; a commit after the begins must not raise it.
+  const Timestamp snapshot = readers.front()->snapshot_ts();
+  for (const auto& r : readers) EXPECT_EQ(r->snapshot_ts(), snapshot);
+  {
+    auto t = manager_.Begin();
+    ASSERT_TRUE(t->Put("a", "2").ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  EXPECT_EQ(manager_.MinActiveSnapshot(), snapshot);
+  // Readers in late banks still read their snapshot, not the new commit.
+  auto v = readers.back()->Get("a");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "1");
+
+  for (auto& r : readers) ASSERT_TRUE(r->Commit().ok());
+  readers.clear();
+  EXPECT_GT(manager_.MinActiveSnapshot(), snapshot);
+
+  // Banks are never unlinked; a second wave reuses the freed slots without
+  // growing the chain further.
+  const std::size_t banks = manager_.slot_bank_count();
+  for (std::size_t i = 0; i < kReaders; ++i) {
+    readers.push_back(manager_.Begin(/*read_only=*/true));
+  }
+  EXPECT_EQ(manager_.slot_bank_count(), banks);
+  for (auto& r : readers) ASSERT_TRUE(r->Commit().ok());
+}
+
+TEST_F(TxnManagerTest, ConcurrentReadersAcrossBankGrowth) {
+  // Hammer the claim/grow/release path from several threads while a writer
+  // keeps committing: no reader may ever observe a torn snapshot (a value
+  // newer than its validated snapshot), and the chain must end up with more
+  // than one bank. TSan target for the bank-link publication protocol.
+  ASSERT_TRUE([&] {
+    auto t = manager_.Begin();
+    return t->Put("k", "0").ok() && t->Commit().ok();
+  }());
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 1; !stop.load(std::memory_order_acquire); ++i) {
+      auto t = manager_.Begin();
+      ASSERT_TRUE(t->Put("k", std::to_string(i)).ok());
+      ASSERT_TRUE(t->Commit().ok());
+    }
+  });
+  constexpr int kReaderThreads = 4;
+  constexpr int kIterations = 50;
+  constexpr int kClump = 80;  // 4 x 80 held at once > one 256-slot bank
+  std::atomic<int> claimed{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaderThreads; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        // Hold a clump of concurrent snapshots, then rendezvous so all
+        // threads' clumps are live at once — the claim count must cross a
+        // bank boundary every iteration, even on a single core.
+        std::vector<std::unique_ptr<Transaction>> held;
+        for (int j = 0; j < kClump; ++j) {
+          held.push_back(manager_.Begin(/*read_only=*/true));
+        }
+        claimed.fetch_add(1, std::memory_order_acq_rel);
+        while (claimed.load(std::memory_order_acquire) <
+               kReaderThreads * (i + 1)) {
+          std::this_thread::yield();
+        }
+        for (auto& t : held) {
+          auto v = t->Get("k");
+          ASSERT_TRUE(v.ok());
+          // The snapshot-read contract: the version seen was committed at or
+          // before the transaction's snapshot.
+          EXPECT_LE(t->reads().back().version_commit_ts, t->snapshot_ts());
+          ASSERT_TRUE(t->Commit().ok());
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  EXPECT_GE(manager_.slot_bank_count(), 2u);
 }
 
 TEST_F(TxnManagerTest, DroppedActiveHandleAborts) {
