@@ -7,10 +7,13 @@ Usage:
 
 Benchmarks are matched by name. With --metric auto (the default) a row is
 compared on items_per_second when both sides report it (higher is better),
-falling back to real_time (lower is better). Rows that report a p95_lag_ts
-counter (the replay catch-up benchmarks' 95th-percentile freshness lag) are
-additionally gated on it, lower is better — a replica that "keeps up" must
-not start lagging even when its throughput holds. A row regresses when the
+falling back to real_time (lower is better). Rows that report a gated
+counter are additionally gated on it, lower is better: p95_lag_ts (the
+replay catch-up benchmarks' 95th-percentile freshness lag — a replica that
+"keeps up" must not start lagging even when its throughput holds) and the
+partial-replication volume counters updates_per_sink / bytes_per_sink (a
+partitioned sink must not silently start receiving records it filters out).
+A row regresses when the
 candidate is worse than the baseline by more than the threshold fraction.
 Exits 1 if any matched row regressed, 0 otherwise. Rows present on only one
 side are listed but never fail the comparison (benchmarks come and go across
@@ -20,6 +23,9 @@ PRs).
 import argparse
 import json
 import sys
+
+# Counters gated independently of a row's primary metric, all lower-is-better.
+GATED_COUNTERS = ("p95_lag_ts", "updates_per_sink", "bytes_per_sink")
 
 
 def load_rows(path):
@@ -91,11 +97,14 @@ def main():
         else:
             compare_one(name, metric, base[name][metric], cand[name][metric],
                         higher_is_better=metric == "items_per_second")
-        # Lag counters gate independently of the primary metric: a catch-up
-        # row may hold throughput while its tail freshness lag blows up.
-        if "p95_lag_ts" in base[name] and "p95_lag_ts" in cand[name]:
-            compare_one(name, "p95_lag_ts", base[name]["p95_lag_ts"],
-                        cand[name]["p95_lag_ts"], higher_is_better=False)
+        # Gated counters ride independently of the primary metric: a catch-up
+        # row may hold throughput while its tail freshness lag blows up, and
+        # a partitioned row may hold throughput while its per-sink volume
+        # creeps back toward full replication.
+        for counter in GATED_COUNTERS:
+            if counter in base[name] and counter in cand[name]:
+                compare_one(name, counter, base[name][counter],
+                            cand[name][counter], higher_is_better=False)
 
     for name in only_base:
         print(f"{name:<{width}}  (removed in candidate)")

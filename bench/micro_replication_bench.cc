@@ -397,6 +397,58 @@ BENCHMARK(BM_ChaosTransportThroughput)
     ->Arg(5)
     ->Unit(benchmark::kMillisecond);
 
+void BM_PartitionedPropagation(benchmark::State& state) {
+  // Partial-replication propagation volume and catch-up: 4 partitions over
+  // 4 secondaries at replication factor Arg in {4, 2, 1}, i.e. each sink
+  // covers 1/1, 1/2 or 1/4 of the keyspace. Every iteration commits a batch
+  // spread uniformly across the keyspace and waits until every sink has
+  // applied it, so the reported time is fleet catch-up at that coverage.
+  // The counters are the delivered volume per sink per committed update:
+  // updates_per_sink / bytes_per_sink shrink with the coverage fraction
+  // (at 2-way over 4 secondaries a sink carries ~half the full-replication
+  // volume — the filtered remainder crosses the wire only as coverage
+  // markers, which is the point of partitioning the fleet). Both are gated
+  // lower-is-better by compare_bench_json.py.
+  SystemConfig config;
+  config.num_secondaries = 4;
+  config.num_partitions = 4;
+  config.partition_replication = static_cast<std::size_t>(state.range(0));
+  config.guarantee = Guarantee::kWeakSI;
+  ReplicatedSystem sys(config);
+  sys.Start();
+  auto client = sys.ConnectTo(0);
+  std::uint64_t i = 0;
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    for (int n = 0; n < kBatch; ++n) {
+      (void)client->ExecuteUpdate([&](SystemTransaction& t) {
+        return t.Put("key" + std::to_string(i % 1024), std::to_string(i));
+      });
+      ++i;
+    }
+    benchmark::DoNotOptimize(sys.WaitForReplication());
+  }
+  const auto stats = sys.Stats();
+  double updates = 0.0, bytes = 0.0;
+  for (const auto& sec : stats.secondaries) {
+    updates += static_cast<double>(sec.updates_received);
+    bytes += static_cast<double>(sec.update_bytes_received);
+  }
+  const double sinks = static_cast<double>(stats.secondaries.size());
+  const double commits =
+      static_cast<double>(state.iterations()) * static_cast<double>(kBatch);
+  state.counters["updates_per_sink"] = updates / sinks / commits;
+  state.counters["bytes_per_sink"] = bytes / sinks / commits;
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  sys.Stop();
+}
+BENCHMARK(BM_PartitionedPropagation)
+    ->ArgNames({"replicas"})
+    ->Arg(4)
+    ->Arg(2)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   // Raw discrete-event engine speed: how many simulated client events per
   // wall second the CSIM-replacement sustains (drives the figure sweeps).

@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Full CI sweep: tier-1 tests, ThreadSanitizer and Address+UB Sanitizer
+# presets, and a benchmark regression check against the committed baselines.
+#
+# Usage: scripts/ci.sh [stage...]
+#   stages: tier1 tsan asan bench-check   (default: all four, in order)
+#
+# Environment:
+#   JOBS            parallel build/test width (default: nproc)
+#   BENCH_MIN_TIME  seconds per benchmark for bench-check (default 0.2; the
+#                   committed baselines were recorded at the default)
+#   BENCH_THRESHOLD allowed fractional regression for bench-check
+#                   (default 0.15 — benches run on shared CI hardware, so a
+#                   looser gate than a quiet desk run)
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+STAGES=${*:-"tier1 tsan asan bench-check"}
+
+run_preset() {
+  preset=$1
+  shift
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$JOBS"
+  ctest --preset "$preset" -j "$JOBS" "$@"
+}
+
+for stage in $STAGES; do
+  echo "==== ci: $stage ===="
+  case "$stage" in
+    tier1)
+      run_preset default
+      ;;
+    tsan)
+      run_preset tsan
+      ;;
+    asan)
+      run_preset asan
+      ;;
+    bench-check)
+      # Release build, fresh bench JSONs, gated diff against the committed
+      # baselines (throughput, p95_lag_ts, and the per-sink partition
+      # volume counters — see bench/compare_bench_json.py).
+      cmake --preset release
+      cmake --build --preset default -j "$JOBS" \
+        --target micro_replication_bench micro_engine_bench
+      bench/run_replication_bench.sh build/bench/micro_replication_bench \
+        /tmp/ci_bench_replication.json
+      python3 bench/compare_bench_json.py BENCH_replication.json \
+        /tmp/ci_bench_replication.json \
+        --threshold "${BENCH_THRESHOLD:-0.15}"
+      bench/run_engine_bench.sh build/bench/micro_engine_bench \
+        /tmp/ci_bench_engine.json
+      python3 bench/compare_bench_json.py BENCH_engine.json \
+        /tmp/ci_bench_engine.json \
+        --threshold "${BENCH_THRESHOLD:-0.15}"
+      ;;
+    *)
+      echo "ci.sh: unknown stage '$stage'" >&2
+      exit 2
+      ;;
+  esac
+done
+echo "==== ci: all stages passed ===="

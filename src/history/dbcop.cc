@@ -1,0 +1,223 @@
+#include "history/dbcop.h"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+
+namespace lazysi {
+namespace history {
+
+namespace {
+
+void PutI64(std::ostream& out, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((u >> (8 * i)) & 0xff);
+  }
+  out.write(bytes, 8);
+}
+
+void PutStr(std::ostream& out, const std::string& s) {
+  PutI64(out, static_cast<std::int64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void PutBool(std::ostream& out, bool b) { out.put(b ? '\x01' : '\x00'); }
+
+bool GetI64(std::istream& in, std::int64_t* v) {
+  char bytes[8];
+  if (!in.read(bytes, 8)) return false;
+  std::uint64_t u = 0;
+  for (int i = 7; i >= 0; --i) {
+    u = (u << 8) | static_cast<unsigned char>(bytes[i]);
+  }
+  *v = static_cast<std::int64_t>(u);
+  return true;
+}
+
+bool GetStr(std::istream& in, std::string* s) {
+  std::int64_t size = 0;
+  if (!GetI64(in, &size)) return false;
+  // A length claiming more than the stream could plausibly hold is
+  // corruption, not data; bound it before allocating.
+  if (size < 0 || size > (int64_t{1} << 30)) return false;
+  s->resize(static_cast<std::size_t>(size));
+  return static_cast<bool>(in.read(s->data(), size));
+}
+
+bool GetBool(std::istream& in, bool* b) {
+  const int c = in.get();
+  if (c == std::istream::traits_type::eof()) return false;
+  *b = c != 0;
+  return true;
+}
+
+constexpr std::int64_t kMaxListSize = std::int64_t{1} << 24;
+
+}  // namespace
+
+std::int64_t DbcopHistory::key_num() const {
+  std::vector<std::int64_t> keys;
+  for (const auto& session : sessions) {
+    for (const auto& txn : session.txns) {
+      for (const auto& event : txn.events) keys.push_back(event.key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return static_cast<std::int64_t>(keys.size());
+}
+
+std::int64_t DbcopHistory::txn_num() const {
+  std::int64_t n = 0;
+  for (const auto& session : sessions) {
+    n += static_cast<std::int64_t>(session.txns.size());
+  }
+  return n;
+}
+
+std::int64_t DbcopHistory::event_num() const {
+  std::int64_t n = 0;
+  for (const auto& session : sessions) {
+    for (const auto& txn : session.txns) {
+      n += static_cast<std::int64_t>(txn.events.size());
+    }
+  }
+  return n;
+}
+
+DbcopHistory ToDbcop(const std::vector<TxnRecord>& records, std::int64_t id) {
+  // Dense key ids in sorted-key order, so the mapping is reproducible from
+  // the history alone.
+  std::map<std::string, std::int64_t> key_ids;
+  bool has_deletes = false;
+  for (const auto& record : records) {
+    for (const auto& read : record.reads) key_ids.emplace(read.key, 0);
+    for (const auto& write : record.writes) {
+      key_ids.emplace(write.key, 0);
+      has_deletes = has_deletes || write.deleted;
+    }
+  }
+  std::int64_t next_key = 0;
+  for (auto& entry : key_ids) entry.second = next_key++;
+
+  // Sessions in label order; each session's transactions in the order the
+  // session saw them commit.
+  std::map<SessionLabel, std::vector<const TxnRecord*>> by_session;
+  for (const auto& record : records) {
+    by_session[record.label].push_back(&record);
+  }
+
+  DbcopHistory history;
+  history.id = id;
+  history.info = has_deletes ? "lazysi (has deletes: read-0 approximate)"
+                             : "lazysi";
+  history.start = "0";
+  history.end = "0";
+  for (auto& entry : by_session) {
+    auto& txns = entry.second;
+    std::sort(txns.begin(), txns.end(),
+              [](const TxnRecord* a, const TxnRecord* b) {
+                return a->commit_seq < b->commit_seq;
+              });
+    DbcopSession session;
+    for (const TxnRecord* record : txns) {
+      DbcopTxn txn;
+      for (const auto& read : record->reads) {
+        const std::int64_t value =
+            read.found ? static_cast<std::int64_t>(read.version_primary_ts)
+                       : 0;
+        txn.events.push_back(
+            DbcopEvent{false, key_ids.at(read.key), value, true});
+      }
+      for (const auto& write : record->writes) {
+        txn.events.push_back(DbcopEvent{
+            true, key_ids.at(write.key),
+            static_cast<std::int64_t>(record->commit_primary_ts), true});
+      }
+      session.txns.push_back(std::move(txn));
+    }
+    history.sessions.push_back(std::move(session));
+  }
+  return history;
+}
+
+void WriteDbcop(const DbcopHistory& history, std::ostream& out) {
+  PutI64(out, history.id);
+  PutI64(out, static_cast<std::int64_t>(history.sessions.size()));
+  PutI64(out, history.key_num());
+  PutI64(out, history.txn_num());
+  PutI64(out, history.event_num());
+  PutStr(out, history.info);
+  PutStr(out, history.start);
+  PutStr(out, history.end);
+  PutI64(out, static_cast<std::int64_t>(history.sessions.size()));
+  for (const auto& session : history.sessions) {
+    PutI64(out, static_cast<std::int64_t>(session.txns.size()));
+    for (const auto& txn : session.txns) {
+      PutI64(out, static_cast<std::int64_t>(txn.events.size()));
+      for (const auto& event : txn.events) {
+        PutBool(out, event.is_write);
+        PutI64(out, event.key);
+        PutI64(out, event.value);
+        PutBool(out, event.success);
+      }
+      PutBool(out, txn.success);
+    }
+  }
+}
+
+Result<DbcopHistory> ReadDbcop(std::istream& in) {
+  const auto truncated = [] {
+    return Status::InvalidArgument("truncated dbcop stream");
+  };
+  DbcopHistory history;
+  std::int64_t session_num = 0, key_num = 0, txn_num = 0, event_num = 0;
+  if (!GetI64(in, &history.id) || !GetI64(in, &session_num) ||
+      !GetI64(in, &key_num) || !GetI64(in, &txn_num) ||
+      !GetI64(in, &event_num)) {
+    return truncated();
+  }
+  if (!GetStr(in, &history.info) || !GetStr(in, &history.start) ||
+      !GetStr(in, &history.end)) {
+    return truncated();
+  }
+  std::int64_t size = 0;
+  if (!GetI64(in, &size)) return truncated();
+  if (size < 0 || size > kMaxListSize) {
+    return Status::InvalidArgument("implausible dbcop session count");
+  }
+  for (std::int64_t s = 0; s < size; ++s) {
+    DbcopSession session;
+    std::int64_t txn_count = 0;
+    if (!GetI64(in, &txn_count)) return truncated();
+    if (txn_count < 0 || txn_count > kMaxListSize) {
+      return Status::InvalidArgument("implausible dbcop txn count");
+    }
+    for (std::int64_t t = 0; t < txn_count; ++t) {
+      DbcopTxn txn;
+      std::int64_t event_count = 0;
+      if (!GetI64(in, &event_count)) return truncated();
+      if (event_count < 0 || event_count > kMaxListSize) {
+        return Status::InvalidArgument("implausible dbcop event count");
+      }
+      for (std::int64_t e = 0; e < event_count; ++e) {
+        DbcopEvent event;
+        if (!GetBool(in, &event.is_write) || !GetI64(in, &event.key) ||
+            !GetI64(in, &event.value) || !GetBool(in, &event.success)) {
+          return truncated();
+        }
+        txn.events.push_back(event);
+      }
+      if (!GetBool(in, &txn.success)) return truncated();
+      session.txns.push_back(std::move(txn));
+    }
+    history.sessions.push_back(std::move(session));
+  }
+  return history;
+}
+
+}  // namespace history
+}  // namespace lazysi

@@ -1,0 +1,79 @@
+#ifndef LAZYSI_HISTORY_DBCOP_H_
+#define LAZYSI_HISTORY_DBCOP_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "history/recorder.h"
+
+namespace lazysi {
+namespace history {
+
+/// The dbcop binary interchange format, as consumed by external
+/// transactional-consistency checkers (dbcop, PolySI, smt-based artifacts):
+///
+///   FILE    := ID SESSION_NUM KEY_NUM TXN_NUM EVENT_NUM INFO START END
+///              SIZE SESSION_1 .. SESSION_SIZE
+///   SESSION := SIZE TXN_1 .. TXN_SIZE
+///   TXN     := SIZE EVENT_1 .. EVENT_SIZE SUCCESS
+///   EVENT   := IS_WRITE KEY VALUE SUCCESS
+///
+/// Integers are little-endian int64, strings are int64-length-prefixed
+/// bytes, bools are one byte.
+struct DbcopEvent {
+  bool is_write = false;
+  std::int64_t key = 0;
+  std::int64_t value = 0;
+  bool success = true;
+};
+
+struct DbcopTxn {
+  std::vector<DbcopEvent> events;
+  bool success = true;
+};
+
+struct DbcopSession {
+  std::vector<DbcopTxn> txns;
+};
+
+struct DbcopHistory {
+  std::int64_t id = 0;
+  std::string info;
+  std::string start;
+  std::string end;
+  std::vector<DbcopSession> sessions;
+
+  std::int64_t key_num() const;
+  std::int64_t txn_num() const;
+  std::int64_t event_num() const;
+};
+
+/// Converts recorded transactions to a dbcop history. Sessions are the
+/// recorder's session labels (ascending); within a session, transactions
+/// are ordered by commit_seq (the order the session observed them commit).
+/// String keys become dense int64 ids in sorted-key order. A write's value
+/// is the transaction's primary commit timestamp — unique per transaction,
+/// so (key, value) identifies the version, which is exactly the coordinate
+/// a translated read observes. Reads carry the observed version's primary
+/// timestamp, or 0 (the initial value) when the key was absent. Deletes are
+/// exported as writes of the deleting commit's timestamp; a later read of
+/// the dead key reads 0, so histories that delete are approximate for
+/// external checkers (flagged in `info`).
+DbcopHistory ToDbcop(const std::vector<TxnRecord>& records,
+                     std::int64_t id = 0);
+
+/// Serializes `history` in dbcop binary format.
+void WriteDbcop(const DbcopHistory& history, std::ostream& out);
+
+/// Parses a dbcop binary stream; InvalidArgument on truncation or
+/// implausible sizes.
+Result<DbcopHistory> ReadDbcop(std::istream& in);
+
+}  // namespace history
+}  // namespace lazysi
+
+#endif  // LAZYSI_HISTORY_DBCOP_H_

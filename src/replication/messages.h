@@ -32,10 +32,18 @@ struct PropStart {
 struct PropCommit {
   TxnId txn_id = kInvalidTxnId;
   Timestamp commit_ts = kInvalidTimestamp;
-  /// T's updates in execution order.
+  /// T's updates in execution order. Under partial replication this is only
+  /// the subset covered by the receiving sink's partitions.
   std::vector<storage::Write> updates;
   /// Broadcast-stream position; see PropStart::seq.
   std::uint64_t seq = 0;
+  /// Coverage marker: how many of T's updates partial replication filtered
+  /// out for this sink. updates.size() + filtered always equals the
+  /// transaction's full update count, so a secondary can distinguish a
+  /// genuinely small commit from a filtered one, and a fully filtered commit
+  /// (updates empty, filtered > 0) still advances the seq/ack stream and the
+  /// visibility watermark.
+  std::uint64_t filtered = 0;
 };
 
 /// abort_p(T): tells refreshers to abandon the refresh transaction they

@@ -1,0 +1,56 @@
+#include "replication/partition_map.h"
+
+#include <algorithm>
+
+namespace lazysi {
+namespace replication {
+
+PartitionMap::PartitionMap(Config config, std::size_t num_secondaries)
+    : num_partitions_(std::max<std::size_t>(config.num_partitions, 1)),
+      num_secondaries_(std::max<std::size_t>(num_secondaries, 1)),
+      // A single partition is full replication by definition — every
+      // secondary must hold it, whatever factor was asked for.
+      replication_factor_(num_partitions_ <= 1 ||
+                                  config.replication_factor == 0 ||
+                                  config.replication_factor >= num_secondaries_
+                              ? num_secondaries_
+                              : config.replication_factor),
+      scheme_(config.scheme) {
+  replicas_.resize(num_partitions_);
+  coverage_.resize(num_secondaries_);
+  covers_.assign(num_secondaries_,
+                 std::vector<bool>(num_partitions_, false));
+  for (std::size_t p = 0; p < num_partitions_; ++p) {
+    for (std::size_t j = 0; j < replication_factor_; ++j) {
+      const std::size_t s = (p + j) % num_secondaries_;
+      if (covers_[s][p]) continue;  // R > S wraps onto the same secondary
+      covers_[s][p] = true;
+      replicas_[p].push_back(s);
+      coverage_[s].push_back(p);
+    }
+    std::sort(replicas_[p].begin(), replicas_[p].end());
+  }
+  for (auto& partitions : coverage_) {
+    std::sort(partitions.begin(), partitions.end());
+  }
+  partial_ = false;
+  for (std::size_t s = 0; s < num_secondaries_; ++s) {
+    if (coverage_[s].size() < num_partitions_) {
+      partial_ = true;
+      break;
+    }
+  }
+}
+
+std::size_t PartitionMap::PartitionOf(const std::string& key) const {
+  switch (scheme_) {
+    case Scheme::kRange:
+      return storage::RangePartitionOfKey(key, num_partitions_);
+    case Scheme::kHash:
+      break;
+  }
+  return storage::HashPartitionOfKey(key, num_partitions_);
+}
+
+}  // namespace replication
+}  // namespace lazysi

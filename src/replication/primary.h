@@ -1,6 +1,8 @@
 #ifndef LAZYSI_REPLICATION_PRIMARY_H_
 #define LAZYSI_REPLICATION_PRIMARY_H_
 
+#include <utility>
+
 #include "common/status.h"
 #include "engine/database.h"
 #include "replication/propagator.h"
@@ -20,15 +22,19 @@ class Primary {
       : db_(db), propagator_(db->log(), options) {}
 
   /// Attaches a secondary that is already consistent with the propagator's
-  /// current position (e.g. it was attached before any update ran).
-  void AttachSecondary(Secondary* secondary) {
-    propagator_.AttachSink(secondary->update_queue());
+  /// current position (e.g. it was attached before any update ran). An
+  /// active `filter` restricts the stream to the secondary's partitions.
+  void AttachSecondary(Secondary* secondary, SinkFilter filter = SinkFilter()) {
+    propagator_.AttachSink(secondary->update_queue(), std::move(filter));
   }
 
   /// Attaches a recovering secondary that installed a checkpoint taken at
   /// `checkpoint_lsn`; missed records are replayed first (Section 3.4).
-  Status AttachSecondaryAt(Secondary* secondary, std::size_t checkpoint_lsn) {
-    return propagator_.AttachSinkAt(secondary->update_queue(), checkpoint_lsn)
+  Status AttachSecondaryAt(Secondary* secondary, std::size_t checkpoint_lsn,
+                           SinkFilter filter = SinkFilter()) {
+    return propagator_
+        .AttachSinkAt(secondary->update_queue(), checkpoint_lsn,
+                      std::move(filter))
         .status();
   }
 

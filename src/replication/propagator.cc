@@ -10,14 +10,38 @@ Propagator::Propagator(wal::LogicalLog* log, PropagatorOptions options)
 
 Propagator::~Propagator() { Stop(); }
 
-std::uint64_t Propagator::AttachSink(BlockingQueue<PropagationRecord>* sink) {
+namespace {
+
+/// Applies a sink's coverage filter to one record in place: commits keep
+/// only covered updates and count the dropped ones in `filtered`; starts
+/// and aborts pass through untouched.
+void FilterRecordInPlace(PropagationRecord* record, const SinkFilter& filter) {
+  auto* commit = std::get_if<PropCommit>(record);
+  if (commit == nullptr) return;
+  std::vector<storage::Write> kept;
+  kept.reserve(commit->updates.size());
+  for (auto& w : commit->updates) {
+    if (filter.CoversKey(w.key)) {
+      kept.push_back(std::move(w));
+    } else {
+      ++commit->filtered;
+    }
+  }
+  commit->updates = std::move(kept);
+}
+
+}  // namespace
+
+std::uint64_t Propagator::AttachSink(BlockingQueue<PropagationRecord>* sink,
+                                     SinkFilter filter) {
   std::lock_guard<std::mutex> lock(mu_);
-  sinks_.push_back(sink);
+  sinks_.push_back(SinkEntry{sink, std::move(filter)});
   return records_broadcast_.load(std::memory_order_relaxed);
 }
 
 Result<std::uint64_t> Propagator::AttachSinkAt(
-    BlockingQueue<PropagationRecord>* sink, std::size_t from_lsn) {
+    BlockingQueue<PropagationRecord>* sink, std::size_t from_lsn,
+    SinkFilter filter) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::size_t upto = position_.load(std::memory_order_acquire);
   if (from_lsn > upto) {
@@ -86,8 +110,11 @@ Result<std::uint64_t> Propagator::AttachSinkAt(
         break;
     }
   }
+  if (filter.active()) {
+    for (auto& record : replay) FilterRecordInPlace(&record, filter);
+  }
   sink->PushAll(std::move(replay));
-  sinks_.push_back(sink);
+  sinks_.push_back(SinkEntry{sink, std::move(filter)});
   return base_seq;
 }
 
@@ -102,7 +129,7 @@ Propagator::SyncPoint Propagator::SyncPointAtOrBefore(
 
 void Propagator::DetachSink(BlockingQueue<PropagationRecord>* sink) {
   std::lock_guard<std::mutex> lock(mu_);
-  std::erase(sinks_, sink);
+  std::erase_if(sinks_, [sink](const SinkEntry& e) { return e.queue == sink; });
 }
 
 void Propagator::Start() {
@@ -218,11 +245,19 @@ void Propagator::BufferLocked(PropagationRecord record) {
 
 void Propagator::FlushBurstLocked() {
   if (burst_.empty()) return;
-  if (sinks_.size() == 1) {
-    sinks_[0]->PushAll(std::move(burst_));
+  if (sinks_.size() == 1 && !sinks_[0].filter.active()) {
+    sinks_[0].queue->PushAll(std::move(burst_));
   } else {
-    for (auto* sink : sinks_) {
-      sink->PushAll(burst_);
+    for (auto& sink : sinks_) {
+      if (!sink.filter.active()) {
+        sink.queue->PushAll(burst_);
+        continue;
+      }
+      // Filtered sinks get their own copy with uncovered updates dropped;
+      // the shared burst_ stays intact for the remaining sinks.
+      std::vector<PropagationRecord> filtered = burst_;
+      for (auto& record : filtered) FilterRecordInPlace(&record, sink.filter);
+      sink.queue->PushAll(std::move(filtered));
     }
   }
   burst_.clear();

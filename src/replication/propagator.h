@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "replication/messages.h"
+#include "replication/partition_map.h"
 #include "wal/logical_log.h"
 
 namespace lazysi {
@@ -58,8 +59,12 @@ class Propagator {
   /// Adds a sink receiving every record from the propagator's *current*
   /// position onward. Safe while running. Returns the global sequence number
   /// of the first record the sink will observe (records are numbered from
-  /// the start of the log, one per non-update log record).
-  std::uint64_t AttachSink(BlockingQueue<PropagationRecord>* sink);
+  /// the start of the log, one per non-update log record). An active
+  /// `filter` restricts each commit's update list to the sink's partitions
+  /// (dropped updates counted in PropCommit::filtered); record count and
+  /// stream seqs are identical across all sinks regardless of filtering.
+  std::uint64_t AttachSink(BlockingQueue<PropagationRecord>* sink,
+                           SinkFilter filter = SinkFilter());
 
   /// Adds a sink that first receives a replay of log records from `from_lsn`
   /// up to the current position, then joins the live broadcast. `from_lsn`
@@ -67,9 +72,11 @@ class Propagator {
   /// LSN of a Database::TakeCheckpoint or a SyncPoint — otherwise
   /// FailedPrecondition. Returns the global sequence number of the first
   /// replayed record. Used for secondary recovery (Section 3.4) and for
-  /// transport-level resync after a disconnect.
+  /// transport-level resync after a disconnect. The replay is filtered the
+  /// same way as the live broadcast.
   Result<std::uint64_t> AttachSinkAt(BlockingQueue<PropagationRecord>* sink,
-                                     std::size_t from_lsn);
+                                     std::size_t from_lsn,
+                                     SinkFilter filter = SinkFilter());
 
   /// Latest recorded quiesced point whose record_seq is <= `record_seq`.
   /// Always exists: {lsn 0, seq 0} is quiesced by definition. A reconnecting
@@ -128,8 +135,13 @@ class Propagator {
   wal::LogicalLog* log_;
   PropagatorOptions options_;
 
+  struct SinkEntry {
+    BlockingQueue<PropagationRecord>* queue;
+    SinkFilter filter;
+  };
+
   mutable std::mutex mu_;  // guards sinks_, update_lists_, sync_points_
-  std::vector<BlockingQueue<PropagationRecord>*> sinks_;
+  std::vector<SinkEntry> sinks_;
   std::map<TxnId, std::vector<storage::Write>> update_lists_;
   /// Propagation records of the burst being consumed, awaiting flush.
   std::vector<PropagationRecord> burst_;

@@ -60,11 +60,12 @@ Status ReliableChannel::StartInternal(std::optional<std::size_t> from_lsn) {
   if (started_) return Status::FailedPrecondition("channel already started");
   std::uint64_t base = 0;
   if (from_lsn.has_value()) {
-    auto attached = propagator_->AttachSinkAt(&inlet_, *from_lsn);
+    auto attached =
+        propagator_->AttachSinkAt(&inlet_, *from_lsn, options_.filter);
     if (!attached.ok()) return attached.status();
     base = attached.value();
   } else {
-    base = propagator_->AttachSink(&inlet_);
+    base = propagator_->AttachSink(&inlet_, options_.filter);
   }
   // Connection establishment: both endpoints agree on the first sequence
   // number out of band; everything after this crosses the chaos link.
@@ -264,13 +265,13 @@ bool ReliableChannel::Resync() {
   // overlap as duplicates.
   resyncs_.fetch_add(1, std::memory_order_relaxed);
   const Propagator::SyncPoint sync = propagator_->SyncPointAtOrBefore(acked_);
-  auto base = propagator_->AttachSinkAt(&inlet_, sync.lsn);
+  auto base = propagator_->AttachSinkAt(&inlet_, sync.lsn, options_.filter);
   if (!base.ok()) {
     // Unreachable for recorded sync points; the origin is always valid.
     LAZYSI_ERROR("reliable channel: resync at lsn " << sync.lsn
                                                     << " failed: "
                                                     << base.status());
-    base = propagator_->AttachSinkAt(&inlet_, 0);
+    base = propagator_->AttachSinkAt(&inlet_, 0, options_.filter);
     if (!base.ok()) return false;
   }
   next_seq_ = base.value();

@@ -56,6 +56,11 @@ class ReliableChannel {
     int retransmit_cap = 8;
     /// How long Stop() keeps retransmitting to flush in-flight records.
     std::chrono::milliseconds flush_timeout{5000};
+    /// Coverage filter forwarded to every propagator attach (initial start,
+    /// recovery StartAt, and disconnect resync), so a partially replicated
+    /// secondary behind this channel never receives uncovered updates —
+    /// not even in a resync replay.
+    SinkFilter filter;
   };
 
   struct Stats {

@@ -1,5 +1,7 @@
 #include "replication/secondary.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace lazysi {
@@ -18,6 +20,9 @@ Secondary::Secondary(engine::Database* db, SecondaryOptions options)
     auto it = pending_translation_.find(local_txn);
     if (it != pending_translation_.end()) {
       local_to_primary_[local_commit_ts] = it->second;
+      // Refresh commits allocate local timestamps in primary-commit order,
+      // so appending here keeps the deque ascending in both coordinates.
+      primary_local_order_.emplace_back(it->second, local_commit_ts);
       pending_translation_.erase(it);
     }
   });
@@ -113,6 +118,10 @@ void Secondary::InitializeSeq(Timestamp seq, Timestamp local_install_ts) {
   {
     std::unique_lock lock(translate_mu_);
     local_to_primary_[local_install_ts] = seq;
+    // A checkpoint install contains *all* primary commits <= seq, so the
+    // (seq, install) pair is a valid bound entry for every snapshot at or
+    // below it.
+    primary_local_order_.emplace_back(seq, local_install_ts);
   }
   AdvanceSeq(seq);
 }
@@ -134,7 +143,131 @@ std::size_t Secondary::PruneTranslations(Timestamp primary_horizon) {
       ++it;
     }
   }
+  // Trim the bound deque too, but keep the newest entry below the horizon as
+  // a boundary sentinel: a snapshot between that entry and the horizon still
+  // resolves to the exact local bound (only per-version translation below
+  // the horizon becomes approximate).
+  while (primary_local_order_.size() >= 2 &&
+         primary_local_order_[1].first < primary_horizon) {
+    primary_local_order_.pop_front();
+  }
   return erased;
+}
+
+Timestamp Secondary::PrimaryPrefixAtLocal(Timestamp local_snapshot_ts) const {
+  std::shared_lock lock(translate_mu_);
+  // Last refresh commit with local ts <= the snapshot; both coordinates
+  // ascend, so binary search on the local coordinate is valid.
+  auto it = std::upper_bound(
+      primary_local_order_.begin(), primary_local_order_.end(),
+      local_snapshot_ts,
+      [](Timestamp ls, const std::pair<Timestamp, Timestamp>& e) {
+        return ls < e.second;
+      });
+  if (it == primary_local_order_.begin()) return 0;
+  return std::prev(it)->first;
+}
+
+Result<Timestamp> Secondary::LocalBoundForPrimary(
+    Timestamp primary_snapshot) const {
+  std::shared_lock lock(translate_mu_);
+  auto it = std::upper_bound(
+      primary_local_order_.begin(), primary_local_order_.end(),
+      primary_snapshot,
+      [](Timestamp ps, const std::pair<Timestamp, Timestamp>& e) {
+        return ps < e.first;
+      });
+  if (it == primary_local_order_.begin()) {
+    if (primary_local_order_.empty()) {
+      // No refresh commit ever: the empty local prefix is the exact image of
+      // every primary prefix this replica has applied (none).
+      return Timestamp(0);
+    }
+    return Status::FailedPrecondition(
+        "primary snapshot below the translation-prune horizon");
+  }
+  return std::prev(it)->second;
+}
+
+Result<Secondary::RemoteRead> Secondary::ReadAtPrimarySnapshot(
+    const std::string& key, Timestamp primary_snapshot) {
+  if (applied_seq() < primary_snapshot) {
+    return Status::Unavailable(
+        "secondary has not applied the requested snapshot prefix");
+  }
+  // applied_seq >= snapshot means every refresh commit with primary ts <=
+  // snapshot is appended and visible, so the bound below is at or under the
+  // local watermark and BeginAtSnapshot accepts it. The pinned snapshot
+  // keeps GC from pruning the versions this read needs.
+  auto bound = LocalBoundForPrimary(primary_snapshot);
+  if (!bound.ok()) return bound.status();
+  auto txn = db_->BeginAtSnapshot(bound.value());
+  if (!txn.ok()) return txn.status();
+  RemoteRead out;
+  auto value = (*txn)->Get(key);
+  if (value.ok()) {
+    out.found = true;
+    out.value = std::move(value).value();
+    if (!(*txn)->reads().empty()) {
+      out.version_primary_ts =
+          TranslateLocalToPrimary((*txn)->reads().back().version_commit_ts);
+    }
+  } else if (!value.status().IsNotFound()) {
+    return value.status();
+  }
+  (void)(*txn)->Commit();
+  remote_reads_served_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+Result<std::vector<Secondary::RemoteScanItem>> Secondary::ScanAtPrimarySnapshot(
+    const std::string& begin, const std::string& end,
+    Timestamp primary_snapshot) {
+  if (applied_seq() < primary_snapshot) {
+    return Status::Unavailable(
+        "secondary has not applied the requested snapshot prefix");
+  }
+  auto bound = LocalBoundForPrimary(primary_snapshot);
+  if (!bound.ok()) return bound.status();
+  auto txn = db_->BeginAtSnapshot(bound.value());
+  if (!txn.ok()) return txn.status();
+  auto result = (*txn)->Scan(begin, end);
+  if (!result.ok()) return result.status();
+  // Read-only scans observe exactly the returned keys, in the same sorted
+  // order; pair them up to carry each version's primary timestamp out.
+  const auto& observations = (*txn)->reads();
+  std::vector<RemoteScanItem> out;
+  out.reserve(result->size());
+  for (std::size_t i = 0; i < result->size(); ++i) {
+    RemoteScanItem item;
+    item.key = std::move((*result)[i].first);
+    item.value = std::move((*result)[i].second);
+    if (i < observations.size() && observations[i].key == item.key) {
+      item.version_primary_ts =
+          TranslateLocalToPrimary(observations[i].version_commit_ts);
+    }
+    out.push_back(std::move(item));
+  }
+  (void)(*txn)->Commit();
+  remote_reads_served_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+void Secondary::CountIncoming(const PropagationRecord& record) {
+  const auto* commit = std::get_if<PropCommit>(&record);
+  if (commit == nullptr) return;
+  if (commit->filtered > 0) {
+    records_filtered_.fetch_add(commit->filtered, std::memory_order_relaxed);
+  }
+  if (!commit->updates.empty()) {
+    updates_received_.fetch_add(commit->updates.size(),
+                                std::memory_order_relaxed);
+    std::uint64_t bytes = 0;
+    for (const storage::Write& w : commit->updates) {
+      bytes += w.key.size() + w.value.size();
+    }
+    update_bytes_received_.fetch_add(bytes, std::memory_order_relaxed);
+  }
 }
 
 std::size_t Secondary::translation_count() const {
@@ -205,6 +338,7 @@ void Secondary::RefresherLoop() {
     if (batch.empty()) return;  // closed and drained
     bool shutdown = false;
     for (PropagationRecord& record : batch) {
+      CountIncoming(record);
       if (options_.direct_apply) {
         DirectRefreshRecord(record);
       } else {
@@ -443,6 +577,7 @@ void Secondary::IngestLoop() {
         update_queue_.PopBatch(kRefresherBatchSize);
     if (batch.empty()) return;  // closed and drained
     for (PropagationRecord& record : batch) {
+      CountIncoming(record);
       const std::uint64_t wire_seq =
           std::visit([](const auto& r) { return r.seq; }, record);
       if (have_expected && wire_seq != expected_wire_seq) {

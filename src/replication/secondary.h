@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "common/queue.h"
+#include "common/result.h"
+#include "common/status.h"
 #include "common/timestamp.h"
 #include "engine/database.h"
 #include "replication/messages.h"
@@ -163,6 +165,45 @@ class Secondary {
   /// the pruning regression test).
   std::size_t translation_count() const;
 
+  /// Largest primary commit timestamp whose refresh commit is contained in
+  /// the local snapshot `local_snapshot_ts` — the exact primary-state prefix
+  /// a local read-only transaction at that snapshot observes. 0 when the
+  /// snapshot predates every refresh commit. Partition-spanning reads carry
+  /// this as their SCAR-style snapshot timestamp: remote replicas serve the
+  /// same primary prefix instead of "whatever is freshest", preserving read
+  /// atomicity across partitions.
+  Timestamp PrimaryPrefixAtLocal(Timestamp local_snapshot_ts) const;
+
+  /// One observed value from a coverage-routed remote read, in primary-state
+  /// coordinates.
+  struct RemoteRead {
+    bool found = false;
+    std::string value;
+    Timestamp version_primary_ts = kInvalidTimestamp;
+  };
+  struct RemoteScanItem {
+    std::string key;
+    std::string value;
+    Timestamp version_primary_ts = kInvalidTimestamp;
+  };
+
+  /// Serves a key at the primary-prefix snapshot `primary_snapshot` on
+  /// behalf of a reader homed on another secondary (SCAR-style partition
+  /// read). Fails Unavailable when this replica has not applied the snapshot
+  /// prefix yet (the caller treats that as a stale-partition rejection and
+  /// tries another replica), and FailedPrecondition when the snapshot fell
+  /// below the translation-prune horizon (the caller retries with a fresher
+  /// snapshot). The read pins its local snapshot via BeginAtSnapshot, so it
+  /// is safe against concurrent version pruning.
+  Result<RemoteRead> ReadAtPrimarySnapshot(const std::string& key,
+                                           Timestamp primary_snapshot);
+
+  /// Range-scan counterpart of ReadAtPrimarySnapshot; returns the visible
+  /// [begin, end) keys with their values and primary version timestamps.
+  Result<std::vector<RemoteScanItem>> ScanAtPrimarySnapshot(
+      const std::string& begin, const std::string& end,
+      Timestamp primary_snapshot);
+
   engine::Database* db() { return db_; }
 
   std::uint64_t refreshed_count() const {
@@ -207,6 +248,25 @@ class Secondary {
   /// restarts with a closed update queue).
   std::uint64_t stream_discontinuities() const {
     return stream_discontinuities_.load(std::memory_order_relaxed);
+  }
+
+  /// Partial replication accounting, tallied off incoming records before the
+  /// refresh engines touch them: updates filtered out upstream for this sink
+  /// (sum of PropCommit::filtered), updates actually received, and their
+  /// payload bytes (keys + values). filtered / (filtered + received) is the
+  /// bandwidth saved by partitioning.
+  std::uint64_t records_filtered() const {
+    return records_filtered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t updates_received() const {
+    return updates_received_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t update_bytes_received() const {
+    return update_bytes_received_.load(std::memory_order_relaxed);
+  }
+  /// Coverage-routed reads this replica served for readers homed elsewhere.
+  std::uint64_t remote_reads_served() const {
+    return remote_reads_served_.load(std::memory_order_relaxed);
   }
 
   void CountRoutedFresh() {
@@ -376,6 +436,15 @@ class Secondary {
   /// FIFO append, then submits every task to the apply scheduler.
   void FlushCommitBatch(std::vector<PendingCommit>* batch);
 
+  /// Newest local refresh-commit timestamp whose primary timestamp is
+  /// <= `primary_snapshot` — the local snapshot at which a remote read must
+  /// run to observe exactly the primary prefix up to `primary_snapshot`.
+  /// FailedPrecondition when that boundary was pruned away.
+  Result<Timestamp> LocalBoundForPrimary(Timestamp primary_snapshot) const;
+
+  /// Tallies one incoming record into the partial-replication counters.
+  void CountIncoming(const PropagationRecord& record);
+
   void AdvanceSeq(Timestamp primary_commit_ts);
   /// Direct engine: pops the visibility FIFO up to the local watermark and
   /// advances seq(DBsec) to the newest covered primary commit.
@@ -423,6 +492,14 @@ class Secondary {
   std::unordered_map<Timestamp, Timestamp> local_to_primary_;
   /// Staged translations keyed by local TxnId, published by the commit hook.
   std::unordered_map<TxnId, Timestamp> pending_translation_;
+  /// (primary, local) commit-timestamp pairs of every refresh commit, in
+  /// allocation order — strictly increasing in both components, so either
+  /// coordinate binary-searches the other (PrimaryPrefixAtLocal /
+  /// LocalBoundForPrimary). Pruning drops the prefix below the translation
+  /// horizon but always keeps the newest pruned entry as a boundary
+  /// sentinel, so bound lookups stay exact down to the horizon. Guarded by
+  /// translate_mu_.
+  std::deque<std::pair<Timestamp, Timestamp>> primary_local_order_;
 
   std::atomic<std::uint64_t> refreshed_count_{0};
   std::atomic<std::uint64_t> ro_routed_fresh_{0};
@@ -432,6 +509,10 @@ class Secondary {
   /// SampleLoadEstimate).
   std::atomic<std::uint64_t> load_ewma_{0};
   std::atomic<std::uint64_t> stream_discontinuities_{0};
+  std::atomic<std::uint64_t> records_filtered_{0};
+  std::atomic<std::uint64_t> updates_received_{0};
+  std::atomic<std::uint64_t> update_bytes_received_{0};
+  std::atomic<std::uint64_t> remote_reads_served_{0};
   std::atomic<std::uint64_t> group_applies_{0};
   std::atomic<std::uint64_t> group_applied_commits_{0};
   std::atomic<std::uint64_t> max_group_apply_{0};

@@ -73,6 +73,7 @@ void EncodeRecord(const PropagationRecord& record, std::string* out) {
     PutVarint(out, c->txn_id);
     PutVarint(out, c->seq);
     PutVarint(out, c->commit_ts);
+    PutVarint(out, c->filtered);
     PutVarint(out, c->updates.size());
     for (const auto& w : c->updates) {
       PutString(out, w.key);
@@ -106,8 +107,9 @@ Result<PropagationRecord> DecodeRecord(const std::string& data,
       return PropagationRecord(PropStart{txn_id, ts, seq});
     }
     case kTagCommit: {
-      std::uint64_t ts = 0, count = 0;
+      std::uint64_t ts = 0, filtered = 0, count = 0;
       if (!GetVarint(data, offset, &ts) ||
+          !GetVarint(data, offset, &filtered) ||
           !GetVarint(data, offset, &count)) {
         return Status::InvalidArgument("wire: truncated commit header");
       }
@@ -118,7 +120,7 @@ Result<PropagationRecord> DecodeRecord(const std::string& data,
       if (count > (data.size() - *offset) / 3) {
         return Status::InvalidArgument("wire: update count exceeds payload");
       }
-      PropCommit commit{txn_id, ts, {}, seq};
+      PropCommit commit{txn_id, ts, {}, seq, filtered};
       commit.updates.reserve(count);
       for (std::uint64_t i = 0; i < count; ++i) {
         storage::Write w;

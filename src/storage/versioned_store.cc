@@ -406,5 +406,30 @@ std::size_t VersionedStore::VersionCount() const {
   return n;
 }
 
+std::size_t HashPartitionOfKey(std::string_view key,
+                               std::size_t num_partitions) {
+  if (num_partitions <= 1) return 0;
+  // Seed differs from ShardOf's default offset basis so a partition's keys
+  // are not confined to a subset of store shards.
+  constexpr std::uint64_t kPartitionSeed = 0x9e3779b97f4a7c15ull;
+  return static_cast<std::size_t>(Fnv1a64(key, kPartitionSeed) %
+                                  num_partitions);
+}
+
+std::size_t RangePartitionOfKey(std::string_view key,
+                                std::size_t num_partitions) {
+  if (num_partitions <= 1) return 0;
+  std::uint64_t prefix = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint64_t byte =
+        i < key.size() ? static_cast<unsigned char>(key[i]) : 0;
+    prefix = (prefix << 8) | byte;
+  }
+  // Proportional scaling: partition = floor(prefix * P / 2^64). Unlike
+  // modulo this keeps each partition a contiguous prefix range.
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(prefix) * num_partitions) >> 64);
+}
+
 }  // namespace storage
 }  // namespace lazysi

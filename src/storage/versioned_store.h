@@ -7,6 +7,7 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -270,6 +271,22 @@ class VersionedStore {
   std::size_t shard_mask_ = 0;  // shards_.size() - 1, size is a power of two
   std::atomic<Timestamp> gc_floor_{0};
 };
+
+/// Partition index of `key` under hash partitioning: a stable 64-bit hash
+/// reduced modulo `num_partitions`. Uses a seed distinct from ShardOf's so
+/// partition placement stays decorrelated from intra-store shard placement
+/// (a partition's keys still spread across all store shards). Lives next to
+/// ShardFootprint because both are key-placement primitives shared by the
+/// store and the replication layer.
+std::size_t HashPartitionOfKey(std::string_view key,
+                               std::size_t num_partitions);
+
+/// Partition index of `key` under range partitioning: the key's first eight
+/// bytes, read big-endian (shorter keys zero-padded), scaled proportionally
+/// over the 2^64 prefix space — partitions are contiguous key ranges of
+/// equal prefix width.
+std::size_t RangePartitionOfKey(std::string_view key,
+                                std::size_t num_partitions);
 
 }  // namespace storage
 }  // namespace lazysi

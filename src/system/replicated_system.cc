@@ -1,5 +1,6 @@
 #include "system/replicated_system.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.h"
@@ -13,10 +14,11 @@ namespace system {
 SystemTransaction::SystemTransaction(
     ReplicatedSystem* sys, std::shared_ptr<session::Session> session,
     std::unique_ptr<txn::Transaction> txn, replication::Secondary* secondary,
-    SiteId site, bool read_only, std::uint64_t first_op_seq)
+    SiteId site, bool read_only, std::uint64_t first_op_seq,
+    Timestamp snapshot_primary)
     : sys_(sys), session_(std::move(session)), txn_(std::move(txn)),
       secondary_(secondary), site_(site), read_only_(read_only),
-      first_op_seq_(first_op_seq) {
+      first_op_seq_(first_op_seq), snapshot_primary_(snapshot_primary) {
   if (secondary_ != nullptr) secondary_->OnReadStart();
 }
 
@@ -33,13 +35,123 @@ void SystemTransaction::RecordRead(const std::string& key,
     // Express the observed version in primary-state coordinates.
     primary_ts = secondary_->TranslateLocalToPrimary(local_version_ts);
   }
+  RecordPrimaryRead(key, primary_ts, found);
+}
+
+void SystemTransaction::RecordPrimaryRead(const std::string& key,
+                                          Timestamp primary_ts, bool found) {
   if (found && primary_ts > snapshot_floor_) snapshot_floor_ = primary_ts;
   if (sys_->config().record_history) {
     recorded_reads_.push_back(history::RecordedRead{key, primary_ts, found});
   }
 }
 
+bool SystemTransaction::RemoteRouted(const std::string& key) const {
+  if (!read_only_ || secondary_ == nullptr) return false;
+  const auto& map = sys_->partition_map();
+  if (!map.partial()) return false;
+  return !map.CoversKey(static_cast<std::size_t>(site_) - 1, key);
+}
+
+Result<replication::Secondary::RemoteRead> SystemTransaction::RemoteReadKey(
+    const std::string& key) {
+  const auto& map = sys_->partition_map();
+  const std::size_t partition = map.PartitionOf(key);
+  sys_->remote_partition_reads_.fetch_add(1, std::memory_order_relaxed);
+  for (int round = 0; round < 2; ++round) {
+    replication::Secondary* freshest = nullptr;
+    Timestamp freshest_seq = 0;
+    for (std::size_t idx : map.Replicas(partition)) {
+      auto* site = sys_->site(idx);
+      if (site == nullptr) continue;
+      replication::Secondary* replica = site->replica.get();
+      const Timestamp seq = replica->applied_seq();
+      if (seq < snapshot_primary_) {
+        // SCAR validation failure: this replica's applied prefix does not
+        // yet contain the transaction's snapshot. Reject it and try the
+        // next covering replica instead of blocking.
+        sys_->scar_stale_rejects_.fetch_add(1, std::memory_order_relaxed);
+        if (freshest == nullptr || seq > freshest_seq) {
+          freshest = replica;
+          freshest_seq = seq;
+        }
+        continue;
+      }
+      auto read = replica->ReadAtPrimarySnapshot(key, snapshot_primary_);
+      if (read.ok()) return read;
+      // Raced with translation pruning or a restart; try the next replica.
+    }
+    if (round == 0 && freshest != nullptr) {
+      // Every covering replica was stale. Wait on the freshest one for just
+      // the snapshot prefix — far weaker than full freshness — and retry.
+      if (!freshest->WaitForSeq(snapshot_primary_,
+                                sys_->config().read_block_timeout)) {
+        break;
+      }
+      continue;
+    }
+    break;
+  }
+  return Status::Unavailable(
+      "no covering replica could serve the partition at this snapshot");
+}
+
+Result<std::vector<replication::Secondary::RemoteScanItem>>
+SystemTransaction::RemoteScanPartition(std::size_t partition,
+                                       const std::string& begin,
+                                       const std::string& end) {
+  const auto& map = sys_->partition_map();
+  sys_->remote_partition_reads_.fetch_add(1, std::memory_order_relaxed);
+  for (int round = 0; round < 2; ++round) {
+    replication::Secondary* freshest = nullptr;
+    Timestamp freshest_seq = 0;
+    for (std::size_t idx : map.Replicas(partition)) {
+      auto* site = sys_->site(idx);
+      if (site == nullptr) continue;
+      replication::Secondary* replica = site->replica.get();
+      const Timestamp seq = replica->applied_seq();
+      if (seq < snapshot_primary_) {
+        sys_->scar_stale_rejects_.fetch_add(1, std::memory_order_relaxed);
+        if (freshest == nullptr || seq > freshest_seq) {
+          freshest = replica;
+          freshest_seq = seq;
+        }
+        continue;
+      }
+      auto items =
+          replica->ScanAtPrimarySnapshot(begin, end, snapshot_primary_);
+      if (!items.ok()) continue;
+      // The serving replica may cover several partitions; keep only the one
+      // the home replica is missing (the rest are already served locally).
+      std::vector<replication::Secondary::RemoteScanItem> kept;
+      for (auto& item : *items) {
+        if (map.PartitionOf(item.key) == partition) {
+          kept.push_back(std::move(item));
+        }
+      }
+      return kept;
+    }
+    if (round == 0 && freshest != nullptr) {
+      if (!freshest->WaitForSeq(snapshot_primary_,
+                                sys_->config().read_block_timeout)) {
+        break;
+      }
+      continue;
+    }
+    break;
+  }
+  return Status::Unavailable(
+      "no covering replica could serve the partition at this snapshot");
+}
+
 Result<std::string> SystemTransaction::Get(const std::string& key) {
+  if (RemoteRouted(key)) {
+    auto remote = RemoteReadKey(key);
+    if (!remote.ok()) return remote.status();
+    RecordPrimaryRead(key, remote->version_primary_ts, remote->found);
+    if (!remote->found) return Status::NotFound();
+    return std::move(remote->value);
+  }
   const std::size_t before = txn_->reads().size();
   auto result = txn_->Get(key);
   // The underlying transaction appended exactly one observation.
@@ -70,14 +182,30 @@ Result<std::vector<std::pair<std::string, std::string>>>
 SystemTransaction::Scan(const std::string& begin, const std::string& end) {
   const std::size_t before = txn_->reads().size();
   auto result = txn_->Scan(begin, end);
-  if (result.ok()) {
-    for (std::size_t i = before; i < txn_->reads().size(); ++i) {
-      const auto& obs = txn_->reads()[i];
-      RecordRead(obs.key, obs.version_commit_ts, obs.found,
-                 obs.from_own_write);
+  if (!result.ok()) return result;
+  for (std::size_t i = before; i < txn_->reads().size(); ++i) {
+    const auto& obs = txn_->reads()[i];
+    RecordRead(obs.key, obs.version_commit_ts, obs.found, obs.from_own_write);
+  }
+  const auto& map = sys_->partition_map();
+  if (!read_only_ || secondary_ == nullptr || !map.partial()) return result;
+  const std::size_t home = static_cast<std::size_t>(site_) - 1;
+  if (map.Coverage(home).size() == map.num_partitions()) return result;
+  // Partition-spanning scan: the local store holds only the home replica's
+  // partitions, so fetch each uncovered partition's slice from a covering
+  // replica at this transaction's primary snapshot and merge.
+  std::vector<std::pair<std::string, std::string>> merged = std::move(*result);
+  for (std::size_t p = 0; p < map.num_partitions(); ++p) {
+    if (map.Covers(home, p)) continue;
+    auto remote = RemoteScanPartition(p, begin, end);
+    if (!remote.ok()) return remote.status();
+    for (auto& item : *remote) {
+      RecordPrimaryRead(item.key, item.version_primary_ts, /*found=*/true);
+      merged.emplace_back(std::move(item.key), std::move(item.value));
     }
   }
-  return result;
+  std::sort(merged.begin(), merged.end());
+  return merged;
 }
 
 Status SystemTransaction::Commit() {
@@ -173,10 +301,18 @@ Result<std::unique_ptr<SystemTransaction>> ClientConnection::BeginRead() {
     }
   }
   auto txn = site->db->Begin(/*read_only=*/true);
+  Timestamp snapshot_primary = 0;
+  if (sys_->partition_map().partial()) {
+    // Cross-partition reads must observe the same primary prefix this local
+    // snapshot contains; compute it once at begin (SCAR-style snapshot
+    // timestamp).
+    snapshot_primary =
+        site->replica->PrimaryPrefixAtLocal(txn->snapshot_ts());
+  }
   return std::unique_ptr<SystemTransaction>(new SystemTransaction(
       sys_, session_, std::move(txn), site->replica.get(),
       static_cast<SiteId>(read_index + 1), /*read_only=*/true,
-      first_op_seq));
+      first_op_seq, snapshot_primary));
 }
 
 Result<std::unique_ptr<SystemTransaction>> ClientConnection::BeginUpdate() {
@@ -188,7 +324,7 @@ Result<std::unique_ptr<SystemTransaction>> ClientConnection::BeginUpdate() {
   auto txn = sys_->primary_db()->Begin(/*read_only=*/false);
   return std::unique_ptr<SystemTransaction>(new SystemTransaction(
       sys_, session_, std::move(txn), /*secondary=*/nullptr, kPrimarySiteId,
-      /*read_only=*/false, first_op_seq));
+      /*read_only=*/false, first_op_seq, /*snapshot_primary=*/0));
 }
 
 Status ClientConnection::ExecuteUpdate(
@@ -227,6 +363,11 @@ Status ClientConnection::ExecuteRead(
 
 ReplicatedSystem::ReplicatedSystem(SystemConfig config)
     : config_(config),
+      partition_map_(std::make_shared<const replication::PartitionMap>(
+          replication::PartitionMap::Config{config.num_partitions,
+                                            config.partition_replication,
+                                            config.partition_scheme},
+          config.num_secondaries)),
       primary_db_(engine::DatabaseOptions{kPrimarySiteId, "primary",
                                           config.record_state_chain}),
       primary_(&primary_db_,
@@ -264,23 +405,24 @@ ReplicatedSystem::ReplicatedSystem(SystemConfig config)
       site->reliable = std::make_unique<replication::ReliableChannel>(
           primary_.propagator(), site->link.get(),
           wan ? site->channel->inlet() : site->replica->update_queue(),
-          TransportOptions());
+          TransportOptions(i));
     } else if (wan) {
-      primary_.propagator()->AttachSink(site->channel->inlet());
+      primary_.propagator()->AttachSink(site->channel->inlet(), FilterFor(i));
     } else {
-      primary_.AttachSecondary(site->replica.get());
+      primary_.AttachSecondary(site->replica.get(), FilterFor(i));
     }
     secondaries_.push_back(std::move(site));
   }
 }
 
-replication::ReliableChannel::Options ReplicatedSystem::TransportOptions()
-    const {
+replication::ReliableChannel::Options ReplicatedSystem::TransportOptions(
+    std::size_t secondary_index) const {
   replication::ReliableChannel::Options opts;
   opts.ack_interval = config_.transport_ack_interval;
   opts.backoff_initial = config_.transport_backoff_initial;
   opts.backoff_max = config_.transport_backoff_max;
   opts.retransmit_cap = config_.transport_retransmit_cap;
+  opts.filter = FilterFor(secondary_index);
   return opts;
 }
 
@@ -377,9 +519,10 @@ ReplicatedSystem::SecondarySite* ReplicatedSystem::site(std::size_t i) {
 ReplicatedSystem::SecondarySite* ReplicatedSystem::RouteRead(
     Timestamp need, std::size_t* index_out) {
   std::shared_lock lock(sites_mu_);
-  SecondarySite* fresh_pick = nullptr;  // least-loaded among fresh-enough
+  SecondarySite* fresh_pick = nullptr;  // best score among fresh-enough
   std::size_t fresh_index = 0;
-  std::uint64_t fresh_load = 0;
+  std::uint64_t fresh_score = 0;
+  std::size_t fresh_covered = 0;
   SecondarySite* freshest = nullptr;  // fallback: maximum applied_seq
   std::size_t freshest_index = 0;
   Timestamp freshest_seq = 0;
@@ -397,10 +540,23 @@ ReplicatedSystem::SecondarySite* ReplicatedSystem::RouteRead(
     // flipping the pick (and the herd) on every sample, which is the
     // hysteresis that keeps placement stable under bursty load.
     const std::uint64_t load = s->replica->SampleLoadEstimate();
-    if (seq >= need && (fresh_pick == nullptr || load < fresh_load)) {
+    // Coverage-aware score: a partial replica serves only covered keys
+    // locally and must proxy the rest, so its effective capacity scales
+    // with its coverage fraction. load+1 keeps coverage decisive at zero
+    // load; under full replication every site covers everything and this
+    // degenerates to pure least-loaded. Ties go to the wider replica
+    // (fewer cross-partition hops).
+    const std::size_t covered =
+        std::max<std::size_t>(partition_map_->Coverage(i).size(), 1);
+    const std::uint64_t score =
+        (load + 1) * partition_map_->num_partitions() / covered;
+    if (seq >= need &&
+        (fresh_pick == nullptr || score < fresh_score ||
+         (score == fresh_score && covered > fresh_covered))) {
       fresh_pick = s;
       fresh_index = i;
-      fresh_load = load;
+      fresh_score = score;
+      fresh_covered = covered;
     }
   }
   // applied_seq only advances, so a site observed fresh stays fresh; the
@@ -433,7 +589,9 @@ std::string ReplicatedSystem::SystemStats::ToString() const {
                           " refreshed=" + std::to_string(s.refreshed_count) +
                           " queue=" + std::to_string(s.update_queue_depth) +
                           " translations=" +
-                          std::to_string(s.translation_count));
+                          std::to_string(s.translation_count) +
+                          " disc=" +
+                          std::to_string(s.stream_discontinuities));
     if (!s.failed && (s.ro_routed_fresh > 0 || s.ro_blocked_on_freshness > 0)) {
       os << " router[fresh=" << s.ro_routed_fresh
          << " blocked=" << s.ro_blocked_on_freshness
@@ -445,6 +603,14 @@ std::string ReplicatedSystem::SystemStats::ToString() const {
          << " commits=" << s.group_applied_commits
          << " max=" << s.max_group_apply << "]";
     }
+    if (!s.failed &&
+        (s.records_filtered > 0 || s.remote_reads_served > 0)) {
+      os << " partition[covered=" << s.covered_partitions
+         << " filtered=" << s.records_filtered
+         << " updates=" << s.updates_received
+         << " bytes=" << s.update_bytes_received
+         << " remote_served=" << s.remote_reads_served << "]";
+    }
     if (!s.failed && (s.transport_delivered > 0 || s.link_dropped > 0)) {
       os << " transport[delivered=" << s.transport_delivered
          << " retx=" << s.transport_retransmits
@@ -455,6 +621,15 @@ std::string ReplicatedSystem::SystemStats::ToString() const {
          << " disc=" << s.link_disconnects << "]";
     }
     os << "\n";
+  }
+  if (!partition_floors.empty()) {
+    os << "partitions: floors=[";
+    for (std::size_t p = 0; p < partition_floors.size(); ++p) {
+      if (p > 0) os << " ";
+      os << partition_floors[p];
+    }
+    os << "] scar_rejects=" << scar_stale_rejects
+       << " remote_reads=" << remote_partition_reads << "\n";
   }
   return os.str();
 }
@@ -483,6 +658,12 @@ ReplicatedSystem::SystemStats ReplicatedSystem::Stats() {
       sec.active_reads = s->replica->active_reads();
       sec.load_estimate = s->replica->load_estimate();
       sec.translation_count = s->replica->translation_count();
+      sec.stream_discontinuities = s->replica->stream_discontinuities();
+      sec.records_filtered = s->replica->records_filtered();
+      sec.updates_received = s->replica->updates_received();
+      sec.update_bytes_received = s->replica->update_bytes_received();
+      sec.remote_reads_served = s->replica->remote_reads_served();
+      sec.covered_partitions = partition_map_->Coverage(i).size();
       sec.group_applies = s->replica->group_applies();
       sec.group_applied_commits = s->replica->group_applied_commits();
       sec.max_group_apply = s->replica->max_group_apply();
@@ -501,29 +682,64 @@ ReplicatedSystem::SystemStats ReplicatedSystem::Stats() {
     }
     stats.secondaries.push_back(sec);
   }
+  if (partition_map_->partial()) {
+    stats.partition_floors = PartitionFloorsLocked();
+  }
+  stats.scar_stale_rejects =
+      scar_stale_rejects_.load(std::memory_order_relaxed);
+  stats.remote_partition_reads =
+      remote_partition_reads_.load(std::memory_order_relaxed);
   return stats;
+}
+
+std::vector<Timestamp> ReplicatedSystem::PartitionFloorsLocked() {
+  std::vector<Timestamp> floors(partition_map_->num_partitions(), 0);
+  for (std::size_t p = 0; p < floors.size(); ++p) {
+    Timestamp floor = 0;
+    bool have = false;
+    for (std::size_t idx : partition_map_->Replicas(p)) {
+      if (idx >= secondaries_.size()) continue;
+      auto* s = secondaries_[idx].get();
+      if (s->failed.load(std::memory_order_acquire)) continue;
+      const Timestamp seq = s->replica->applied_seq();
+      if (!have || seq < floor) floor = seq;
+      have = true;
+    }
+    // No live replica: floor 0 — nothing below this partition may be
+    // pruned until one recovers.
+    floors[p] = have ? floor : 0;
+  }
+  return floors;
+}
+
+std::vector<Timestamp> ReplicatedSystem::PartitionFloors() {
+  std::shared_lock lock(sites_mu_);
+  return PartitionFloorsLocked();
 }
 
 std::size_t ReplicatedSystem::GarbageCollectAll(bool prune_translations) {
   std::size_t reclaimed = primary_db_.GarbageCollect();
   std::shared_lock lock(sites_mu_);
-  // Fleet-wide floor for translation pruning: the minimum applied_seq over
-  // live secondaries. Below it every live site already serves newer state,
-  // so no future session floor can depend on a pruned translation.
-  Timestamp fleet_floor = 0;
-  bool have_floor = false;
-  for (auto& s : secondaries_) {
-    if (s->failed.load(std::memory_order_acquire)) continue;
-    const Timestamp seq = s->replica->applied_seq();
-    if (!have_floor || seq < fleet_floor) fleet_floor = seq;
-    have_floor = true;
-  }
-  for (auto& s : secondaries_) {
+  // Per-partition applied floors: the minimum applied_seq over each
+  // partition's live replicas. A secondary's translation-prune horizon is
+  // the minimum floor across the partitions it covers — below it every live
+  // replica of its data already serves newer state, so no future session
+  // floor can depend on a pruned translation. Under full replication every
+  // secondary covers every partition and this is exactly the old fleet-wide
+  // minimum.
+  const std::vector<Timestamp> floors = PartitionFloorsLocked();
+  for (std::size_t i = 0; i < secondaries_.size(); ++i) {
+    auto* s = secondaries_[i].get();
     if (s->failed.load(std::memory_order_acquire)) continue;
     reclaimed += s->db->GarbageCollect();
-    if (prune_translations && have_floor) {
-      s->replica->PruneTranslations(fleet_floor);
+    if (!prune_translations) continue;
+    Timestamp horizon = 0;
+    bool have = false;
+    for (std::size_t p : partition_map_->Coverage(i)) {
+      if (!have || floors[p] < horizon) horizon = floors[p];
+      have = true;
     }
+    if (have) s->replica->PruneTranslations(horizon);
   }
   return reclaimed;
 }
@@ -577,6 +793,19 @@ Status ReplicatedSystem::RecoverSecondary(std::size_t i) {
   // Fresh copy of the primary database (Section 3.4's periodic quiesced
   // copy, taken on demand here).
   engine::Database::Checkpoint checkpoint = primary_db_.TakeCheckpoint();
+  const replication::SinkFilter filter = FilterFor(i);
+  if (filter.active()) {
+    // A partial replica installs only its covered partitions — uncovered
+    // keys never live here (scans and differential checks rely on that),
+    // and the replayed log suffix is filtered the same way below.
+    for (auto it = checkpoint.state.begin(); it != checkpoint.state.end();) {
+      if (filter.CoversKey(it->first)) {
+        ++it;
+      } else {
+        it = checkpoint.state.erase(it);
+      }
+    }
+  }
 
   auto fresh_db = std::make_unique<engine::Database>(engine::DatabaseOptions{
       static_cast<SiteId>(i + 1), "secondary-" + std::to_string(i) + "-r",
@@ -617,16 +846,16 @@ Status ReplicatedSystem::RecoverSecondary(std::size_t i) {
     fresh_reliable = std::make_unique<replication::ReliableChannel>(
         primary_.propagator(), fresh_link.get(),
         wan ? fresh_channel->inlet() : fresh_replica->update_queue(),
-        TransportOptions());
+        TransportOptions(i));
     LAZYSI_RETURN_NOT_OK(fresh_reliable->StartAt(checkpoint.lsn));
   } else if (wan) {
     LAZYSI_RETURN_NOT_OK(primary_.propagator()
                              ->AttachSinkAt(fresh_channel->inlet(),
-                                            checkpoint.lsn)
+                                            checkpoint.lsn, filter)
                              .status());
   } else {
-    LAZYSI_RETURN_NOT_OK(
-        primary_.AttachSecondaryAt(fresh_replica.get(), checkpoint.lsn));
+    LAZYSI_RETURN_NOT_OK(primary_.AttachSecondaryAt(fresh_replica.get(),
+                                                    checkpoint.lsn, filter));
   }
 
   s->db = std::move(fresh_db);

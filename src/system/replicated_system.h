@@ -16,6 +16,7 @@
 #include "engine/database.h"
 #include "history/recorder.h"
 #include "replication/chaos_link.h"
+#include "replication/partition_map.h"
 #include "replication/primary.h"
 #include "replication/reliable_channel.h"
 #include "replication/secondary.h"
@@ -93,6 +94,19 @@ struct SystemConfig {
   std::chrono::milliseconds gc_interval{0};
   /// Keep per-commit state-hash chains (Theorem 3.1 assertions).
   bool record_state_chain = true;
+  /// Partial replication: number of keyspace partitions. 1 (the default)
+  /// keeps full replication. With more partitions, each secondary receives
+  /// only the write sets intersecting its assigned partitions; reads of
+  /// uncovered keys are served SCAR-style by a covering replica at the
+  /// transaction's snapshot timestamp.
+  std::size_t num_partitions = 1;
+  /// Replicas per partition (round-robin over the fleet). 0 or >= the fleet
+  /// size means every secondary covers every partition (full replication).
+  /// With >= 2, any single secondary failure leaves every partition covered.
+  std::size_t partition_replication = 0;
+  /// How keys map to partitions: hash (default) or contiguous ranges.
+  replication::PartitionMap::Scheme partition_scheme =
+      replication::PartitionMap::Scheme::kHash;
 };
 
 class ReplicatedSystem;
@@ -130,10 +144,31 @@ class SystemTransaction {
                     std::shared_ptr<session::Session> session,
                     std::unique_ptr<txn::Transaction> txn,
                     replication::Secondary* secondary, SiteId site,
-                    bool read_only, std::uint64_t first_op_seq);
+                    bool read_only, std::uint64_t first_op_seq,
+                    Timestamp snapshot_primary);
 
   void RecordRead(const std::string& key, Timestamp local_version_ts,
                   bool found, bool own_write);
+  /// Records an observation already expressed in primary coordinates (the
+  /// remote-read path skips local->primary translation).
+  void RecordPrimaryRead(const std::string& key, Timestamp primary_ts,
+                         bool found);
+  /// True when `key` must be served by another secondary: this is a
+  /// partition-routed read-only transaction and the home replica does not
+  /// cover the key's partition.
+  bool RemoteRouted(const std::string& key) const;
+  /// SCAR-style cross-partition read: serve `key` from a covering replica
+  /// whose applied prefix contains snapshot_primary_; stale replicas are
+  /// rejected (counted) and the next one tried rather than blocking on full
+  /// freshness. When every covering replica is stale, waits on the freshest
+  /// one for just the snapshot prefix (not full freshness) and retries once.
+  Result<replication::Secondary::RemoteRead> RemoteReadKey(
+      const std::string& key);
+  /// Scan counterpart: items of `partition` within [begin, end) at
+  /// snapshot_primary_, from a covering replica.
+  Result<std::vector<replication::Secondary::RemoteScanItem>>
+  RemoteScanPartition(std::size_t partition, const std::string& begin,
+                      const std::string& end);
 
   ReplicatedSystem* sys_;
   std::shared_ptr<session::Session> session_;
@@ -143,6 +178,12 @@ class SystemTransaction {
   bool read_only_;
   Timestamp commit_primary_ts_ = kInvalidTimestamp;
   std::uint64_t first_op_seq_ = 0;
+  /// Read-only transactions under a partial partition map: the exact primary
+  /// prefix contained in this transaction's local snapshot, computed at
+  /// begin. Cross-partition reads are validated against it so every
+  /// partition serves the same primary state (read atomicity across
+  /// partitions).
+  Timestamp snapshot_primary_ = 0;
   /// Largest primary commit timestamp provably contained in this read-only
   /// transaction's snapshot (max over observed versions). Folded into
   /// seq(c) at commit when the guarantee requires read-read monotonicity.
@@ -244,6 +285,22 @@ class ReplicatedSystem {
     /// Size of the local->primary commit-timestamp translation table
     /// (bounded by GarbageCollectAll's pruning).
     std::size_t translation_count = 0;
+    /// Times the ingest stream jumped backwards/forwards relative to the
+    /// expected next sequence (resyncs after transport faults; replayed
+    /// prefixes are deduplicated, so this counts stream repair events, not
+    /// lost updates).
+    std::uint64_t stream_discontinuities = 0;
+    /// Partial replication: update records the propagator filtered out of
+    /// this sink (not covered here), records actually received, their
+    /// payload bytes, and cross-partition reads this replica served for
+    /// other sites' transactions.
+    std::uint64_t records_filtered = 0;
+    std::uint64_t updates_received = 0;
+    std::uint64_t update_bytes_received = 0;
+    std::uint64_t remote_reads_served = 0;
+    /// Partitions assigned to this secondary (== num_partitions under full
+    /// replication).
+    std::size_t covered_partitions = 0;
     /// Direct-apply engine counters: store passes, commits they covered
     /// (avg group size = commits / passes), and the largest single group.
     /// All zero under the legacy engine.
@@ -269,18 +326,41 @@ class ReplicatedSystem {
     std::uint64_t primary_aborted = 0;
     std::uint64_t commits_propagated = 0;
     std::vector<SecondaryStats> secondaries;
+    /// Partial replication: per-partition applied floors (min applied_seq
+    /// over the partition's live replicas; empty under full replication),
+    /// SCAR validation rejects (a covering replica was too stale for the
+    /// snapshot and another was tried), and cross-partition reads routed to
+    /// a remote replica.
+    std::vector<Timestamp> partition_floors;
+    std::uint64_t scar_stale_rejects = 0;
+    std::uint64_t remote_partition_reads = 0;
 
     std::string ToString() const;
   };
   SystemStats Stats();
 
+  const replication::PartitionMap& partition_map() const {
+    return *partition_map_;
+  }
+
+  /// Per-partition applied floors: for each partition, the minimum
+  /// applied_seq over its live replicas (0 when a partition currently has no
+  /// live replica — nothing below it may be pruned until one recovers).
+  std::vector<Timestamp> PartitionFloors();
+
   /// Version garbage collection across the primary and every live
   /// secondary; each site prunes at its own safe horizon (oldest active
   /// snapshot). Also prunes each secondary's local->primary translation
-  /// table below the fleet-wide floor (the minimum applied_seq across live
-  /// secondaries): every live site already serves state at least that new,
-  /// so a session floor derived from a pruned entry could never block or
-  /// reorder anything. Returns the total number of versions reclaimed.
+  /// table below its *partition floor*: the minimum per-partition applied
+  /// floor (min applied_seq over each partition's live replicas) across the
+  /// partitions the secondary covers. Under full replication every
+  /// secondary covers every partition, so this degenerates to the fleet-wide
+  /// minimum applied_seq. Every live replica of the covered partitions
+  /// already serves state at least that new, so a session floor derived from
+  /// a pruned entry could never block or reorder anything — and a partition
+  /// with a dead replica holds its floor down until recovery, keeping the
+  /// recovering site's translations intact. Returns the total number of
+  /// versions reclaimed.
   /// Pruning never affects replication: the propagator ships update
   /// *records* from the log, not store versions. Pass prune_translations =
   /// false to reclaim versions only (the background cadence does this when
@@ -337,9 +417,20 @@ class ReplicatedSystem {
 
   void GcLoop();
 
-  replication::ReliableChannel::Options TransportOptions() const;
+  replication::ReliableChannel::Options TransportOptions(
+      std::size_t secondary_index) const;
+
+  /// The partition filter secondary `i`'s replication stream runs through
+  /// (inactive under full replication).
+  replication::SinkFilter FilterFor(std::size_t i) const {
+    return replication::SinkFilter{partition_map_, i};
+  }
+
+  /// PartitionFloors() body; callers hold sites_mu_ (either mode).
+  std::vector<Timestamp> PartitionFloorsLocked();
 
   SystemConfig config_;
+  std::shared_ptr<const replication::PartitionMap> partition_map_;
   engine::Database primary_db_;
   replication::Primary primary_;
   std::shared_mutex sites_mu_;
@@ -348,6 +439,9 @@ class ReplicatedSystem {
   history::Recorder recorder_;
   std::atomic<std::size_t> next_secondary_{0};
   bool started_ = false;
+  /// Cross-partition read counters (partial replication only).
+  std::atomic<std::uint64_t> scar_stale_rejects_{0};
+  std::atomic<std::uint64_t> remote_partition_reads_{0};
 
   /// Background GC cadence (gc_interval > 0).
   std::mutex gc_mu_;

@@ -1,0 +1,156 @@
+#include "history/dbcop.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "system/replicated_system.h"
+
+namespace lazysi {
+namespace history {
+namespace {
+
+bool SameHistory(const DbcopHistory& a, const DbcopHistory& b) {
+  if (a.id != b.id || a.info != b.info || a.start != b.start ||
+      a.end != b.end || a.sessions.size() != b.sessions.size()) {
+    return false;
+  }
+  for (std::size_t s = 0; s < a.sessions.size(); ++s) {
+    const auto& sa = a.sessions[s];
+    const auto& sb = b.sessions[s];
+    if (sa.txns.size() != sb.txns.size()) return false;
+    for (std::size_t t = 0; t < sa.txns.size(); ++t) {
+      const auto& ta = sa.txns[t];
+      const auto& tb = sb.txns[t];
+      if (ta.success != tb.success || ta.events.size() != tb.events.size()) {
+        return false;
+      }
+      for (std::size_t e = 0; e < ta.events.size(); ++e) {
+        const auto& ea = ta.events[e];
+        const auto& eb = tb.events[e];
+        if (ea.is_write != eb.is_write || ea.key != eb.key ||
+            ea.value != eb.value || ea.success != eb.success) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+TEST(DbcopTest, RoundTripHandBuilt) {
+  DbcopHistory history;
+  history.id = 7;
+  history.info = "hand built";
+  history.start = "2026-01-01";
+  history.end = "2026-01-02";
+  DbcopSession session;
+  DbcopTxn txn;
+  txn.events.push_back(DbcopEvent{true, 0, 42, true});
+  txn.events.push_back(DbcopEvent{false, 1, 0, true});
+  session.txns.push_back(txn);
+  DbcopTxn aborted;
+  aborted.success = false;
+  aborted.events.push_back(DbcopEvent{true, 1, 43, false});
+  session.txns.push_back(aborted);
+  history.sessions.push_back(session);
+  history.sessions.push_back(DbcopSession{});  // empty session survives
+
+  std::ostringstream out;
+  WriteDbcop(history, out);
+  std::istringstream in(out.str());
+  auto parsed = ReadDbcop(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(SameHistory(history, *parsed));
+  EXPECT_EQ(parsed->key_num(), 2);
+  EXPECT_EQ(parsed->txn_num(), 2);
+  EXPECT_EQ(parsed->event_num(), 3);
+}
+
+TEST(DbcopTest, TruncatedAndImplausibleStreamsRejected) {
+  DbcopHistory history;
+  history.sessions.push_back(DbcopSession{});
+  std::ostringstream out;
+  WriteDbcop(history, out);
+  const std::string bytes = out.str();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{7}, bytes.size() - 1}) {
+    std::istringstream in(bytes.substr(0, cut));
+    EXPECT_FALSE(ReadDbcop(in).ok()) << "cut=" << cut;
+  }
+  // A session count far beyond anything the stream could hold.
+  std::string huge = bytes;
+  huge.resize(huge.size() - 8);
+  for (int i = 0; i < 8; ++i) huge.push_back('\x7f');
+  std::istringstream in(huge);
+  EXPECT_FALSE(ReadDbcop(in).ok());
+}
+
+TEST(DbcopTest, ExportsRecordedSystemHistory) {
+  system::SystemConfig config;
+  config.num_secondaries = 2;
+  config.record_history = true;
+  system::ReplicatedSystem sys(config);
+  sys.Start();
+
+  auto client_a = sys.ConnectTo(0);
+  auto client_b = sys.ConnectTo(1);
+  ASSERT_TRUE(client_a
+                  ->ExecuteUpdate([](system::SystemTransaction& txn) {
+                    EXPECT_TRUE(txn.Put("x", "1").ok());
+                    return txn.Put("y", "1");
+                  })
+                  .ok());
+  ASSERT_TRUE(client_b
+                  ->ExecuteUpdate([](system::SystemTransaction& txn) {
+                    return txn.Put("x", "2");
+                  })
+                  .ok());
+  ASSERT_TRUE(sys.WaitForReplication());
+  ASSERT_TRUE(client_a
+                  ->ExecuteRead([](system::SystemTransaction& txn) {
+                    auto x = txn.Get("x");
+                    EXPECT_TRUE(x.ok());
+                    return Status::OK();
+                  })
+                  .ok());
+  sys.Stop();
+
+  const auto records = sys.recorder()->Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  const DbcopHistory history = ToDbcop(records, /*id=*/3);
+  EXPECT_EQ(history.id, 3);
+  EXPECT_EQ(history.sessions.size(), 2u);  // two session labels
+  EXPECT_EQ(history.txn_num(), 3);
+  EXPECT_EQ(history.key_num(), 2);
+
+  // The read observed one of the two writes to x; its value must equal that
+  // writer's commit timestamp (primary coordinates survive the export).
+  std::vector<std::int64_t> x_writes;
+  std::int64_t x_read = -1;
+  for (const auto& session : history.sessions) {
+    for (const auto& txn : session.txns) {
+      for (const auto& event : txn.events) {
+        if (event.key != 0) continue;  // "x" sorts before "y" -> id 0
+        if (event.is_write) {
+          x_writes.push_back(event.value);
+        } else {
+          x_read = event.value;
+        }
+      }
+    }
+  }
+  ASSERT_EQ(x_writes.size(), 2u);
+  EXPECT_NE(x_read, -1);
+  EXPECT_TRUE(x_read == x_writes[0] || x_read == x_writes[1]);
+
+  std::ostringstream out;
+  WriteDbcop(history, out);
+  std::istringstream in(out.str());
+  auto parsed = ReadDbcop(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(SameHistory(history, *parsed));
+}
+
+}  // namespace
+}  // namespace history
+}  // namespace lazysi

@@ -1,0 +1,232 @@
+#include "replication/partition_map.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "engine/database.h"
+#include "replication/propagator.h"
+#include "storage/versioned_store.h"
+
+namespace lazysi {
+namespace replication {
+namespace {
+
+using Queue = BlockingQueue<PropagationRecord>;
+
+std::optional<PropagationRecord> PopWithin(Queue& q, int ms = 2000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (auto r = q.TryPop()) return r;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return std::nullopt;
+}
+
+std::uint64_t RecordSeq(const PropagationRecord& record) {
+  return std::visit([](const auto& r) { return r.seq; }, record);
+}
+
+std::shared_ptr<const PartitionMap> MakeMap(std::size_t partitions,
+                                            std::size_t replication,
+                                            std::size_t secondaries) {
+  return std::make_shared<const PartitionMap>(
+      PartitionMap::Config{partitions, replication,
+                           PartitionMap::Scheme::kHash},
+      secondaries);
+}
+
+TEST(PartitionMapTest, RoundRobinAssignmentAndCoverage) {
+  auto map = MakeMap(4, 2, 4);
+  EXPECT_TRUE(map->partial());
+  EXPECT_EQ(map->num_partitions(), 4u);
+  EXPECT_EQ(map->replication_factor(), 2u);
+  // Partition p lives on secondaries {p, p+1 mod 4}; each secondary hence
+  // covers exactly two partitions.
+  for (std::size_t p = 0; p < 4; ++p) {
+    const auto& replicas = map->Replicas(p);
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_TRUE(std::set<std::size_t>(replicas.begin(), replicas.end()) ==
+                std::set<std::size_t>({p, (p + 1) % 4}));
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(map->Coverage(s).size(), 2u);
+    EXPECT_DOUBLE_EQ(map->CoverageFraction(s), 0.5);
+    for (std::size_t p = 0; p < 4; ++p) {
+      const auto& replicas = map->Replicas(p);
+      const bool expected =
+          std::find(replicas.begin(), replicas.end(), s) != replicas.end();
+      EXPECT_EQ(map->Covers(s, p), expected);
+    }
+  }
+}
+
+TEST(PartitionMapTest, SingleFailureNeverUncoversAPartition) {
+  auto map = MakeMap(4, 2, 4);
+  for (std::size_t killed = 0; killed < 4; ++killed) {
+    for (std::size_t p = 0; p < 4; ++p) {
+      std::size_t live = 0;
+      for (std::size_t s : map->Replicas(p)) {
+        if (s != killed) ++live;
+      }
+      EXPECT_GE(live, 1u) << "partition " << p << " uncovered after killing "
+                          << killed;
+    }
+  }
+}
+
+TEST(PartitionMapTest, FullReplicationDegenerates) {
+  for (std::size_t replication : {std::size_t{0}, std::size_t{4},
+                                  std::size_t{9}}) {
+    auto map = MakeMap(4, replication, 4);
+    EXPECT_FALSE(map->partial());
+    for (std::size_t s = 0; s < 4; ++s) {
+      EXPECT_EQ(map->Coverage(s).size(), 4u);
+    }
+    SinkFilter filter{map, 0};
+    EXPECT_FALSE(filter.active());
+  }
+  // One partition is full replication no matter the factor.
+  EXPECT_FALSE(MakeMap(1, 1, 4)->partial());
+}
+
+TEST(PartitionMapTest, SchemesAgreeWithKeyHelpers) {
+  const PartitionMap hash(
+      PartitionMap::Config{8, 2, PartitionMap::Scheme::kHash}, 4);
+  const PartitionMap range(
+      PartitionMap::Config{8, 2, PartitionMap::Scheme::kRange}, 4);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i * 37);
+    EXPECT_EQ(hash.PartitionOf(key), storage::HashPartitionOfKey(key, 8));
+    EXPECT_EQ(range.PartitionOf(key), storage::RangePartitionOfKey(key, 8));
+    EXPECT_EQ(hash.CoversKey(1, hash.PartitionOf(key) == 0 ? key : key),
+              hash.Covers(1, hash.PartitionOf(key)));
+  }
+  // Range partitioning keeps lexicographic contiguity: a key's partition
+  // never decreases as the key grows.
+  std::size_t last = 0;
+  for (int c = 0; c < 256; ++c) {
+    const std::string key(1, static_cast<char>(c));
+    const std::size_t p = range.PartitionOf(key);
+    EXPECT_GE(p, last);
+    last = p;
+  }
+}
+
+TEST(PartitionFilterTest, FilteredSinkKeepsSeqContinuity) {
+  engine::Database db;
+  Propagator prop(db.log());
+  auto map = MakeMap(2, 1, 2);
+  Queue covered_sink, full_sink;
+  prop.AttachSink(&covered_sink, SinkFilter{map, 0});
+  prop.AttachSink(&full_sink);
+  prop.Start();
+
+  // Commit keys across both partitions; partition 0's sink must still see
+  // every record (gapless seq), with uncovered updates replaced by the
+  // coverage marker.
+  std::size_t covered_updates = 0, total_updates = 0;
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(db.Put(key, "v").ok());
+    ++total_updates;
+    if (map->CoversKey(0, key)) ++covered_updates;
+  }
+  ASSERT_GT(covered_updates, 0u);
+  ASSERT_LT(covered_updates, total_updates);
+
+  std::uint64_t next_seq = 0;
+  std::size_t received_updates = 0, filtered_updates = 0;
+  std::size_t empty_filtered_commits = 0;
+  for (int i = 0; i < 80; ++i) {  // 40 starts + 40 commits
+    auto r = PopWithin(covered_sink);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(RecordSeq(*r), next_seq++);
+    if (auto* c = std::get_if<PropCommit>(&*r)) {
+      received_updates += c->updates.size();
+      filtered_updates += c->filtered;
+      EXPECT_EQ(c->updates.size() + c->filtered, 1u);
+      for (const auto& w : c->updates) {
+        EXPECT_TRUE(map->CoversKey(0, w.key));
+      }
+      if (c->updates.empty() && c->filtered > 0) ++empty_filtered_commits;
+    }
+  }
+  EXPECT_EQ(received_updates, covered_updates);
+  EXPECT_EQ(received_updates + filtered_updates, total_updates);
+  EXPECT_EQ(empty_filtered_commits, total_updates - covered_updates);
+
+  // The unfiltered sink still gets everything.
+  std::size_t full_updates = 0;
+  for (int i = 0; i < 80; ++i) {
+    auto r = PopWithin(full_sink);
+    ASSERT_TRUE(r.has_value());
+    if (auto* c = std::get_if<PropCommit>(&*r)) {
+      full_updates += c->updates.size();
+      EXPECT_EQ(c->filtered, 0u);
+    }
+  }
+  EXPECT_EQ(full_updates, total_updates);
+  prop.Stop();
+}
+
+TEST(PartitionFilterTest, AttachSinkAtReplaysFiltered) {
+  engine::Database db;
+  Propagator prop(db.log());
+  Queue early;
+  prop.AttachSink(&early);
+  prop.Start();
+
+  auto map = MakeMap(2, 1, 2);
+  std::size_t covered = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(db.Put(key, "v").ok());
+    if (map->CoversKey(1, key)) ++covered;
+  }
+  while (prop.position() < db.log()->Size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // A late partial sink replays the full stream, filtered the same way the
+  // live path would have filtered it.
+  Queue late;
+  ASSERT_TRUE(prop.AttachSinkAt(&late, 0, SinkFilter{map, 1}).ok());
+  std::uint64_t next_seq = 0;
+  std::size_t replayed = 0, filtered = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto r = PopWithin(late);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(RecordSeq(*r), next_seq++);
+    if (auto* c = std::get_if<PropCommit>(&*r)) {
+      replayed += c->updates.size();
+      filtered += c->filtered;
+      for (const auto& w : c->updates) EXPECT_TRUE(map->CoversKey(1, w.key));
+    }
+  }
+  EXPECT_EQ(replayed, covered);
+  EXPECT_EQ(replayed + filtered, 20u);
+
+  // Live records after the replay are filtered too.
+  ASSERT_TRUE(db.Put("zzz-live", "v").ok());
+  bool saw_commit = false;
+  for (int i = 0; i < 2; ++i) {
+    auto r = PopWithin(late);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(RecordSeq(*r), next_seq++);
+    if (auto* c = std::get_if<PropCommit>(&*r)) {
+      saw_commit = true;
+      EXPECT_EQ(c->updates.size() + c->filtered, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_commit);
+  prop.Stop();
+}
+
+}  // namespace
+}  // namespace replication
+}  // namespace lazysi

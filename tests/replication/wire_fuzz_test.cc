@@ -25,7 +25,7 @@ std::vector<PropagationRecord> RandomBatch(Rng* rng, int n) {
         break;
       case 1: {
         PropCommit c{rng->Next(1 << 20), rng->Next(1 << 30), {},
-                     rng->Next(1 << 24)};
+                     rng->Next(1 << 24), rng->Next(8)};
         const auto updates = rng->Next(4);
         for (std::uint64_t u = 0; u < updates; ++u) {
           c.updates.push_back(storage::Write{
@@ -103,6 +103,7 @@ TEST(WireFuzzTest, HugeStringLengthRejectedWithoutOverflow) {
   PutVarint(&buf, 1);        // txn id
   PutVarint(&buf, 7);        // stream seq
   PutVarint(&buf, 10);       // commit ts
+  PutVarint(&buf, 0);        // filtered count
   PutVarint(&buf, 1);        // one update
   PutVarint(&buf, std::numeric_limits<std::uint64_t>::max() - 2);  // key len
   buf.append("abc");
@@ -120,6 +121,7 @@ TEST(WireFuzzTest, HugeUpdateCountRejectedBeforeAllocation) {
   PutVarint(&buf, 1);                 // txn id
   PutVarint(&buf, 7);                 // stream seq
   PutVarint(&buf, 10);                // commit ts
+  PutVarint(&buf, 0);                 // filtered count
   PutVarint(&buf, std::uint64_t{1} << 32);  // update count
   std::size_t offset = 0;
   auto r = DecodeRecord(buf, &offset);
@@ -163,6 +165,7 @@ TEST(WireFuzzTest, TruncatedHugeLengthStopsAtBufferEnd) {
   PutVarint(&buf, 7);
   PutVarint(&buf, 9);
   PutVarint(&buf, 1);
+  PutVarint(&buf, 0);
   PutVarint(&buf, std::numeric_limits<std::uint64_t>::max());
   for (std::size_t cut = 0; cut <= buf.size(); ++cut) {
     std::size_t offset = 0;
