@@ -397,6 +397,40 @@ BENCHMARK(BM_ChaosTransportThroughput)
     ->Arg(5)
     ->Unit(benchmark::kMillisecond);
 
+void BM_TcpPropagation(benchmark::State& state) {
+  // Primary-commit -> secondary-applied throughput when every record crosses
+  // a real loopback TCP socket (TcpLink under the ReliableChannel): kernel
+  // socket writes, length-prefix framing, and reader-thread reassembly on
+  // the hot path. Arg is the secondary count; compare against the
+  // BM_ChaosTransportThroughput 0% row to read the socket tax itself.
+  SystemConfig config;
+  config.num_secondaries = static_cast<std::size_t>(state.range(0));
+  config.guarantee = Guarantee::kWeakSI;
+  config.transport_tcp = true;
+  config.transport_backoff_initial = std::chrono::milliseconds(1);
+  config.transport_backoff_max = std::chrono::milliseconds(16);
+  ReplicatedSystem sys(config);
+  sys.Start();
+  auto client = sys.ConnectTo(0);
+  std::uint64_t i = 0;
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    for (int n = 0; n < kBatch; ++n) {
+      (void)client->ExecuteUpdate([&](SystemTransaction& t) {
+        return t.Put("key" + std::to_string(i % 1024), std::to_string(i));
+      });
+      ++i;
+    }
+    benchmark::DoNotOptimize(sys.WaitForReplication());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  sys.Stop();
+}
+BENCHMARK(BM_TcpPropagation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PartitionedPropagation(benchmark::State& state) {
   // Partial-replication propagation volume and catch-up: 4 partitions over
   // 4 secondaries at replication factor Arg in {4, 2, 1}, i.e. each sink

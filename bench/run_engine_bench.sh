@@ -3,19 +3,23 @@
 # variants) and emits machine-readable results.
 #
 # Usage: bench/run_engine_bench.sh [path/to/micro_engine_bench] [output.json]
-# Environment: BENCH_MIN_TIME (seconds per benchmark, default 0.2).
+# Environment: BENCH_MIN_TIME (seconds per benchmark, default 0.2) and
+# BENCH_REPS (repetitions per benchmark, default 3 — the regression differ
+# compares the best repetition per row to filter out transient interference).
 set -eu
 
-BIN=${1:-build/bench/micro_engine_bench}
+BIN=${1:-build-release/bench/micro_engine_bench}
 OUT=${2:-BENCH_engine.json}
 
 if [ ! -x "$BIN" ]; then
   echo "error: benchmark binary '$BIN' not found; build it first:" >&2
-  echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build --target micro_engine_bench" >&2
+  echo "  cmake --preset release && cmake --build --preset release --target micro_engine_bench" >&2
   exit 1
 fi
 
 exec "$BIN" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
-  --benchmark_min_time="${BENCH_MIN_TIME:-0.2}"
+  --benchmark_min_time="${BENCH_MIN_TIME:-0.2}" \
+  --benchmark_repetitions="${BENCH_REPS:-3}" \
+  --benchmark_enable_random_interleaving=true

@@ -3,20 +3,24 @@
 # presets, and a benchmark regression check against the committed baselines.
 #
 # Usage: scripts/ci.sh [stage...]
-#   stages: tier1 tsan asan bench-check   (default: all four, in order)
+#   stages: tier1 proc tsan asan bench-check   (default: all five, in order)
 #
 # Environment:
 #   JOBS            parallel build/test width (default: nproc)
 #   BENCH_MIN_TIME  seconds per benchmark for bench-check (default 0.2; the
 #                   committed baselines were recorded at the default)
+#   BENCH_REPS      repetitions per benchmark (default 3); the differ gates
+#                   on the best repetition per row, which filters out the
+#                   transient slowdowns of shared CI hardware
 #   BENCH_THRESHOLD allowed fractional regression for bench-check
-#                   (default 0.15 — benches run on shared CI hardware, so a
-#                   looser gate than a quiet desk run)
+#                   (default 0.25, matching the bench-check CMake target —
+#                   even best-of-N rows drift ~15% run-to-run on shared CI
+#                   hardware; tighten locally on a quiet machine)
 set -eu
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
-STAGES=${*:-"tier1 tsan asan bench-check"}
+STAGES=${*:-"tier1 proc tsan asan bench-check"}
 
 run_preset() {
   preset=$1
@@ -32,6 +36,20 @@ for stage in $STAGES; do
     tier1)
       run_preset default
       ;;
+    proc)
+      # Multi-process deployment smoke: build the site-server binary, then
+      # run the fork/exec cluster suite (1 primary + secondaries over
+      # loopback TCP, including kill -9 of a secondary followed by a fresh
+      # process resyncing via full log replay). The timeout guard keeps a
+      # wedged child process from hanging CI: ctest's per-test TIMEOUT
+      # reaps the test, and the test itself SIGKILLs servers that ignore
+      # SIGTERM.
+      cmake --preset default
+      cmake --build --preset default -j "$JOBS" \
+        --target lazysi_server system_proc_test
+      ctest --test-dir build -R system_proc_test --output-on-failure \
+        --timeout 120
+      ;;
     tsan)
       run_preset tsan
       ;;
@@ -39,22 +57,27 @@ for stage in $STAGES; do
       run_preset asan
       ;;
     bench-check)
-      # Release build, fresh bench JSONs, gated diff against the committed
-      # baselines (throughput, p95_lag_ts, and the per-sink partition
-      # volume counters — see bench/compare_bench_json.py).
+      # Release build (its own build-release/ tree, never mixed with the
+      # RelWithDebInfo tier-1 tree), fresh bench JSONs, gated diff against
+      # the committed baselines (throughput, p95_lag_ts, and the per-sink
+      # partition volume counters — see bench/compare_bench_json.py).
       cmake --preset release
-      cmake --build --preset default -j "$JOBS" \
+      cmake --build --preset release -j "$JOBS" \
         --target micro_replication_bench micro_engine_bench
-      bench/run_replication_bench.sh build/bench/micro_replication_bench \
+      BENCH_MIN_TIME="${BENCH_MIN_TIME:-0.2}" \
+        bench/run_replication_bench.sh \
+        build-release/bench/micro_replication_bench \
         /tmp/ci_bench_replication.json
       python3 bench/compare_bench_json.py BENCH_replication.json \
         /tmp/ci_bench_replication.json \
-        --threshold "${BENCH_THRESHOLD:-0.15}"
-      bench/run_engine_bench.sh build/bench/micro_engine_bench \
+        --threshold "${BENCH_THRESHOLD:-0.25}"
+      BENCH_MIN_TIME="${BENCH_MIN_TIME:-0.2}" \
+        bench/run_engine_bench.sh \
+        build-release/bench/micro_engine_bench \
         /tmp/ci_bench_engine.json
       python3 bench/compare_bench_json.py BENCH_engine.json \
         /tmp/ci_bench_engine.json \
-        --threshold "${BENCH_THRESHOLD:-0.15}"
+        --threshold "${BENCH_THRESHOLD:-0.25}"
       ;;
     *)
       echo "ci.sh: unknown stage '$stage'" >&2

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Launches a loopback lazy-master cluster: one primary + N secondary
+# lazysi_server processes, each site its own process (Figure 1's deployment
+# shape). Ports are ephemeral and printed once every site is up; the cluster
+# runs until Ctrl-C / SIGTERM, then shuts down every site in order.
+#
+#   scripts/run_cluster.sh [num_secondaries] [server_binary]
+#
+# Defaults: 2 secondaries, build/src/server/lazysi_server.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+NUM_SECONDARIES="${1:-2}"
+SERVER_BIN="${2:-build/src/server/lazysi_server}"
+
+if [[ ! -x "$SERVER_BIN" ]]; then
+  echo "error: $SERVER_BIN not built (cmake --build build --target lazysi_server)" >&2
+  exit 1
+fi
+
+WORKDIR="$(mktemp -d /tmp/lazysi_cluster.XXXXXX)"
+PIDS=()
+
+cleanup() {
+  trap - TERM INT EXIT
+  echo
+  echo "shutting down cluster..."
+  for pid in "${PIDS[@]}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORKDIR"
+  echo "cluster down."
+}
+trap cleanup TERM INT EXIT
+
+wait_ports() {
+  # wait_ports <port-file>: polls until the server writes its ports.
+  local file="$1"
+  for _ in $(seq 200); do
+    [[ -s "$file" ]] && return 0
+    sleep 0.05
+  done
+  echo "error: server did not come up ($file)" >&2
+  return 1
+}
+
+"$SERVER_BIN" --role=primary --port-file="$WORKDIR/primary.ports" &
+PIDS+=($!)
+wait_ports "$WORKDIR/primary.ports"
+read -r PRIMARY_CLIENT PRIMARY_REPL < "$WORKDIR/primary.ports"
+echo "primary:      client 127.0.0.1:$PRIMARY_CLIENT, replication :$PRIMARY_REPL"
+
+for i in $(seq "$NUM_SECONDARIES"); do
+  "$SERVER_BIN" --role=secondary --primary-port="$PRIMARY_REPL" \
+    --site-id="$i" --port-file="$WORKDIR/secondary$i.ports" &
+  PIDS+=($!)
+done
+for i in $(seq "$NUM_SECONDARIES"); do
+  wait_ports "$WORKDIR/secondary$i.ports"
+  read -r SEC_CLIENT _ < "$WORKDIR/secondary$i.ports"
+  echo "secondary $i:  client 127.0.0.1:$SEC_CLIENT"
+done
+
+echo
+echo "cluster up ($((NUM_SECONDARIES + 1)) processes). Updates go to the"
+echo "primary's client port, reads to any secondary's. Ctrl-C to stop."
+wait

@@ -1,6 +1,7 @@
 #ifndef LAZYSI_COMMON_QUEUE_H_
 #define LAZYSI_COMMON_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <limits>
@@ -91,6 +92,20 @@ class BlockingQueue {
   /// Unbounded PopBatch: drains everything queued at wake-up time.
   std::vector<T> PopAll() {
     return PopBatch(std::numeric_limits<std::size_t>::max());
+  }
+
+  /// Bounded blocking pop: waits up to `timeout` for an element. Returns
+  /// nullopt on timeout as well as when the queue is closed and drained —
+  /// callers that need to tell the two apart follow up with closed() or a
+  /// plain Pop().
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
   }
 
   /// Non-blocking pop.

@@ -1,0 +1,90 @@
+#ifndef LAZYSI_REPLICATION_BYTE_LINK_H_
+#define LAZYSI_REPLICATION_BYTE_LINK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lazysi {
+namespace replication {
+
+/// Delivery counters of a byte link, uniform across implementations so the
+/// system stats layer can report any transport the same way.
+struct LinkCounters {
+  std::uint64_t sent = 0;        // frames offered to the link
+  std::uint64_t delivered = 0;   // frames that reached the other end
+  std::uint64_t dropped = 0;     // includes frames eaten while disconnected
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t disconnects = 0;
+};
+
+/// A full-duplex, possibly unreliable byte link between the propagation
+/// sender (primary side) and receiver (secondary side). Frames are opaque
+/// byte strings produced by the wire codec; the link may lose, duplicate,
+/// corrupt, or sever them — re-establishing Section 3.2's reliable-FIFO
+/// contract on top is ReliableChannel's job, identically for every
+/// implementation.
+///
+/// Direction "data" carries sender -> receiver record frames; direction
+/// "ack" carries receiver -> sender acknowledgement frames. Both directions
+/// share one disconnected state, like a real socket.
+///
+/// Implementations: ChaosLink (in-process queues with seeded fault
+/// injection) and TcpLink (real loopback/remote sockets, optionally with the
+/// same fault injection applied before frames hit the wire).
+class ByteLink {
+ public:
+  virtual ~ByteLink() = default;
+
+  /// Sends one data frame toward the receiver. Returns false when the frame
+  /// was dropped (loss, disconnection, or a dead socket).
+  virtual bool SendData(std::string frame) = 0;
+
+  /// Sends one ack frame toward the sender.
+  virtual bool SendAck(std::string frame) = 0;
+
+  /// Blocking receive of the next data frame; nullopt after Close().
+  virtual std::optional<std::string> ReceiveData() = 0;
+
+  /// Bounded blocking receive: the next data frame, or nullopt after
+  /// `timeout` with nothing available (also nullopt once closed — callers
+  /// distinguish by falling back to the blocking ReceiveData, which returns
+  /// immediately on a closed link). The receiver endpoint uses this to flush
+  /// a batched cumulative ack when the stream goes idle.
+  virtual std::optional<std::string> ReceiveDataFor(
+      std::chrono::milliseconds timeout) = 0;
+
+  /// Non-blocking receive used by the receiver to drain a burst.
+  virtual std::optional<std::string> TryReceiveData() = 0;
+
+  /// Non-blocking receive of the next ack frame (the sender polls acks
+  /// between sends and retransmission rounds).
+  virtual std::optional<std::string> TryReceiveAck() = 0;
+
+  virtual bool disconnected() const = 0;
+
+  /// Re-establishes a severed connection. Frames sent while disconnected
+  /// stay lost; frames already delivered to the far side's queues survive
+  /// (they were on the wire).
+  virtual void Reconnect() = 0;
+
+  /// Severs the connection as if the network cut it.
+  virtual void Disconnect() = 0;
+
+  /// Shuts the link down; blocked receivers drain then stop.
+  virtual void Close() = 0;
+
+  /// Reopens a Close()d link so a restarted channel can reuse it. Frames
+  /// still queued from before the shutdown are discarded (they belong to a
+  /// dead connection).
+  virtual void Reopen() = 0;
+
+  virtual LinkCounters counters() const = 0;
+};
+
+}  // namespace replication
+}  // namespace lazysi
+
+#endif  // LAZYSI_REPLICATION_BYTE_LINK_H_

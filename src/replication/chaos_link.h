@@ -2,6 +2,7 @@
 #define LAZYSI_REPLICATION_CHAOS_LINK_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -9,6 +10,7 @@
 
 #include "common/queue.h"
 #include "common/random.h"
+#include "replication/byte_link.h"
 
 namespace lazysi {
 namespace replication {
@@ -44,16 +46,9 @@ struct FaultProfile {
 /// Direction "data" carries sender -> receiver record frames; direction
 /// "ack" carries receiver -> sender acknowledgement frames. Both directions
 /// share one fault process and one disconnected state, like a real socket.
-class ChaosLink {
+class ChaosLink : public ByteLink {
  public:
-  struct Counters {
-    std::uint64_t sent = 0;        // frames offered to the link
-    std::uint64_t delivered = 0;   // frames that reached the other end
-    std::uint64_t dropped = 0;     // includes frames eaten while disconnected
-    std::uint64_t duplicated = 0;
-    std::uint64_t corrupted = 0;
-    std::uint64_t disconnects = 0;
-  };
+  using Counters = LinkCounters;
 
   ChaosLink(FaultProfile faults, std::uint64_t seed)
       : faults_(faults), rng_(seed) {}
@@ -63,39 +58,55 @@ class ChaosLink {
 
   /// Sends one data frame toward the receiver, subject to fault injection.
   /// Returns false when the frame was dropped (loss or disconnection).
-  bool SendData(std::string frame) { return Send(&data_, std::move(frame)); }
+  bool SendData(std::string frame) override {
+    return Send(&data_, std::move(frame));
+  }
 
   /// Sends one ack frame toward the sender, subject to fault injection.
-  bool SendAck(std::string frame) { return Send(&acks_, std::move(frame)); }
+  bool SendAck(std::string frame) override {
+    return Send(&acks_, std::move(frame));
+  }
 
   /// Blocking receive of the next data frame; nullopt after Close().
-  std::optional<std::string> ReceiveData() { return data_.Pop(); }
+  std::optional<std::string> ReceiveData() override { return data_.Pop(); }
+
+  /// Bounded blocking receive (nullopt on timeout or closed-and-drained).
+  std::optional<std::string> ReceiveDataFor(
+      std::chrono::milliseconds timeout) override {
+    return data_.PopFor(timeout);
+  }
 
   /// Non-blocking receive used by the receiver to drain a burst.
-  std::optional<std::string> TryReceiveData() { return data_.TryPop(); }
+  std::optional<std::string> TryReceiveData() override {
+    return data_.TryPop();
+  }
 
   /// Non-blocking receive of the next ack frame (the sender polls acks
   /// between sends and retransmission rounds).
-  std::optional<std::string> TryReceiveAck() { return acks_.TryPop(); }
+  std::optional<std::string> TryReceiveAck() override {
+    return acks_.TryPop();
+  }
 
-  bool disconnected() const {
+  bool disconnected() const override {
     return disconnected_.load(std::memory_order_acquire);
   }
 
   /// Re-establishes a severed connection. Frames sent while disconnected
   /// stay lost; frames queued before the cut are still delivered (they were
   /// already on the wire).
-  void Reconnect() { disconnected_.store(false, std::memory_order_release); }
+  void Reconnect() override {
+    disconnected_.store(false, std::memory_order_release);
+  }
 
   /// Severs the connection as if the network cut it (also injected
   /// spontaneously with FaultProfile::disconnect_probability).
-  void Disconnect() {
+  void Disconnect() override {
     bool was = disconnected_.exchange(true, std::memory_order_acq_rel);
     if (!was) counter_disconnects_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Shuts the link down; blocked receivers drain then stop.
-  void Close() {
+  void Close() override {
     data_.Close();
     acks_.Close();
   }
@@ -103,7 +114,7 @@ class ChaosLink {
   /// Reopens a Close()d link so a restarted channel can reuse it. Frames
   /// still queued from before the shutdown are discarded (they belong to a
   /// dead connection).
-  void Reopen() {
+  void Reopen() override {
     while (data_.TryPop().has_value()) {
     }
     while (acks_.TryPop().has_value()) {
@@ -113,7 +124,7 @@ class ChaosLink {
     disconnected_.store(false, std::memory_order_release);
   }
 
-  Counters counters() const {
+  Counters counters() const override {
     Counters c;
     c.sent = counter_sent_.load(std::memory_order_relaxed);
     c.delivered = counter_delivered_.load(std::memory_order_relaxed);

@@ -1,0 +1,136 @@
+#include "replication/framed_socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace lazysi {
+namespace replication {
+
+namespace {
+
+bool FillAddr(const std::string& host, std::uint16_t port,
+              sockaddr_in* addr) {
+  *addr = sockaddr_in{};
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (host.empty() || host == "localhost") {
+    addr->sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  return ::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+int ListenOn(const std::string& host, std::uint16_t port,
+             std::uint16_t* actual_port) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  if (actual_port != nullptr) *actual_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+int DialTcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    ::close(fd);
+    return -1;
+  }
+  SetNoDelay(fd);
+  return fd;
+}
+
+int AcceptOn(int listen_fd) {
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd >= 0) SetNoDelay(fd);
+  return fd;
+}
+
+bool SendAll(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool FramedSocket::Send(std::string_view payload) {
+  if (fd_ < 0) return false;
+  std::string wire;
+  wire.reserve(payload.size() + 4);
+  AppendTcpFrame(&wire, payload);
+  return SendAll(fd_, wire);
+}
+
+std::optional<std::string> FramedSocket::Recv() {
+  if (fd_ < 0) return std::nullopt;
+  for (;;) {
+    if (auto frame = framer_.Next()) return frame;
+    if (framer_.poisoned()) return std::nullopt;
+    const ssize_t n = ::recv(fd_, buf_, sizeof(buf_), 0);
+    if (n == 0) return std::nullopt;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (!framer_.Feed(
+            std::string_view(buf_, static_cast<std::size_t>(n)))) {
+      return std::nullopt;
+    }
+  }
+}
+
+void FramedSocket::ShutdownNow() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void FramedSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace replication
+}  // namespace lazysi

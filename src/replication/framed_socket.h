@@ -1,0 +1,71 @@
+#ifndef LAZYSI_REPLICATION_FRAMED_SOCKET_H_
+#define LAZYSI_REPLICATION_FRAMED_SOCKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "replication/tcp_link.h"
+
+namespace lazysi {
+namespace replication {
+
+/// Plain-socket plumbing shared by every TCP-speaking component (TcpLink,
+/// the cross-process replication stream, the client-API server). IPv4 only —
+/// the deployment model is loopback or a trusted LAN, per the paper's
+/// middleware assumption.
+
+/// Binds + listens on host:port (port 0 = ephemeral); fills *actual_port.
+/// Returns the listening fd, or -1.
+int ListenOn(const std::string& host, std::uint16_t port,
+             std::uint16_t* actual_port);
+
+/// Blocking connect; returns the connected fd (TCP_NODELAY set), or -1.
+int DialTcp(const std::string& host, std::uint16_t port);
+
+/// accept() riding out EINTR; returns the connected fd (TCP_NODELAY set),
+/// or -1 when the listener is closed.
+int AcceptOn(int listen_fd);
+
+/// Writes the whole buffer with MSG_NOSIGNAL, riding out partial writes and
+/// EINTR; false on a dead peer (EPIPE/ECONNRESET).
+bool SendAll(int fd, std::string_view bytes);
+
+/// One connected socket carrying length-prefixed frames (AppendTcpFrame /
+/// TcpFramer) in both directions. Owns the fd: closes it on destruction.
+/// Send and Recv are each single-caller (one writer thread, one reader
+/// thread); ShutdownNow may be called from anywhere to wake the reader.
+class FramedSocket {
+ public:
+  explicit FramedSocket(int fd) : fd_(fd) {}
+  ~FramedSocket() { Close(); }
+
+  FramedSocket(const FramedSocket&) = delete;
+  FramedSocket& operator=(const FramedSocket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends one frame; false on a dead peer.
+  bool Send(std::string_view payload);
+
+  /// Blocks for the next complete frame; nullopt on EOF, error, or a
+  /// poisoned frame stream (oversized length prefix).
+  std::optional<std::string> Recv();
+
+  /// Wakes a blocked Recv/Send with EOF/EPIPE without closing the fd.
+  void ShutdownNow();
+
+  void Close();
+
+ private:
+  int fd_;
+  TcpFramer framer_;
+  char buf_[64 * 1024];
+};
+
+}  // namespace replication
+}  // namespace lazysi
+
+#endif  // LAZYSI_REPLICATION_FRAMED_SOCKET_H_

@@ -71,6 +71,11 @@ inline TxnId RecordTxnId(const PropagationRecord& record) {
   return std::visit([](const auto& r) { return r.txn_id; }, record);
 }
 
+/// Broadcast-stream position carried by every record (see PropStart::seq).
+inline std::uint64_t RecordSeq(const PropagationRecord& record) {
+  return std::visit([](const auto& r) { return r.seq; }, record);
+}
+
 }  // namespace replication
 }  // namespace lazysi
 

@@ -34,17 +34,20 @@ std::size_t CheckedBodySize(const std::string& frame) {
 
 }  // namespace
 
-ReliableChannel::ReliableChannel(Propagator* propagator, ChaosLink* link,
+ReliableChannel::ReliableChannel(Propagator* propagator, ByteLink* link,
                                  BlockingQueue<PropagationRecord>* downstream,
                                  Options options)
     : propagator_(propagator), link_(link), downstream_(downstream),
       options_(options) {
   if (options_.ack_interval == 0) options_.ack_interval = 1;
+  if (options_.ack_flush_interval <= std::chrono::milliseconds(0)) {
+    options_.ack_flush_interval = std::chrono::milliseconds(1);
+  }
   if (options_.send_window == 0) options_.send_window = 1;
   if (options_.retransmit_cap < 1) options_.retransmit_cap = 1;
 }
 
-ReliableChannel::ReliableChannel(Propagator* propagator, ChaosLink* link,
+ReliableChannel::ReliableChannel(Propagator* propagator, ByteLink* link,
                                  BlockingQueue<PropagationRecord>* downstream)
     : ReliableChannel(propagator, link, downstream, Options()) {}
 
@@ -330,13 +333,28 @@ void ReliableChannel::SendAckFrame() {
 
 void ReliableChannel::ReceiverLoop() {
   std::size_t accepted_since_ack = 0;
-  while (auto frame = link_->ReceiveData()) {
+  for (;;) {
+    std::optional<std::string> frame;
+    if (accepted_since_ack > 0) {
+      // A cumulative ack is pending but below ack_interval: wait boundedly
+      // so an idle stream still gets acked. On timeout flush and loop; the
+      // blocking receive below then notices a Close()d link.
+      frame = link_->ReceiveDataFor(options_.ack_flush_interval);
+      if (!frame.has_value()) {
+        SendAckFrame();
+        accepted_since_ack = 0;
+        continue;
+      }
+    } else {
+      frame = link_->ReceiveData();
+      if (!frame.has_value()) break;
+    }
     bool want_ack = HandleDataFrame(*frame, &accepted_since_ack);
     // Drain the burst before acking: one cumulative ack per wake-up.
     while (auto more = link_->TryReceiveData()) {
       want_ack |= HandleDataFrame(*more, &accepted_since_ack);
     }
-    if (want_ack || accepted_since_ack > 0) {
+    if (want_ack) {
       SendAckFrame();
       accepted_since_ack = 0;
     }

@@ -11,7 +11,7 @@
 
 #include "common/queue.h"
 #include "common/status.h"
-#include "replication/chaos_link.h"
+#include "replication/byte_link.h"
 #include "replication/messages.h"
 #include "replication/propagator.h"
 
@@ -37,14 +37,20 @@ namespace replication {
 ///     numbers let the receiver discard the overlap.
 ///
 /// Both endpoints live in this object (the link between them is the
-/// simulated network); they communicate only through ChaosLink frames, never
-/// through shared record state, so the frame protocol is load-bearing.
+/// network — ChaosLink's in-process queues or TcpLink's real sockets); they
+/// communicate only through link frames, never through shared record state,
+/// so the frame protocol is load-bearing.
 class ReliableChannel {
  public:
   struct Options {
     /// Cumulative ack after this many newly accepted records (acks are also
-    /// sent on gaps, duplicates, probes, and at the end of each burst).
+    /// sent immediately on gaps, duplicates, and probes, and a pending
+    /// batched ack is flushed after `ack_flush_interval` of idleness).
     std::size_t ack_interval = 32;
+    /// How long the receiver holds a pending cumulative ack waiting for more
+    /// data before flushing it, so a stream that goes idle below
+    /// `ack_interval` still acks promptly.
+    std::chrono::milliseconds ack_flush_interval{1};
     /// Max in-flight (sent, unacked) frames before the sender stops pulling
     /// new records from the propagator.
     std::size_t send_window = 256;
@@ -77,10 +83,10 @@ class ReliableChannel {
 
   /// The channel feeds `downstream` (a secondary's update queue) with the
   /// records the propagator broadcasts, shipping them through `link`.
-  ReliableChannel(Propagator* propagator, ChaosLink* link,
+  ReliableChannel(Propagator* propagator, ByteLink* link,
                   BlockingQueue<PropagationRecord>* downstream,
                   Options options);
-  ReliableChannel(Propagator* propagator, ChaosLink* link,
+  ReliableChannel(Propagator* propagator, ByteLink* link,
                   BlockingQueue<PropagationRecord>* downstream);
   ~ReliableChannel();
 
@@ -124,7 +130,7 @@ class ReliableChannel {
   bool FlushDeadlinePassed();
 
   Propagator* propagator_;
-  ChaosLink* link_;
+  ByteLink* link_;
   BlockingQueue<PropagationRecord>* downstream_;
   Options options_;
 

@@ -1,0 +1,235 @@
+#include "replication/tcp_link.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/logging.h"
+#include "replication/framed_socket.h"
+
+namespace lazysi {
+namespace replication {
+
+namespace {
+
+constexpr const char* kLoopback = "127.0.0.1";
+
+}  // namespace
+
+TcpLink::TcpLink(FaultProfile faults, std::uint64_t seed)
+    : faults_(faults), rng_(seed) {
+  listen_fd_ = ListenOn(kLoopback, 0, &port_);
+  if (listen_fd_ < 0) {
+    LAZYSI_ERROR("tcp link: cannot create loopback listener, errno="
+                 << errno);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  if (!EstablishLocked()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+TcpLink::~TcpLink() { Close(); }
+
+bool TcpLink::EstablishLocked() {
+  const int client = DialTcp(kLoopback, port_);
+  if (client < 0) return false;
+  const int server = AcceptOn(listen_fd_);
+  if (server < 0) {
+    ::close(client);
+    return false;
+  }
+  sender_fd_ = client;
+  receiver_fd_ = server;
+  data_reader_ = std::thread([this, server] { ReaderLoop(server, &data_); });
+  ack_reader_ = std::thread([this, client] { ReaderLoop(client, &acks_); });
+  return true;
+}
+
+void TcpLink::TeardownLocked() {
+  if (sender_fd_ >= 0) ::shutdown(sender_fd_, SHUT_RDWR);
+  if (receiver_fd_ >= 0) ::shutdown(receiver_fd_, SHUT_RDWR);
+  // Readers never touch conn_mu_, so joining under it cannot deadlock; they
+  // exit on the EOF the shutdown above produced.
+  if (data_reader_.joinable()) data_reader_.join();
+  if (ack_reader_.joinable()) ack_reader_.join();
+  if (sender_fd_ >= 0) ::close(sender_fd_);
+  if (receiver_fd_ >= 0) ::close(receiver_fd_);
+  sender_fd_ = -1;
+  receiver_fd_ = -1;
+}
+
+void TcpLink::ReaderLoop(int fd, BlockingQueue<std::string>* out) {
+  TcpFramer framer;
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // orderly shutdown
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (!framer.Feed(std::string_view(buf, static_cast<std::size_t>(n)))) {
+      // A poisoned stream (oversized length prefix) has no recoverable
+      // frame boundary: the connection is as good as cut.
+      LAZYSI_WARN("tcp link: poisoned frame stream, dropping connection");
+      MarkDisconnected();
+      break;
+    }
+    while (auto frame = framer.Next()) {
+      counter_delivered_.fetch_add(1, std::memory_order_relaxed);
+      out->Push(std::move(*frame));
+    }
+    if (framer.poisoned()) {
+      LAZYSI_WARN("tcp link: poisoned frame stream, dropping connection");
+      MarkDisconnected();
+      break;
+    }
+  }
+  if (!closing_.load(std::memory_order_acquire)) MarkDisconnected();
+}
+
+void TcpLink::MarkDisconnected() {
+  const bool was = disconnected_.exchange(true, std::memory_order_acq_rel);
+  if (!was) counter_disconnects_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool TcpLink::SendData(std::string frame) {
+  return SendFrame(&sender_fd_, std::move(frame));
+}
+
+bool TcpLink::SendAck(std::string frame) {
+  return SendFrame(&receiver_fd_, std::move(frame));
+}
+
+bool TcpLink::SendFrame(int* fd_slot, std::string frame) {
+  counter_sent_.fetch_add(1, std::memory_order_relaxed);
+  bool duplicate = false;
+  if (faults_.any()) {
+    // Same decision order as ChaosLink::Send, draw for draw, so a seeded
+    // fault schedule replays identically on either transport.
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    if (faults_.disconnect_probability > 0 &&
+        rng_.Bernoulli(faults_.disconnect_probability)) {
+      Disconnect();
+    }
+    if (disconnected_.load(std::memory_order_acquire)) {
+      counter_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (faults_.drop_probability > 0 &&
+        rng_.Bernoulli(faults_.drop_probability)) {
+      counter_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (!frame.empty() && faults_.corrupt_probability > 0 &&
+        rng_.Bernoulli(faults_.corrupt_probability)) {
+      // Payload bytes only — the length prefix is added below, so framing
+      // survives and the corruption is ReliableChannel's CRC to catch.
+      frame[rng_.Next(frame.size())] ^= static_cast<char>(1 + rng_.Next(255));
+      counter_corrupted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    duplicate = faults_.duplicate_probability > 0 &&
+                rng_.Bernoulli(faults_.duplicate_probability);
+  } else if (disconnected_.load(std::memory_order_acquire)) {
+    counter_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  std::string wire;
+  wire.reserve((frame.size() + 4) * (duplicate ? 2 : 1));
+  AppendTcpFrame(&wire, frame);
+  if (duplicate) {
+    AppendTcpFrame(&wire, frame);
+    counter_duplicated_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  const int fd = *fd_slot;
+  if (fd < 0 || disconnected_.load(std::memory_order_acquire)) {
+    counter_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!SendAll(fd, wire)) {
+    // EPIPE/ECONNRESET: the kernel noticed the cut before we did.
+    MarkDisconnected();
+    counter_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void TcpLink::Disconnect() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  MarkDisconnected();
+  // Wake both readers (EOF) and fail in-flight writes; fds stay open so the
+  // readers can drain what the kernel already buffered for them.
+  if (sender_fd_ >= 0) ::shutdown(sender_fd_, SHUT_RDWR);
+  if (receiver_fd_ >= 0) ::shutdown(receiver_fd_, SHUT_RDWR);
+}
+
+void TcpLink::Reconnect() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  if (listen_fd_ < 0) return;
+  if (!disconnected_.load(std::memory_order_acquire) && sender_fd_ >= 0) {
+    return;  // connection is still live; nothing to re-establish
+  }
+  TeardownLocked();
+  if (EstablishLocked()) {
+    disconnected_.store(false, std::memory_order_release);
+  } else {
+    LAZYSI_WARN("tcp link: reconnect failed, staying disconnected");
+  }
+}
+
+void TcpLink::Close() {
+  closing_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    TeardownLocked();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+  data_.Close();
+  acks_.Close();
+}
+
+void TcpLink::Reopen() {
+  while (data_.TryPop().has_value()) {
+  }
+  while (acks_.TryPop().has_value()) {
+  }
+  data_.Reopen();
+  acks_.Reopen();
+  closing_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  if (listen_fd_ < 0) listen_fd_ = ListenOn(kLoopback, 0, &port_);
+  if (listen_fd_ < 0) {
+    LAZYSI_ERROR("tcp link: reopen cannot recreate listener");
+    return;
+  }
+  TeardownLocked();
+  if (EstablishLocked()) {
+    disconnected_.store(false, std::memory_order_release);
+  }
+}
+
+TcpLink::Counters TcpLink::counters() const {
+  Counters c;
+  c.sent = counter_sent_.load(std::memory_order_relaxed);
+  c.delivered = counter_delivered_.load(std::memory_order_relaxed);
+  c.dropped = counter_dropped_.load(std::memory_order_relaxed);
+  c.duplicated = counter_duplicated_.load(std::memory_order_relaxed);
+  c.corrupted = counter_corrupted_.load(std::memory_order_relaxed);
+  c.disconnects = counter_disconnects_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace replication
+}  // namespace lazysi

@@ -1,0 +1,201 @@
+#ifndef LAZYSI_REPLICATION_TCP_LINK_H_
+#define LAZYSI_REPLICATION_TCP_LINK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/queue.h"
+#include "common/random.h"
+#include "replication/byte_link.h"
+#include "replication/chaos_link.h"
+
+namespace lazysi {
+namespace replication {
+
+/// Hard ceiling on one length-prefixed TCP frame. A propagation record is a
+/// handful of keys and values; anything this large is a corrupt or hostile
+/// length prefix, and honoring it would turn one flipped bit into a
+/// multi-gigabyte allocation.
+constexpr std::size_t kMaxTcpFrameBytes = 16u * 1024 * 1024;
+
+/// Appends one wire frame — a 4-byte little-endian payload length followed
+/// by the payload bytes — to `wire`. The inverse of TcpFramer.
+inline void AppendTcpFrame(std::string* wire, std::string_view payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char prefix[4];
+  prefix[0] = static_cast<char>(len & 0xff);
+  prefix[1] = static_cast<char>((len >> 8) & 0xff);
+  prefix[2] = static_cast<char>((len >> 16) & 0xff);
+  prefix[3] = static_cast<char>((len >> 24) & 0xff);
+  wire->append(prefix, 4);
+  wire->append(payload.data(), payload.size());
+}
+
+/// Incremental decoder for the length-prefixed TCP framing. Feed() raw bytes
+/// exactly as they come off the socket — in any fragmentation, including one
+/// byte at a time — and Next() yields each complete payload in order. A
+/// length prefix above the clamp poisons the stream permanently: framing
+/// carries no checksum (ReliableChannel's CRC covers the payload), so after
+/// a bad length there is no way to find the next frame boundary, and the
+/// only safe reaction is to drop the connection.
+class TcpFramer {
+ public:
+  explicit TcpFramer(std::size_t max_frame_bytes = kMaxTcpFrameBytes)
+      : max_frame_(max_frame_bytes) {}
+
+  /// Appends raw stream bytes. Returns false once the stream is poisoned
+  /// (the bytes are discarded).
+  bool Feed(std::string_view bytes) {
+    if (poisoned_) return false;
+    buf_.append(bytes.data(), bytes.size());
+    return true;
+  }
+
+  /// Pops the next complete frame payload, nullopt when more bytes are
+  /// needed (or the stream is poisoned).
+  std::optional<std::string> Next() {
+    if (poisoned_ || buf_.size() - pos_ < 4) return std::nullopt;
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+    const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                              (static_cast<std::uint32_t>(p[1]) << 8) |
+                              (static_cast<std::uint32_t>(p[2]) << 16) |
+                              (static_cast<std::uint32_t>(p[3]) << 24);
+    if (len > max_frame_) {
+      poisoned_ = true;
+      buf_.clear();
+      pos_ = 0;
+      return std::nullopt;
+    }
+    if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(len)) {
+      return std::nullopt;
+    }
+    std::string payload = buf_.substr(pos_ + 4, len);
+    pos_ += 4 + len;
+    // Compact lazily: only when the dead prefix dominates the buffer.
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+    return payload;
+  }
+
+  bool poisoned() const { return poisoned_; }
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_;
+  bool poisoned_ = false;
+  std::string buf_;
+  std::size_t pos_ = 0;
+};
+
+/// ByteLink over a real loopback TCP connection: the same two-endpoint,
+/// one-object shape as ChaosLink, but the frames genuinely cross the kernel
+/// socket layer. The link owns a listener on 127.0.0.1, dials itself once at
+/// construction, and keeps one full-duplex connection per "connection
+/// generation":
+///
+///   - SendData writes a length-prefixed frame on the sender-side socket;
+///     a reader thread on the receiver-side socket reassembles frames
+///     (partial reads included) and feeds the persistent data queue;
+///   - SendAck flows the same way in the opposite direction;
+///   - Disconnect() shuts the sockets down (both readers see EOF); a write
+///     hitting EPIPE/ECONNRESET marks the link disconnected the same way;
+///   - Reconnect() dials a fresh connection — bytes stranded in the dead
+///     sockets are lost, exactly the loss model ReliableChannel's resync
+///     machinery exists for. Frames already reassembled into the queues
+///     survive, matching ChaosLink's "already on the wire" semantics.
+///
+/// An optional FaultProfile injects drops/duplicates/corruption/disconnects
+/// before frames reach the socket (corruption flips payload bytes only, so
+/// framing survives and ReliableChannel's CRC — not the framer — catches
+/// it). The fault decision order matches ChaosLink draw-for-draw, so a
+/// seeded chaos schedule produces the same fault sequence on either link.
+class TcpLink : public ByteLink {
+ public:
+  using Counters = LinkCounters;
+
+  explicit TcpLink(FaultProfile faults = FaultProfile{},
+                   std::uint64_t seed = 1);
+  ~TcpLink() override;
+
+  TcpLink(const TcpLink&) = delete;
+  TcpLink& operator=(const TcpLink&) = delete;
+
+  bool SendData(std::string frame) override;
+  bool SendAck(std::string frame) override;
+  std::optional<std::string> ReceiveData() override { return data_.Pop(); }
+  std::optional<std::string> ReceiveDataFor(
+      std::chrono::milliseconds timeout) override {
+    return data_.PopFor(timeout);
+  }
+  std::optional<std::string> TryReceiveData() override {
+    return data_.TryPop();
+  }
+  std::optional<std::string> TryReceiveAck() override {
+    return acks_.TryPop();
+  }
+
+  bool disconnected() const override {
+    return disconnected_.load(std::memory_order_acquire);
+  }
+  void Reconnect() override;
+  void Disconnect() override;
+  void Close() override;
+  void Reopen() override;
+  Counters counters() const override;
+
+  /// True when the constructor (or Reopen) established a live connection;
+  /// false means the environment refused loopback sockets entirely.
+  bool ok() const { return listen_fd_ >= 0; }
+
+ private:
+  /// Fault-injection + framing + socket write for one direction. `fd_slot`
+  /// points at sender_fd_ or receiver_fd_ (read under conn_mu_).
+  bool SendFrame(int* fd_slot, std::string frame);
+  /// Reads `fd` until EOF/error, reassembling frames into `out`.
+  void ReaderLoop(int fd, BlockingQueue<std::string>* out);
+  /// Dials listener, accepts, spawns reader threads. conn_mu_ held.
+  bool EstablishLocked();
+  /// Shuts down + joins + closes the current connection. conn_mu_ held.
+  void TeardownLocked();
+  void MarkDisconnected();
+
+  FaultProfile faults_;
+  std::mutex rng_mu_;
+  Rng rng_;
+
+  mutable std::mutex conn_mu_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int sender_fd_ = -1;    // sender endpoint: writes data frames
+  int receiver_fd_ = -1;  // receiver endpoint: writes ack frames
+  std::thread data_reader_;  // receiver_fd_ -> data_
+  std::thread ack_reader_;   // sender_fd_   -> acks_
+
+  BlockingQueue<std::string> data_;
+  BlockingQueue<std::string> acks_;
+
+  std::atomic<bool> disconnected_{false};
+  std::atomic<bool> closing_{false};
+
+  std::atomic<std::uint64_t> counter_sent_{0};
+  std::atomic<std::uint64_t> counter_delivered_{0};
+  std::atomic<std::uint64_t> counter_dropped_{0};
+  std::atomic<std::uint64_t> counter_duplicated_{0};
+  std::atomic<std::uint64_t> counter_corrupted_{0};
+  std::atomic<std::uint64_t> counter_disconnects_{0};
+};
+
+}  // namespace replication
+}  // namespace lazysi
+
+#endif  // LAZYSI_REPLICATION_TCP_LINK_H_

@@ -1,0 +1,278 @@
+#include "replication/tcp_replication.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/logging.h"
+#include "replication/wire.h"
+
+namespace lazysi {
+namespace replication {
+
+namespace {
+
+// One-byte frame tags of the cross-process propagation stream.
+constexpr char kHelloTag = 'H';    // secondary -> primary: expected, from_lsn
+constexpr char kWelcomeTag = 'W';  // primary -> secondary: base seq
+constexpr char kDataTag = 'D';     // primary -> secondary: one record
+constexpr char kAckTag = 'A';      // secondary -> primary: cumulative seq
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ReplicationListener
+
+ReplicationListener::ReplicationListener(Propagator* propagator,
+                                         Options options)
+    : propagator_(propagator), options_(std::move(options)) {}
+
+ReplicationListener::~ReplicationListener() { Stop(); }
+
+Status ReplicationListener::Start() {
+  listen_fd_ = ListenOn(options_.host, options_.port, &port_);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable("replication listener: cannot bind " +
+                               options_.host);
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ReplicationListener::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // shutdown() (not close()) reliably wakes a thread blocked in accept().
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto& conn : conns_) {
+    conn->sink.Close();          // wakes the sender's blocking Pop
+    if (conn->sock) conn->sock->ShutdownNow();  // wakes the acker's Recv
+  }
+  for (auto& conn : conns_) {
+    if (conn->sender.joinable()) conn->sender.join();
+  }
+  conns_.clear();
+}
+
+ReplicationListener::Stats ReplicationListener::stats() const {
+  Stats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.records_streamed = records_streamed_.load(std::memory_order_relaxed);
+  s.replay_attaches = replay_attaches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ReplicationListener::AcceptLoop() {
+  for (;;) {
+    const int fd = AcceptOn(listen_fd_);
+    if (fd < 0) break;  // listener shut down (Stop) or irrecoverably broken
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::make_unique<FramedSocket>(fd);
+    Conn* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->sender = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void ReplicationListener::ServeConnection(Conn* conn) {
+  // Handshake: the secondary leads with HELLO { expected_seq, from_lsn }.
+  const auto hello = conn->sock->Recv();
+  if (!hello.has_value() || hello->empty() || (*hello)[0] != kHelloTag) {
+    return;  // peer vanished or spoke the wrong protocol; drop silently
+  }
+  std::size_t off = 1;
+  std::uint64_t expected = 0;
+  std::uint64_t from_lsn = 0;
+  if (!GetVarint(*hello, &off, &expected) ||
+      !GetVarint(*hello, &off, &from_lsn)) {
+    LAZYSI_WARN("replication listener: malformed HELLO, dropping connection");
+    return;
+  }
+
+  // A resuming secondary (expected > 0) replays from the latest quiesced
+  // point at or below its position; a fresh one (expected == 0, e.g. after
+  // kill -9) replays the log from its checkpoint LSN — 0 = everything.
+  std::size_t attach_lsn = static_cast<std::size_t>(from_lsn);
+  if (expected > 0) {
+    attach_lsn = propagator_->SyncPointAtOrBefore(expected).lsn;
+  }
+  auto base = propagator_->AttachSinkAt(&conn->sink, attach_lsn);
+  if (!base.ok()) {
+    LAZYSI_WARN("replication listener: attach at lsn " << attach_lsn
+                << " failed: " << base.status());
+    return;
+  }
+  replay_attaches_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string welcome(1, kWelcomeTag);
+  PutVarint(&welcome, *base);
+  if (!conn->sock->Send(welcome)) {
+    propagator_->DetachSink(&conn->sink);
+    return;
+  }
+
+  // Acks flow on the same socket; a dedicated reader keeps them from
+  // backing up behind the data stream. It exits on EOF/shutdown.
+  conn->acker = std::thread([conn] {
+    while (auto frame = conn->sock->Recv()) {
+      if (frame->size() < 2 || (*frame)[0] != kAckTag) continue;
+      std::size_t o = 1;
+      std::uint64_t acked = 0;
+      if (GetVarint(*frame, &o, &acked)) {
+        conn->acked.store(acked, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  for (;;) {
+    auto record = conn->sink.Pop();
+    if (!record.has_value()) break;  // Stop() closed the sink
+    std::string wire(1, kDataTag);
+    EncodeRecord(*record, &wire);
+    if (!conn->sock->Send(wire)) break;  // peer gone; it will re-HELLO
+    records_streamed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  propagator_->DetachSink(&conn->sink);
+  conn->sock->ShutdownNow();
+  if (conn->acker.joinable()) conn->acker.join();
+}
+
+// ---------------------------------------------------------------------------
+// ReplicationReceiver
+
+ReplicationReceiver::ReplicationReceiver(
+    BlockingQueue<PropagationRecord>* downstream, Options options)
+    : downstream_(downstream), options_(std::move(options)) {
+  if (options_.ack_interval == 0) options_.ack_interval = 1;
+}
+
+ReplicationReceiver::~ReplicationReceiver() { Stop(); }
+
+void ReplicationReceiver::Start() {
+  runner_ = std::thread([this] { Run(); });
+}
+
+void ReplicationReceiver::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(sock_mu_);
+    if (sock_) sock_->ShutdownNow();  // wakes a blocked Recv
+  }
+  if (runner_.joinable()) runner_.join();
+}
+
+void ReplicationReceiver::CutConnection() {
+  std::lock_guard<std::mutex> lock(sock_mu_);
+  if (sock_) sock_->ShutdownNow();
+}
+
+ReplicationReceiver::Stats ReplicationReceiver::stats() const {
+  Stats s;
+  s.records_delivered = records_delivered_.load(std::memory_order_relaxed);
+  s.duplicates_dropped = duplicates_dropped_.load(std::memory_order_relaxed);
+  s.decode_rejected = decode_rejected_.load(std::memory_order_relaxed);
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ReplicationReceiver::Run() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    RunOnce();
+    if (stopping_.load(std::memory_order_acquire)) break;
+    std::this_thread::sleep_for(options_.reconnect_backoff);
+  }
+}
+
+bool ReplicationReceiver::RunOnce() {
+  const int fd = DialTcp(options_.primary_host, options_.primary_port);
+  if (fd < 0) return false;
+  auto sock = std::make_shared<FramedSocket>(fd);
+  {
+    std::lock_guard<std::mutex> lock(sock_mu_);
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    sock_ = sock;
+  }
+
+  std::string hello(1, kHelloTag);
+  PutVarint(&hello, next_expected_.load(std::memory_order_acquire));
+  PutVarint(&hello, options_.from_lsn);
+  bool handshaken = false;
+  if (sock->Send(hello)) {
+    const auto welcome = sock->Recv();
+    handshaken = welcome.has_value() && !welcome->empty() &&
+                 (*welcome)[0] == kWelcomeTag;
+  }
+  if (handshaken && had_connection_) {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  had_connection_ = had_connection_ || handshaken;
+
+  std::size_t since_ack = 0;
+  while (handshaken) {
+    const auto frame = sock->Recv();
+    if (!frame.has_value()) break;  // connection dropped; re-HELLO outside
+    if (frame->empty() || (*frame)[0] != kDataTag) continue;
+    std::size_t off = 1;
+    auto record = DecodeRecord(*frame, &off);
+    if (!record.ok()) {
+      // An undecodable record means the stream itself is damaged; drop the
+      // connection and let the re-HELLO replay a clean suffix.
+      decode_rejected_.fetch_add(1, std::memory_order_relaxed);
+      LAZYSI_WARN("replication receiver: undecodable record: "
+                  << record.status());
+      break;
+    }
+    const std::uint64_t seq = RecordSeq(*record);
+    const std::uint64_t expected =
+        next_expected_.load(std::memory_order_acquire);
+    if (seq < expected) {
+      // Replay overlap below our position: the sync point the primary
+      // attached at quantizes downward. Idempotent to skip.
+      duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (seq > expected) {
+      // A gap inside one TCP connection should be impossible; treat it as a
+      // damaged stream and resync via reconnect rather than applying out of
+      // order.
+      LAZYSI_WARN("replication receiver: seq gap (want " << expected
+                  << ", got " << seq << "), resyncing");
+      break;
+    }
+    downstream_->Push(std::move(*record));
+    next_expected_.store(seq + 1, std::memory_order_release);
+    records_delivered_.fetch_add(1, std::memory_order_relaxed);
+    if (++since_ack >= options_.ack_interval) {
+      std::string ack(1, kAckTag);
+      PutVarint(&ack, seq);
+      if (!sock->Send(ack)) break;
+      since_ack = 0;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(sock_mu_);
+    sock_.reset();
+  }
+  sock->ShutdownNow();
+  return handshaken;
+}
+
+}  // namespace replication
+}  // namespace lazysi

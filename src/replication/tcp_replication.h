@@ -1,0 +1,161 @@
+#ifndef LAZYSI_REPLICATION_TCP_REPLICATION_H_
+#define LAZYSI_REPLICATION_TCP_REPLICATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/status.h"
+#include "replication/framed_socket.h"
+#include "replication/messages.h"
+#include "replication/propagator.h"
+
+namespace lazysi {
+namespace replication {
+
+/// Cross-process propagation stream. ReliableChannel hosts both protocol
+/// endpoints in one object and so cannot span processes; this pair splits
+/// the roles and leans on TCP for in-order, loss-free delivery within a
+/// connection. Loss shows up only as a dropped connection, and repair is the
+/// reconnect handshake:
+///
+///   secondary -> HELLO { expected_seq, from_lsn }
+///   primary:  expected_seq > 0 -> AttachSinkAt(SyncPointAtOrBefore(E).lsn)
+///             expected_seq == 0 -> AttachSinkAt(from_lsn)  (cold start /
+///                                  restart after kill -9: full log replay)
+///   primary -> WELCOME { base_seq }
+///   primary -> DATA { seq, record }*      secondary -> ACK { cum_seq }*
+///
+/// The replayed suffix may overlap what the secondary already applied
+/// (sync points quantize downward); global record sequence numbers let the
+/// receiver drop the overlap as duplicates — the same idempotence argument
+/// as ReliableChannel's resync (Section 3.4's recovery machinery).
+
+/// Primary-side listener: accepts one connection per secondary, each served
+/// by its own propagator sink + sender thread.
+class ReplicationListener {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral; see port() after Start
+  };
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t records_streamed = 0;
+    std::uint64_t replay_attaches = 0;  // HELLOs answered via AttachSinkAt
+  };
+
+  ReplicationListener(Propagator* propagator, Options options);
+  ~ReplicationListener();
+
+  ReplicationListener(const ReplicationListener&) = delete;
+  ReplicationListener& operator=(const ReplicationListener&) = delete;
+
+  Status Start();
+  void Stop();
+
+  std::uint16_t port() const { return port_; }
+  Stats stats() const;
+
+ private:
+  struct Conn {
+    std::unique_ptr<FramedSocket> sock;
+    BlockingQueue<PropagationRecord> sink;
+    std::thread sender;
+    std::thread acker;
+    std::atomic<std::uint64_t> acked{0};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Conn* conn);
+
+  Propagator* propagator_;
+  Options options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> records_streamed_{0};
+  std::atomic<std::uint64_t> replay_attaches_{0};
+};
+
+/// Secondary-side stream client: dials the primary, handshakes, and feeds
+/// decoded records into the secondary's update queue, deduplicating any
+/// replay overlap by global sequence number. Reconnects (with a fresh
+/// handshake at the current position) whenever the connection drops.
+class ReplicationReceiver {
+ public:
+  struct Options {
+    std::string primary_host = "127.0.0.1";
+    std::uint16_t primary_port = 0;
+    /// Cumulative ack every this many accepted records (acks are advisory —
+    /// TCP carries the reliability — but keep the primary's lag visible).
+    std::size_t ack_interval = 64;
+    std::chrono::milliseconds reconnect_backoff{50};
+    /// Checkpoint LSN to request the replay from when starting with
+    /// expected_seq == 0 (restart-from-checkpoint; 0 = full log).
+    std::size_t from_lsn = 0;
+  };
+
+  struct Stats {
+    std::uint64_t records_delivered = 0;
+    std::uint64_t duplicates_dropped = 0;
+    std::uint64_t decode_rejected = 0;
+    std::uint64_t reconnects = 0;
+  };
+
+  ReplicationReceiver(BlockingQueue<PropagationRecord>* downstream,
+                      Options options);
+  ~ReplicationReceiver();
+
+  ReplicationReceiver(const ReplicationReceiver&) = delete;
+  ReplicationReceiver& operator=(const ReplicationReceiver&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Fault injection: severs the current connection without stopping the
+  /// receiver, forcing a reconnect + handshake resync at the current
+  /// position (tests the replay-overlap dedup path).
+  void CutConnection();
+
+  Stats stats() const;
+  std::uint64_t next_expected() const {
+    return next_expected_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void Run();
+  /// One connection lifetime: dial, handshake, stream until the socket
+  /// drops. Returns false when stopping.
+  bool RunOnce();
+
+  BlockingQueue<PropagationRecord>* downstream_;
+  Options options_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_expected_{0};
+  bool had_connection_ = false;  // runner thread only
+  std::thread runner_;
+  std::mutex sock_mu_;
+  std::shared_ptr<FramedSocket> sock_;  // current connection, for Stop()
+
+  std::atomic<std::uint64_t> records_delivered_{0};
+  std::atomic<std::uint64_t> duplicates_dropped_{0};
+  std::atomic<std::uint64_t> decode_rejected_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+};
+
+}  // namespace replication
+}  // namespace lazysi
+
+#endif  // LAZYSI_REPLICATION_TCP_REPLICATION_H_

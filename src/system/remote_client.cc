@@ -1,0 +1,154 @@
+#include "system/remote_client.h"
+
+#include "system/wire_api.h"
+
+namespace lazysi {
+namespace system {
+
+using namespace wire_api;
+
+Status RemoteSite::Connect(const std::string& host, std::uint16_t port) {
+  const int fd = replication::DialTcp(host, port);
+  if (fd < 0) {
+    return Status::Unavailable("cannot reach site at " + host + ":" +
+                               std::to_string(port));
+  }
+  sock_ = std::make_unique<replication::FramedSocket>(fd);
+  return Status::OK();
+}
+
+Status RemoteSite::RoundTrip(const std::string& request, std::string* reply,
+                             std::size_t* offset) {
+  if (!connected()) return Status::Unavailable("not connected");
+  if (!sock_->Send(request)) {
+    sock_.reset();
+    return Status::Unavailable("site connection lost on send");
+  }
+  auto frame = sock_->Recv();
+  if (!frame.has_value()) {
+    sock_.reset();
+    return Status::Unavailable("site connection lost on receive");
+  }
+  *reply = std::move(*frame);
+  *offset = 0;
+  Status status;
+  if (!GetStatus(*reply, offset, &status)) {
+    sock_.reset();
+    return Status::Internal("malformed reply from site");
+  }
+  return status;
+}
+
+Result<Timestamp> RemoteSite::Begin(bool read_only, Timestamp min_seq) {
+  std::string request(1, kOpBegin);
+  request.push_back(read_only ? 1 : 0);
+  replication::PutVarint(&request, min_seq);
+  std::string reply;
+  std::size_t off = 0;
+  LAZYSI_RETURN_NOT_OK(RoundTrip(request, &reply, &off));
+  std::uint64_t prefix = 0;
+  if (!replication::GetVarint(reply, &off, &prefix)) {
+    return Status::Internal("malformed begin reply");
+  }
+  return static_cast<Timestamp>(prefix);
+}
+
+Result<std::string> RemoteSite::Get(const std::string& key) {
+  std::string request(1, kOpGet);
+  PutString(&request, key);
+  std::string reply;
+  std::size_t off = 0;
+  LAZYSI_RETURN_NOT_OK(RoundTrip(request, &reply, &off));
+  std::string value;
+  if (!GetString(reply, &off, &value)) {
+    return Status::Internal("malformed get reply");
+  }
+  return value;
+}
+
+Status RemoteSite::Put(const std::string& key, const std::string& value) {
+  std::string request(1, kOpPut);
+  PutString(&request, key);
+  PutString(&request, value);
+  std::string reply;
+  std::size_t off = 0;
+  return RoundTrip(request, &reply, &off);
+}
+
+Status RemoteSite::Delete(const std::string& key) {
+  std::string request(1, kOpDelete);
+  PutString(&request, key);
+  std::string reply;
+  std::size_t off = 0;
+  return RoundTrip(request, &reply, &off);
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> RemoteSite::Scan(
+    const std::string& begin, const std::string& end) {
+  std::string request(1, kOpScan);
+  PutString(&request, begin);
+  PutString(&request, end);
+  std::string reply;
+  std::size_t off = 0;
+  LAZYSI_RETURN_NOT_OK(RoundTrip(request, &reply, &off));
+  std::uint64_t n = 0;
+  if (!replication::GetVarint(reply, &off, &n)) {
+    return Status::Internal("malformed scan reply");
+  }
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key;
+    std::string value;
+    if (!GetString(reply, &off, &key) || !GetString(reply, &off, &value)) {
+      return Status::Internal("malformed scan reply");
+    }
+    rows.emplace_back(std::move(key), std::move(value));
+  }
+  return rows;
+}
+
+Result<Timestamp> RemoteSite::Commit() {
+  std::string reply;
+  std::size_t off = 0;
+  LAZYSI_RETURN_NOT_OK(RoundTrip(std::string(1, kOpCommit), &reply, &off));
+  std::uint64_t seq = 0;
+  if (!replication::GetVarint(reply, &off, &seq)) {
+    return Status::Internal("malformed commit reply");
+  }
+  return static_cast<Timestamp>(seq);
+}
+
+Status RemoteSite::Abort() {
+  std::string reply;
+  std::size_t off = 0;
+  return RoundTrip(std::string(1, kOpAbort), &reply, &off);
+}
+
+Status RemoteSite::WaitSeq(Timestamp seq) {
+  std::string request(1, kOpWaitSeq);
+  replication::PutVarint(&request, seq);
+  std::string reply;
+  std::size_t off = 0;
+  return RoundTrip(request, &reply, &off);
+}
+
+Result<RemoteSite::SiteStats> RemoteSite::Stats() {
+  std::string reply;
+  std::size_t off = 0;
+  LAZYSI_RETURN_NOT_OK(RoundTrip(std::string(1, kOpStats), &reply, &off));
+  SiteStats stats;
+  std::uint64_t applied = 0;
+  std::uint64_t latest = 0;
+  if (!replication::GetVarint(reply, &off, &stats.role) ||
+      !replication::GetVarint(reply, &off, &applied) ||
+      !replication::GetVarint(reply, &off, &latest)) {
+    return Status::Internal("malformed stats reply");
+  }
+  stats.applied_seq = static_cast<Timestamp>(applied);
+  stats.latest_commit_ts = static_cast<Timestamp>(latest);
+  return stats;
+}
+
+}  // namespace system
+}  // namespace lazysi

@@ -1,0 +1,88 @@
+#ifndef LAZYSI_SYSTEM_REMOTE_CLIENT_H_
+#define LAZYSI_SYSTEM_REMOTE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "replication/framed_socket.h"
+
+namespace lazysi {
+namespace system {
+
+/// Client-side stub of the wire API (wire_api.h): one TCP connection to one
+/// site server, at most one transaction in flight. Not thread-safe — one
+/// client session drives one stub at a time, mirroring the paper's
+/// one-connection-per-client workload model.
+class RemoteSite {
+ public:
+  RemoteSite() = default;
+
+  /// Dials the site's client port.
+  Status Connect(const std::string& host, std::uint16_t port);
+  bool connected() const { return sock_ != nullptr && sock_->valid(); }
+  void Disconnect() { sock_.reset(); }
+
+  /// Begins a transaction; `min_seq` is the session's seq(c) — a secondary
+  /// blocks until it has applied that prefix (ALG-STRONG-SESSION-SI).
+  /// Returns the snapshot's primary-coordinate prefix.
+  Result<Timestamp> Begin(bool read_only, Timestamp min_seq = 0);
+  Result<std::string> Get(const std::string& key);
+  Status Put(const std::string& key, const std::string& value);
+  Status Delete(const std::string& key);
+  Result<std::vector<std::pair<std::string, std::string>>> Scan(
+      const std::string& begin, const std::string& end);
+  /// Returns the commit's primary timestamp (the session's new seq(c));
+  /// 0 for read-only commits.
+  Result<Timestamp> Commit();
+  Status Abort();
+  /// Blocks until the site has applied `seq` (no-op at the primary).
+  Status WaitSeq(Timestamp seq);
+
+  struct SiteStats {
+    std::uint64_t role = 0;  // wire_api::kRolePrimary / kRoleSecondary
+    Timestamp applied_seq = 0;
+    Timestamp latest_commit_ts = 0;
+  };
+  Result<SiteStats> Stats();
+
+ private:
+  /// One request/reply round trip; fills *reply (status already consumed)
+  /// and *offset with the payload start.
+  Status RoundTrip(const std::string& request, std::string* reply,
+                   std::size_t* offset);
+
+  std::unique_ptr<replication::FramedSocket> sock_;
+};
+
+/// A client session roaming across sites (Section 4): tracks seq(c) — the
+/// commit timestamp of the session's latest update transaction — and feeds
+/// it into every Begin so strong session SI holds wherever the read lands.
+class RemoteSession {
+ public:
+  Timestamp seq() const { return seq_; }
+  void ObserveCommit(Timestamp commit_seq) {
+    if (commit_seq > seq_) seq_ = commit_seq;
+  }
+  Result<Timestamp> Begin(RemoteSite* site, bool read_only) {
+    return site->Begin(read_only, seq_);
+  }
+  Result<Timestamp> Commit(RemoteSite* site) {
+    auto seq = site->Commit();
+    if (seq.ok()) ObserveCommit(*seq);
+    return seq;
+  }
+
+ private:
+  Timestamp seq_ = 0;
+};
+
+}  // namespace system
+}  // namespace lazysi
+
+#endif  // LAZYSI_SYSTEM_REMOTE_CLIENT_H_

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "replication/tcp_link.h"
 
 namespace lazysi {
 namespace system {
@@ -396,12 +397,18 @@ ReplicatedSystem::ReplicatedSystem(SystemConfig config)
                                                config_.network_jitter,
                                                1000 + i});
     }
-    if (config_.transport_faults.any()) {
-      // Chaos transport: records cross a faulty byte link as encoded frames;
-      // the reliable channel re-establishes FIFO-no-loss on top. It attaches
-      // itself to the propagator in Start().
-      site->link = std::make_unique<replication::ChaosLink>(
-          config_.transport_faults, config_.transport_seed + i);
+    if (config_.transport_faults.any() || config_.transport_tcp) {
+      // Framed transport: records cross a byte link as encoded frames —
+      // ChaosLink queues or real TcpLink loopback sockets — and the reliable
+      // channel re-establishes FIFO-no-loss on top. It attaches itself to
+      // the propagator in Start().
+      if (config_.transport_tcp) {
+        site->link = std::make_unique<replication::TcpLink>(
+            config_.transport_faults, config_.transport_seed + i);
+      } else {
+        site->link = std::make_unique<replication::ChaosLink>(
+            config_.transport_faults, config_.transport_seed + i);
+      }
       site->reliable = std::make_unique<replication::ReliableChannel>(
           primary_.propagator(), site->link.get(),
           wan ? site->channel->inlet() : site->replica->update_queue(),
@@ -825,7 +832,7 @@ Status ReplicatedSystem::RecoverSecondary(std::size_t i) {
   fresh_replica->InitializeSeq(seq, *install);
   fresh_replica->Start();
   std::unique_ptr<replication::LatencyChannel> fresh_channel;
-  std::unique_ptr<replication::ChaosLink> fresh_link;
+  std::unique_ptr<replication::ByteLink> fresh_link;
   std::unique_ptr<replication::ReliableChannel> fresh_reliable;
   const bool wan = config_.network_latency.count() > 0 ||
                    config_.network_jitter.count() > 0;
@@ -837,12 +844,18 @@ Status ReplicatedSystem::RecoverSecondary(std::size_t i) {
                                              2000 + i});
     fresh_channel->Start();
   }
-  if (config_.transport_faults.any()) {
+  if (config_.transport_faults.any() || config_.transport_tcp) {
     // The recovered site gets a fresh connection: new link (fresh fault
-    // stream), new channel, attached at the checkpoint so the missed log
-    // suffix is replayed through the chaos transport like any other record.
-    fresh_link = std::make_unique<replication::ChaosLink>(
-        config_.transport_faults, config_.transport_seed + 1000 + i);
+    // stream / fresh sockets), new channel, attached at the checkpoint so
+    // the missed log suffix is replayed through the transport like any
+    // other record.
+    if (config_.transport_tcp) {
+      fresh_link = std::make_unique<replication::TcpLink>(
+          config_.transport_faults, config_.transport_seed + 1000 + i);
+    } else {
+      fresh_link = std::make_unique<replication::ChaosLink>(
+          config_.transport_faults, config_.transport_seed + 1000 + i);
+    }
     fresh_reliable = std::make_unique<replication::ReliableChannel>(
         primary_.propagator(), fresh_link.get(),
         wan ? fresh_channel->inlet() : fresh_replica->update_queue(),

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "engine/database.h"
 #include "history/recorder.h"
+#include "replication/byte_link.h"
 #include "replication/chaos_link.h"
 #include "replication/partition_map.h"
 #include "replication/primary.h"
@@ -65,6 +66,12 @@ struct SystemConfig {
   /// Chaos RNG seed; secondary i draws from transport_seed + i, so a run
   /// with a fixed seed replays its exact fault schedule.
   std::uint64_t transport_seed = 42;
+  /// Ship each secondary's records over real loopback TCP sockets (TcpLink)
+  /// instead of in-process queues: the ReliableChannel path activates even
+  /// with an all-zero fault profile, and any configured transport_faults are
+  /// injected before the frames hit the socket (same seeded schedule as the
+  /// chaos link draw-for-draw).
+  bool transport_tcp = false;
   /// ReliableChannel tuning (used only when transport_faults.any()).
   std::size_t transport_ack_interval = 32;
   std::chrono::milliseconds transport_backoff_initial{2};
@@ -398,10 +405,11 @@ class ReplicatedSystem {
     std::unique_ptr<replication::Secondary> replica;
     /// Present only when the config models network latency.
     std::unique_ptr<replication::LatencyChannel> channel;
-    /// Present only when the config injects transport faults: the propagator
-    /// feeds `reliable`, which ships encoded frames across `link` into the
-    /// latency channel (if any) or straight into the update queue.
-    std::unique_ptr<replication::ChaosLink> link;
+    /// Present only when the config injects transport faults or selects the
+    /// TCP transport: the propagator feeds `reliable`, which ships encoded
+    /// frames across `link` (ChaosLink queues or TcpLink loopback sockets)
+    /// into the latency channel (if any) or straight into the update queue.
+    std::unique_ptr<replication::ByteLink> link;
     std::unique_ptr<replication::ReliableChannel> reliable;
     std::atomic<bool> failed{false};
   };

@@ -1,0 +1,290 @@
+#include "system/site_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/logging.h"
+#include "system/wire_api.h"
+
+namespace lazysi {
+namespace system {
+
+namespace {
+
+using namespace wire_api;
+
+engine::DatabaseOptions DbOptionsFor(const SiteServer::Options& options) {
+  engine::DatabaseOptions db;
+  db.site_id = options.site_id;
+  db.name = options.role == SiteServer::Role::kPrimary
+                ? "primary"
+                : "secondary-" + std::to_string(options.site_id);
+  return db;
+}
+
+}  // namespace
+
+SiteServer::SiteServer(Options options)
+    : options_(std::move(options)), db_(DbOptionsFor(options_)) {}
+
+SiteServer::~SiteServer() { Stop(); }
+
+std::uint16_t SiteServer::repl_port() const {
+  return repl_listener_ ? repl_listener_->port() : 0;
+}
+
+Status SiteServer::Start() {
+  if (options_.role == Role::kPrimary) {
+    primary_ = std::make_unique<replication::Primary>(&db_);
+    replication::ReplicationListener::Options lo;
+    lo.host = options_.host;
+    lo.port = options_.repl_port;
+    repl_listener_ = std::make_unique<replication::ReplicationListener>(
+        primary_->propagator(), lo);
+    LAZYSI_RETURN_NOT_OK(repl_listener_->Start());
+    primary_->Start();
+  } else {
+    secondary_ = std::make_unique<replication::Secondary>(&db_);
+    replication::ReplicationReceiver::Options ro;
+    ro.primary_host = options_.primary_host;
+    ro.primary_port = options_.primary_repl_port;
+    repl_receiver_ = std::make_unique<replication::ReplicationReceiver>(
+        secondary_->update_queue(), ro);
+    secondary_->Start();
+    repl_receiver_->Start();
+  }
+
+  client_listen_fd_ =
+      replication::ListenOn(options_.host, options_.client_port,
+                            &client_port_);
+  if (client_listen_fd_ < 0) {
+    return Status::Unavailable("site server: cannot bind client port on " +
+                               options_.host);
+  }
+  acceptor_ = std::thread([this] { AcceptClients(); });
+  return Status::OK();
+}
+
+void SiteServer::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  if (client_listen_fd_ >= 0) ::shutdown(client_listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (client_listen_fd_ >= 0) {
+    ::close(client_listen_fd_);
+    client_listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) conn->sock->ShutdownNow();
+    for (auto& conn : conns_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    conns_.clear();
+  }
+  if (repl_receiver_) repl_receiver_->Stop();
+  if (secondary_) secondary_->Stop();
+  if (repl_listener_) repl_listener_->Stop();
+  if (primary_) primary_->Stop();
+}
+
+void SiteServer::AcceptClients() {
+  for (;;) {
+    const int fd = replication::AcceptOn(client_listen_fd_);
+    if (fd < 0) break;
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    auto conn = std::make_unique<ClientConn>();
+    conn->sock = std::make_unique<replication::FramedSocket>(fd);
+    ClientConn* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { ServeClient(raw->sock.get()); });
+  }
+}
+
+void SiteServer::ServeClient(replication::FramedSocket* sock) {
+  std::unique_ptr<txn::Transaction> txn;
+  while (auto request = sock->Recv()) {
+    std::string reply = HandleRequest(*request, &txn);
+    if (!sock->Send(reply)) break;
+  }
+  // Connection gone mid-transaction: abandon it (SI: nothing was installed).
+  if (txn) txn->Abort();
+}
+
+std::string SiteServer::HandleRequest(
+    const std::string& request, std::unique_ptr<txn::Transaction>* txn) {
+  std::string reply;
+  if (request.empty()) {
+    PutStatus(&reply, Status::InvalidArgument("empty request"));
+    return reply;
+  }
+  const char op = request[0];
+  std::size_t off = 1;
+  switch (op) {
+    case kOpBegin: {
+      std::uint64_t min_seq = 0;
+      off = 2;
+      if (request.size() < 2 ||
+          !replication::GetVarint(request, &off, &min_seq)) {
+        PutStatus(&reply, Status::InvalidArgument("malformed begin"));
+        return reply;
+      }
+      const bool read_only = request[1] != 0;
+      if (*txn) {
+        PutStatus(&reply,
+                  Status::FailedPrecondition("transaction already open"));
+        return reply;
+      }
+      if (options_.role == Role::kSecondary) {
+        if (!read_only) {
+          // Lazy master: all update transactions execute at the primary.
+          PutStatus(&reply, Status::FailedPrecondition(
+                                "updates execute at the primary"));
+          return reply;
+        }
+        // ALG-STRONG-SESSION-SI blocking rule: do not start while
+        // seq(c) > seq(DBsec).
+        if (min_seq > 0 &&
+            !secondary_->WaitForSeq(min_seq, options_.read_block_timeout)) {
+          PutStatus(&reply,
+                    Status::TimedOut("secondary lagging behind session"));
+          return reply;
+        }
+        *txn = db_.Begin(/*read_only=*/true);
+        PutStatus(&reply, Status::OK());
+        replication::PutVarint(
+            &reply, secondary_->PrimaryPrefixAtLocal((*txn)->snapshot_ts()));
+      } else {
+        *txn = db_.Begin(read_only);
+        PutStatus(&reply, Status::OK());
+        // Primary snapshots are already in primary timestamp coordinates.
+        replication::PutVarint(&reply, (*txn)->snapshot_ts());
+      }
+      return reply;
+    }
+    case kOpGet: {
+      std::string key;
+      if (!GetString(request, &off, &key)) {
+        PutStatus(&reply, Status::InvalidArgument("malformed get"));
+        return reply;
+      }
+      if (!*txn) {
+        PutStatus(&reply, Status::FailedPrecondition("no open transaction"));
+        return reply;
+      }
+      auto value = (*txn)->Get(key);
+      PutStatus(&reply, value.ok() ? Status::OK() : value.status());
+      if (value.ok()) PutString(&reply, *value);
+      return reply;
+    }
+    case kOpPut: {
+      std::string key;
+      std::string value;
+      if (!GetString(request, &off, &key) ||
+          !GetString(request, &off, &value)) {
+        PutStatus(&reply, Status::InvalidArgument("malformed put"));
+        return reply;
+      }
+      PutStatus(&reply, *txn ? (*txn)->Put(key, std::move(value))
+                             : Status::FailedPrecondition(
+                                   "no open transaction"));
+      return reply;
+    }
+    case kOpDelete: {
+      std::string key;
+      if (!GetString(request, &off, &key)) {
+        PutStatus(&reply, Status::InvalidArgument("malformed delete"));
+        return reply;
+      }
+      PutStatus(&reply, *txn ? (*txn)->Delete(key)
+                             : Status::FailedPrecondition(
+                                   "no open transaction"));
+      return reply;
+    }
+    case kOpScan: {
+      std::string begin;
+      std::string end;
+      if (!GetString(request, &off, &begin) ||
+          !GetString(request, &off, &end)) {
+        PutStatus(&reply, Status::InvalidArgument("malformed scan"));
+        return reply;
+      }
+      if (!*txn) {
+        PutStatus(&reply, Status::FailedPrecondition("no open transaction"));
+        return reply;
+      }
+      auto rows = (*txn)->Scan(begin, end);
+      PutStatus(&reply, rows.ok() ? Status::OK() : rows.status());
+      if (rows.ok()) {
+        replication::PutVarint(&reply, rows->size());
+        for (const auto& [key, value] : *rows) {
+          PutString(&reply, key);
+          PutString(&reply, value);
+        }
+      }
+      return reply;
+    }
+    case kOpCommit: {
+      if (!*txn) {
+        PutStatus(&reply, Status::FailedPrecondition("no open transaction"));
+        return reply;
+      }
+      const Status status = (*txn)->Commit();
+      // commit_seq in primary coordinates: the session's new seq(c) after an
+      // update commit. Read-only commits report 0 (seq(c) unchanged).
+      const Timestamp seq =
+          status.ok() && !(*txn)->read_only() ? (*txn)->commit_ts() : 0;
+      txn->reset();
+      PutStatus(&reply, status);
+      if (status.ok()) replication::PutVarint(&reply, seq);
+      return reply;
+    }
+    case kOpAbort: {
+      if (*txn) (*txn)->Abort();
+      txn->reset();
+      PutStatus(&reply, Status::OK());
+      return reply;
+    }
+    case kOpWaitSeq: {
+      std::uint64_t seq = 0;
+      if (!replication::GetVarint(request, &off, &seq)) {
+        PutStatus(&reply, Status::InvalidArgument("malformed wait"));
+        return reply;
+      }
+      if (options_.role == Role::kPrimary) {
+        PutStatus(&reply, Status::OK());  // the primary is never stale
+      } else {
+        PutStatus(&reply,
+                  secondary_->WaitForSeq(seq, options_.read_block_timeout)
+                      ? Status::OK()
+                      : Status::TimedOut("secondary lagging"));
+      }
+      return reply;
+    }
+    case kOpStats: {
+      PutStatus(&reply, Status::OK());
+      if (options_.role == Role::kPrimary) {
+        replication::PutVarint(&reply, kRolePrimary);
+        replication::PutVarint(&reply, db_.LatestCommitTs());
+      } else {
+        replication::PutVarint(&reply, kRoleSecondary);
+        replication::PutVarint(&reply, secondary_->applied_seq());
+      }
+      replication::PutVarint(&reply, db_.LatestCommitTs());
+      return reply;
+    }
+    default:
+      PutStatus(&reply, Status::InvalidArgument("unknown op"));
+      return reply;
+  }
+}
+
+}  // namespace system
+}  // namespace lazysi

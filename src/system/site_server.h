@@ -1,0 +1,96 @@
+#ifndef LAZYSI_SYSTEM_SITE_SERVER_H_
+#define LAZYSI_SYSTEM_SITE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "replication/framed_socket.h"
+#include "replication/primary.h"
+#include "replication/secondary.h"
+#include "replication/tcp_replication.h"
+
+namespace lazysi {
+namespace system {
+
+/// One site of the lazy-master architecture as a network server: a primary
+/// (database + propagator + replication listener) or a secondary (database +
+/// refresh machinery + replication receiver dialing the primary), each also
+/// serving the client wire API (wire_api.h) on its own port. This is the
+/// process-per-site deployment shape of Figure 1 — lazysi_server wraps one
+/// of these per process, and scripts/run_cluster.sh starts a fleet.
+class SiteServer {
+ public:
+  enum class Role { kPrimary, kSecondary };
+
+  struct Options {
+    Role role = Role::kPrimary;
+    SiteId site_id = kPrimarySiteId;
+    std::string host = "127.0.0.1";
+    /// Client wire-API port; 0 = ephemeral (see client_port()).
+    std::uint16_t client_port = 0;
+    /// Primary only: replication stream port; 0 = ephemeral (repl_port()).
+    std::uint16_t repl_port = 0;
+    /// Secondary only: where the primary's replication listener lives.
+    std::string primary_host = "127.0.0.1";
+    std::uint16_t primary_repl_port = 0;
+    /// Bound on the ALG-STRONG-SESSION-SI begin block (Section 4).
+    std::chrono::milliseconds read_block_timeout{10000};
+  };
+
+  explicit SiteServer(Options options);
+  ~SiteServer();
+
+  SiteServer(const SiteServer&) = delete;
+  SiteServer& operator=(const SiteServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  std::uint16_t client_port() const { return client_port_; }
+  /// Primary only; 0 on secondaries.
+  std::uint16_t repl_port() const;
+
+  engine::Database* db() { return &db_; }
+
+ private:
+  struct ClientConn {
+    std::unique_ptr<replication::FramedSocket> sock;
+    std::thread thread;
+  };
+
+  void AcceptClients();
+  void ServeClient(replication::FramedSocket* sock);
+  /// Builds the reply frame for one request. `txn` is the connection's
+  /// at-most-one in-flight transaction.
+  std::string HandleRequest(const std::string& request,
+                            std::unique_ptr<txn::Transaction>* txn);
+
+  Options options_;
+  engine::Database db_;
+
+  // Exactly one of the two role bundles is populated.
+  std::unique_ptr<replication::Primary> primary_;
+  std::unique_ptr<replication::ReplicationListener> repl_listener_;
+  std::unique_ptr<replication::Secondary> secondary_;
+  std::unique_ptr<replication::ReplicationReceiver> repl_receiver_;
+
+  int client_listen_fd_ = -1;
+  std::uint16_t client_port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<ClientConn>> conns_;
+};
+
+}  // namespace system
+}  // namespace lazysi
+
+#endif  // LAZYSI_SYSTEM_SITE_SERVER_H_

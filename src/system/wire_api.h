@@ -1,0 +1,84 @@
+#ifndef LAZYSI_SYSTEM_WIRE_API_H_
+#define LAZYSI_SYSTEM_WIRE_API_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "replication/wire.h"
+
+namespace lazysi {
+namespace system {
+namespace wire_api {
+
+/// Client <-> site-server protocol, one length-prefixed frame (framed_socket)
+/// per request and per reply. First byte of a request is the op tag; a reply
+/// is varint(status code) + string(message) followed by op-specific payload
+/// when OK. At most one transaction is in flight per connection.
+///
+///   'B' ro(1) varint(min_seq)          -> varint(snapshot_prefix)
+///   'G' str(key)                       -> str(value)
+///   'P' str(key) str(value)            -> -
+///   'X' str(key)                       -> -
+///   'S' str(begin) str(end)            -> varint(n) n*(str(key) str(value))
+///   'C'                                -> varint(commit_seq; 0 = read-only)
+///   'A'                                -> -
+///   'W' varint(seq)                    -> -           (block until applied)
+///   'T'                                -> varint(role) varint(applied_seq)
+///                                         varint(latest_commit_ts)
+///
+/// min_seq is the session's seq(c): a secondary blocks the begin until
+/// seq(DBsec) >= min_seq (ALG-STRONG-SESSION-SI's rule); the primary always
+/// satisfies it trivially. snapshot_prefix and commit_seq are in primary
+/// timestamp coordinates, so a client can carry its session across sites.
+inline constexpr char kOpBegin = 'B';
+inline constexpr char kOpGet = 'G';
+inline constexpr char kOpPut = 'P';
+inline constexpr char kOpDelete = 'X';
+inline constexpr char kOpScan = 'S';
+inline constexpr char kOpCommit = 'C';
+inline constexpr char kOpAbort = 'A';
+inline constexpr char kOpWaitSeq = 'W';
+inline constexpr char kOpStats = 'T';
+
+inline constexpr std::uint64_t kRolePrimary = 0;
+inline constexpr std::uint64_t kRoleSecondary = 1;
+
+inline void PutString(std::string* out, std::string_view s) {
+  replication::PutVarint(out, s.size());
+  out->append(s.data(), s.size());
+}
+
+inline bool GetString(const std::string& data, std::size_t* offset,
+                      std::string* out) {
+  std::uint64_t len = 0;
+  if (!replication::GetVarint(data, offset, &len)) return false;
+  if (data.size() - *offset < len) return false;
+  out->assign(data, *offset, static_cast<std::size_t>(len));
+  *offset += static_cast<std::size_t>(len);
+  return true;
+}
+
+inline void PutStatus(std::string* out, const Status& status) {
+  replication::PutVarint(out, static_cast<std::uint64_t>(status.code()));
+  PutString(out, status.message());
+}
+
+inline bool GetStatus(const std::string& data, std::size_t* offset,
+                      Status* out) {
+  std::uint64_t code = 0;
+  std::string message;
+  if (!replication::GetVarint(data, offset, &code) ||
+      !GetString(data, offset, &message)) {
+    return false;
+  }
+  *out = code == 0 ? Status::OK()
+                   : Status(static_cast<StatusCode>(code), std::move(message));
+  return true;
+}
+
+}  // namespace wire_api
+}  // namespace system
+}  // namespace lazysi
+
+#endif  // LAZYSI_SYSTEM_WIRE_API_H_

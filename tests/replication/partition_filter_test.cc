@@ -27,10 +27,6 @@ std::optional<PropagationRecord> PopWithin(Queue& q, int ms = 2000) {
   return std::nullopt;
 }
 
-std::uint64_t RecordSeq(const PropagationRecord& record) {
-  return std::visit([](const auto& r) { return r.seq; }, record);
-}
-
 std::shared_ptr<const PartitionMap> MakeMap(std::size_t partitions,
                                             std::size_t replication,
                                             std::size_t secondaries) {

@@ -208,6 +208,35 @@ TEST(ReliableChannelTest, StartAtReplaysCheckpointSuffix) {
   EXPECT_EQ(secondary_db.StateHash(), primary_db.StateHash());
 }
 
+TEST(ReliableChannelTest, AckIntervalBatchesCumulativeAcks) {
+  // Regression: the receiver used to send a cumulative ack on every wake-up
+  // whenever anything had been accepted, so Options::ack_interval never
+  // batched. With the knob honored, a steady stream of records must produce
+  // far fewer acks than deliveries (one per ack_interval accepted records,
+  // plus idle flushes and duplicate/gap re-acks).
+  ReliableChannel::Options opts = FastOptions();
+  opts.ack_interval = 8;
+  // Long idle flush and lazy retransmit timers so batching — not the idle
+  // timer or retransmit-induced re-acks — decides the ack count.
+  opts.ack_flush_interval = std::chrono::milliseconds(200);
+  opts.backoff_initial = std::chrono::milliseconds(250);
+  opts.backoff_max = std::chrono::milliseconds(1000);
+  Rig rig(FaultProfile{}, 11, opts);
+  rig.Start();
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(rig.primary_db.Put("k" + std::to_string(i % 9),
+                                   std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(rig.Converged());
+  rig.Stop();
+  rig.ExpectStateEqual();
+  const auto stats = rig.channel.stats();
+  EXPECT_EQ(stats.records_delivered,
+            rig.primary.propagator()->records_broadcast());
+  EXPECT_GT(stats.acks_sent, 0u);
+  EXPECT_LT(stats.acks_sent, stats.records_delivered);
+}
+
 TEST(ReliableChannelTest, RestartAfterStopResumesDelivery) {
   Rig rig(FaultProfile{}, 99);
   rig.Start();

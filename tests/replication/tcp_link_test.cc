@@ -1,0 +1,289 @@
+// TcpLink must behave exactly like ChaosLink from ReliableChannel's point of
+// view while the frames genuinely cross kernel loopback sockets: framing
+// survives arbitrary read/write fragmentation, disconnects map onto the
+// existing resync machinery, and the seeded fault injector composes with a
+// real wire.
+
+#include "replication/tcp_link.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "replication/primary.h"
+#include "replication/reliable_channel.h"
+#include "replication/secondary.h"
+
+namespace lazysi {
+namespace replication {
+namespace {
+
+// --- framer ---
+
+TEST(TcpFramerTest, ReassemblesFramesFedOneByteAtATime) {
+  std::vector<std::string> payloads = {"", "a", std::string(5000, 'x'),
+                                       std::string("\x00\x01\xff", 3)};
+  std::string wire;
+  for (const auto& p : payloads) AppendTcpFrame(&wire, p);
+
+  TcpFramer framer;
+  std::vector<std::string> out;
+  for (char c : wire) {
+    ASSERT_TRUE(framer.Feed(std::string_view(&c, 1)));
+    while (auto f = framer.Next()) out.push_back(std::move(*f));
+  }
+  EXPECT_EQ(out, payloads);
+  EXPECT_EQ(framer.buffered(), 0u);
+  EXPECT_FALSE(framer.poisoned());
+}
+
+TEST(TcpFramerTest, TruncatedPrefixYieldsNothing) {
+  std::string wire;
+  AppendTcpFrame(&wire, "hello");
+  for (std::size_t cut = 0; cut < 4; ++cut) {
+    TcpFramer framer;
+    ASSERT_TRUE(framer.Feed(std::string_view(wire).substr(0, cut)));
+    EXPECT_FALSE(framer.Next().has_value()) << "cut=" << cut;
+    EXPECT_FALSE(framer.poisoned());
+  }
+}
+
+TEST(TcpFramerTest, MidFramePayloadWaitsForTheRest) {
+  std::string wire;
+  AppendTcpFrame(&wire, "hello world");
+  TcpFramer framer;
+  ASSERT_TRUE(framer.Feed(std::string_view(wire).substr(0, 7)));
+  EXPECT_FALSE(framer.Next().has_value());
+  ASSERT_TRUE(framer.Feed(std::string_view(wire).substr(7)));
+  auto f = framer.Next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, "hello world");
+}
+
+TEST(TcpFramerTest, OversizedLengthPoisonsTheStream) {
+  // Length prefix claims 0xffffffff bytes: no allocation, no waiting — the
+  // stream is dead and stays dead.
+  TcpFramer framer;
+  ASSERT_TRUE(framer.Feed(std::string("\xff\xff\xff\xff", 4)));
+  EXPECT_FALSE(framer.Next().has_value());
+  EXPECT_TRUE(framer.poisoned());
+  EXPECT_FALSE(framer.Feed("more bytes"));
+  EXPECT_FALSE(framer.Next().has_value());
+}
+
+TEST(TcpFramerTest, ClampIsExact) {
+  TcpFramer small(8);
+  std::string ok_wire;
+  AppendTcpFrame(&ok_wire, std::string(8, 'y'));
+  ASSERT_TRUE(small.Feed(ok_wire));
+  EXPECT_TRUE(small.Next().has_value());
+
+  TcpFramer small2(8);
+  std::string bad_wire;
+  AppendTcpFrame(&bad_wire, std::string(9, 'y'));
+  ASSERT_TRUE(small2.Feed(bad_wire));
+  EXPECT_FALSE(small2.Next().has_value());
+  EXPECT_TRUE(small2.poisoned());
+}
+
+// --- link ---
+
+std::optional<std::string> PollAck(TcpLink* link, int tries = 2000) {
+  for (int i = 0; i < tries; ++i) {
+    if (auto ack = link->TryReceiveAck()) return ack;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return std::nullopt;
+}
+
+TEST(TcpLinkTest, DeliversDataAndAcksOverLoopback) {
+  TcpLink link;
+  ASSERT_TRUE(link.ok());
+  ASSERT_TRUE(link.SendData("record-1"));
+  ASSERT_TRUE(link.SendData("record-2"));
+  ASSERT_TRUE(link.SendAck("ack-1"));
+
+  auto d1 = link.ReceiveData();
+  auto d2 = link.ReceiveData();
+  ASSERT_TRUE(d1.has_value() && d2.has_value());
+  EXPECT_EQ(*d1, "record-1");
+  EXPECT_EQ(*d2, "record-2");
+  auto a = PollAck(&link);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, "ack-1");
+
+  const auto c = link.counters();
+  EXPECT_EQ(c.sent, 3u);
+  EXPECT_EQ(c.delivered, 3u);
+  EXPECT_EQ(c.dropped, 0u);
+  link.Close();
+  EXPECT_FALSE(link.ReceiveData().has_value());
+}
+
+TEST(TcpLinkTest, LargeFrameSurvivesPartialReadsAndWrites) {
+  // Far beyond any socket buffer: the write side must loop over partial
+  // sends and the reader must reassemble across many recv() calls.
+  TcpLink link;
+  ASSERT_TRUE(link.ok());
+  std::string big(6 * 1024 * 1024, '\0');
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>(i * 2654435761u);
+  }
+  // Writer must run concurrently with the reader: a 6 MiB frame cannot sit
+  // in the kernel buffers alone, so a same-thread send would deadlock.
+  std::thread writer([&] { EXPECT_TRUE(link.SendData(big)); });
+  auto got = link.ReceiveData();
+  writer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, big);
+}
+
+TEST(TcpLinkTest, ReceiveDataForTimesOutThenDelivers) {
+  TcpLink link;
+  ASSERT_TRUE(link.ok());
+  EXPECT_FALSE(link.ReceiveDataFor(std::chrono::milliseconds(5)).has_value());
+  ASSERT_TRUE(link.SendData("late"));
+  auto got = link.ReceiveDataFor(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "late");
+}
+
+TEST(TcpLinkTest, DisconnectDropsSendsUntilReconnect) {
+  TcpLink link;
+  ASSERT_TRUE(link.ok());
+  ASSERT_TRUE(link.SendData("before"));
+  ASSERT_EQ(link.ReceiveData().value_or(""), "before");
+
+  link.Disconnect();
+  EXPECT_TRUE(link.disconnected());
+  EXPECT_FALSE(link.SendData("lost"));
+  EXPECT_GE(link.counters().disconnects, 1u);
+
+  link.Reconnect();
+  EXPECT_FALSE(link.disconnected());
+  ASSERT_TRUE(link.SendData("after"));
+  EXPECT_EQ(link.ReceiveData().value_or(""), "after");
+  const auto c = link.counters();
+  EXPECT_GE(c.dropped, 1u);
+}
+
+TEST(TcpLinkTest, ReopenAfterCloseRestoresService) {
+  TcpLink link;
+  ASSERT_TRUE(link.ok());
+  ASSERT_TRUE(link.SendData("one"));
+  ASSERT_EQ(link.ReceiveData().value_or(""), "one");
+  link.Close();
+  link.Reopen();
+  ASSERT_TRUE(link.ok());
+  ASSERT_TRUE(link.SendData("two"));
+  EXPECT_EQ(link.ReceiveData().value_or(""), "two");
+}
+
+// --- ReliableChannel over real sockets ---
+
+ReliableChannel::Options FastOptions() {
+  ReliableChannel::Options opts;
+  opts.ack_interval = 8;
+  opts.send_window = 64;
+  opts.backoff_initial = std::chrono::milliseconds(1);
+  opts.backoff_max = std::chrono::milliseconds(20);
+  opts.retransmit_cap = 5;
+  return opts;
+}
+
+struct TcpRig {
+  engine::Database primary_db;
+  engine::Database secondary_db{engine::DatabaseOptions{1, "tcp-sec", true}};
+  Primary primary{&primary_db};
+  Secondary secondary{&secondary_db};
+  TcpLink link;
+  ReliableChannel channel;
+
+  TcpRig(FaultProfile faults, std::uint64_t seed,
+         ReliableChannel::Options opts = FastOptions())
+      : link(faults, seed),
+        channel(primary.propagator(), &link, secondary.update_queue(),
+                opts) {}
+
+  void Start() {
+    secondary.Start();
+    channel.Start();
+    primary.Start();
+  }
+  void Stop() {
+    primary.Stop();
+    channel.Stop();
+    secondary.Stop();
+  }
+  bool Converged() {
+    return secondary.WaitForSeq(primary_db.LatestCommitTs(),
+                                std::chrono::milliseconds(30000));
+  }
+};
+
+TEST(TcpLinkTest, ReliableChannelConvergesOverCleanSockets) {
+  TcpRig rig(FaultProfile{}, 3);
+  ASSERT_TRUE(rig.link.ok());
+  rig.Start();
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(rig.primary_db.Put("k" + std::to_string(i % 10),
+                                   std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(rig.Converged());
+  rig.Stop();
+  EXPECT_EQ(rig.secondary_db.StateHash(), rig.primary_db.StateHash());
+  const auto stats = rig.channel.stats();
+  EXPECT_EQ(stats.records_delivered,
+            rig.primary.propagator()->records_broadcast());
+  EXPECT_EQ(stats.crc_rejected, 0u);
+}
+
+TEST(TcpLinkTest, ReliableChannelRidesOutFaultsOnRealSockets) {
+  FaultProfile faults;
+  faults.drop_probability = 0.10;
+  faults.duplicate_probability = 0.05;
+  faults.corrupt_probability = 0.05;
+  TcpRig rig(faults, 17);
+  ASSERT_TRUE(rig.link.ok());
+  rig.Start();
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(rig.primary_db.Put("k" + std::to_string(i % 7),
+                                   std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(rig.Converged());
+  rig.Stop();
+  EXPECT_EQ(rig.secondary_db.StateHash(), rig.primary_db.StateHash());
+  const auto stats = rig.channel.stats();
+  EXPECT_EQ(stats.records_delivered,
+            rig.primary.propagator()->records_broadcast());
+  EXPECT_GT(rig.link.counters().dropped, 0u);
+}
+
+TEST(TcpLinkTest, ReliableChannelResyncsAfterSocketCut) {
+  TcpRig rig(FaultProfile{}, 29);
+  ASSERT_TRUE(rig.link.ok());
+  rig.Start();
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(rig.primary_db.Put("a" + std::to_string(i), "1").ok());
+  }
+  ASSERT_TRUE(rig.Converged());
+
+  rig.link.Disconnect();
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(rig.primary_db.Put("b" + std::to_string(i), "2").ok());
+  }
+  ASSERT_TRUE(rig.Converged());
+  rig.Stop();
+  EXPECT_EQ(rig.secondary_db.StateHash(), rig.primary_db.StateHash());
+  EXPECT_GE(rig.channel.stats().resyncs, 1u);
+  EXPECT_EQ(rig.channel.stats().records_delivered,
+            rig.primary.propagator()->records_broadcast());
+}
+
+}  // namespace
+}  // namespace replication
+}  // namespace lazysi

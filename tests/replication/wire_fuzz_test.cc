@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "common/random.h"
+#include "replication/tcp_link.h"
 #include "replication/wire.h"
 
 namespace lazysi {
@@ -171,6 +172,95 @@ TEST(WireFuzzTest, TruncatedHugeLengthStopsAtBufferEnd) {
     std::size_t offset = 0;
     EXPECT_FALSE(DecodeRecord(buf.substr(0, cut), &offset).ok())
         << "cut=" << cut;
+  }
+}
+
+// --- TCP length-prefixed framing corpus ---
+//
+// The TCP transport wraps every ReliableChannel frame in a 4-byte length
+// prefix; TcpFramer reassembles them from arbitrary socket fragmentation.
+// Same trust boundary as the record codec: the prefix crosses the wire
+// unprotected (the CRC covers only the payload), so a flipped length bit
+// must never crash, over-allocate, or desynchronize silently.
+
+TEST(WireFuzzTest, TcpFramingSurvivesRandomFragmentation) {
+  Rng rng(9090);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n_frames = 1 + rng.Next(8);
+    std::vector<std::string> payloads;
+    std::string wire;
+    for (std::uint64_t f = 0; f < n_frames; ++f) {
+      std::string p(rng.Next(512), '\0');
+      for (auto& c : p) c = static_cast<char>(rng.Next(256));
+      AppendTcpFrame(&wire, p);
+      payloads.push_back(std::move(p));
+    }
+    TcpFramer framer;
+    std::vector<std::string> out;
+    std::size_t offset = 0;
+    while (offset < wire.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng.Next(64), wire.size() - offset);
+      ASSERT_TRUE(
+          framer.Feed(std::string_view(wire).substr(offset, chunk)));
+      offset += chunk;
+      while (auto frame = framer.Next()) out.push_back(std::move(*frame));
+    }
+    ASSERT_EQ(out, payloads);
+    EXPECT_EQ(framer.buffered(), 0u);
+  }
+}
+
+TEST(WireFuzzTest, TcpFramingTruncatedPrefixNeverYieldsAFrame) {
+  // A connection that dies mid-prefix (the kill -9 case) must leave the
+  // framer waiting, not emitting a garbage frame.
+  std::string wire;
+  AppendTcpFrame(&wire, "payload");
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    TcpFramer framer;
+    ASSERT_TRUE(framer.Feed(std::string_view(wire).substr(0, cut)));
+    EXPECT_FALSE(framer.Next().has_value()) << "cut=" << cut;
+    EXPECT_FALSE(framer.poisoned()) << "cut=" << cut;
+  }
+}
+
+TEST(WireFuzzTest, TcpFramingOversizedLengthPoisonsWithoutAllocating) {
+  // Mutate each byte of a legal prefix toward "huge": any length above the
+  // clamp must poison the stream immediately — no waiting for 4 GiB of
+  // payload that will never come, no allocation proportional to the claim.
+  Rng rng(4321);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string wire;
+    AppendTcpFrame(&wire, "tiny");
+    // Force the top byte high: lengths >= 2^24 always exceed the clamp.
+    wire[3] = static_cast<char>(1 + rng.Next(255));
+    TcpFramer framer;
+    framer.Feed(wire);
+    EXPECT_FALSE(framer.Next().has_value());
+    EXPECT_TRUE(framer.poisoned());
+    // Poisoned streams reject further bytes: the caller must drop the
+    // connection, there is no resynchronization point.
+    EXPECT_FALSE(framer.Feed("x"));
+  }
+}
+
+TEST(WireFuzzTest, TcpFramingMidFrameCloseLeavesCleanRemainder) {
+  // Close after a complete frame plus part of the next: the complete frame
+  // is delivered, the partial one is reported as buffered residue (the
+  // transport counts it as lost in flight), and nothing crashes.
+  std::string wire;
+  AppendTcpFrame(&wire, "complete");
+  std::string second;
+  AppendTcpFrame(&second, std::string(100, 'z'));
+  for (std::size_t cut = 1; cut < second.size(); ++cut) {
+    TcpFramer framer;
+    ASSERT_TRUE(framer.Feed(wire));
+    ASSERT_TRUE(framer.Feed(std::string_view(second).substr(0, cut)));
+    auto first = framer.Next();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(*first, "complete");
+    EXPECT_FALSE(framer.Next().has_value());
+    EXPECT_EQ(framer.buffered(), cut);
   }
 }
 

@@ -33,6 +33,9 @@ struct ChaosEngineParam {
   std::size_t secondaries = 2;
   std::size_t num_partitions = 1;
   std::size_t partition_replication = 0;
+  /// Run the chaos schedule over real loopback TCP sockets (TcpLink)
+  /// instead of in-process queues.
+  bool tcp = false;
 };
 
 const ChaosEngineParam kChaosEngines[] = {
@@ -45,6 +48,12 @@ const ChaosEngineParam kChaosEngines[] = {
     // sees a different filtered stream, each repaired independently.
     {"Parallel2Partitioned", true, 2, 2, 4, 4, 2},
     {"LegacyPartitioned", false, 0, 4, 4, 4, 2},
+    // Same fault schedules, but the frames genuinely cross kernel loopback
+    // sockets: faults are injected before the write, and the reliable
+    // channel must repair them on a real wire.
+    {"TcpParallel2", true, 2, 2, 2, 1, 0, /*tcp=*/true},
+    {"TcpLegacy", false, 0, 4, 2, 1, 0, /*tcp=*/true},
+    {"TcpParallel2Partitioned", true, 2, 2, 4, 4, 2, /*tcp=*/true},
 };
 
 class ChaosEngineTest : public ::testing::TestWithParam<ChaosEngineParam> {
@@ -56,6 +65,7 @@ class ChaosEngineTest : public ::testing::TestWithParam<ChaosEngineParam> {
     config->num_secondaries = GetParam().secondaries;
     config->num_partitions = GetParam().num_partitions;
     config->partition_replication = GetParam().partition_replication;
+    config->transport_tcp = GetParam().tcp;
   }
 };
 
@@ -194,6 +204,45 @@ TEST(ChaosTest, DisconnectHeavyProfileResyncsThroughLog) {
   // consistent prefix, never a torn one.
   SystemConfig config;
   config.num_secondaries = 1;
+  config.transport_faults.drop_probability = 0.05;
+  config.transport_faults.disconnect_probability = 0.01;
+  config.transport_seed = 7;
+  config.transport_backoff_initial = std::chrono::milliseconds(1);
+  config.transport_backoff_max = std::chrono::milliseconds(10);
+  config.transport_retransmit_cap = 3;
+  ReplicatedSystem sys(config);
+  sys.Start();
+
+  auto conn = sys.ConnectTo(0);
+  for (int i = 0; i < 300; ++i) {
+    Status s = conn->ExecuteUpdate(
+        [&](SystemTransaction& t) -> Status {
+          return t.Put("k" + std::to_string(i % 17), std::to_string(i));
+        },
+        /*max_attempts=*/50);
+    ASSERT_TRUE(s.ok()) << s;
+  }
+  ASSERT_TRUE(sys.WaitForReplication(std::chrono::milliseconds(60000)));
+  const auto stats = sys.Stats();
+  sys.Stop();
+
+  EXPECT_EQ(sys.secondary_db(0)->StateHash(), sys.primary_db()->StateHash());
+  auto report = history::CheckCompleteness(
+      sys.primary_db()->StateChainHistory(),
+      sys.secondary_db(0)->StateChainHistory());
+  EXPECT_TRUE(report.ok) << report.violation;
+  ASSERT_EQ(stats.secondaries.size(), 1u);
+  EXPECT_GT(stats.secondaries[0].link_disconnects, 0u);
+  EXPECT_GT(stats.secondaries[0].transport_resyncs, 0u);
+}
+
+TEST(ChaosTest, DisconnectHeavyProfileResyncsOverTcp) {
+  // The disconnect-heavy schedule over real sockets: every injected
+  // disconnect shuts the loopback connection down for real, and every
+  // resync re-dials a fresh one before replaying through AttachSinkAt.
+  SystemConfig config;
+  config.num_secondaries = 1;
+  config.transport_tcp = true;
   config.transport_faults.drop_probability = 0.05;
   config.transport_faults.disconnect_probability = 0.01;
   config.transport_seed = 7;

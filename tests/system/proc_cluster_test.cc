@@ -1,0 +1,305 @@
+// Multi-process deployment tests: fork/exec real lazysi_server processes
+// (binary path from the LAZYSI_SERVER_BIN environment variable, wired up by
+// CMake), drive them through the client wire API over loopback TCP, and
+// exercise the failure path the in-process suites cannot: kill -9 of a
+// secondary process followed by a fresh process resyncing via the
+// replication handshake's full-log replay (AttachSinkAt).
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "system/remote_client.h"
+#include "system/wire_api.h"
+
+namespace lazysi {
+namespace system {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string ServerBinary() {
+  const char* bin = std::getenv("LAZYSI_SERVER_BIN");
+  return bin != nullptr ? bin : "";
+}
+
+/// One child lazysi_server process. Ports are ephemeral and discovered
+/// through the --port-file handshake.
+class ServerProcess {
+ public:
+  ServerProcess() = default;
+  ~ServerProcess() { Terminate(); }
+
+  ServerProcess(const ServerProcess&) = delete;
+  ServerProcess& operator=(const ServerProcess&) = delete;
+
+  /// Spawns `role` ("primary"/"secondary"); secondaries dial `primary_repl`.
+  bool Spawn(const std::string& role, std::uint16_t primary_repl = 0,
+             int site_id = 1) {
+    static int counter = 0;
+    port_file_ = testing::TempDir() + "lazysi_ports_" +
+                 std::to_string(::getpid()) + "_" + std::to_string(counter++);
+    std::remove(port_file_.c_str());
+
+    std::vector<std::string> args = {ServerBinary(), "--role=" + role,
+                                     "--port-file=" + port_file_};
+    if (role == "secondary") {
+      args.push_back("--primary-port=" + std::to_string(primary_repl));
+      args.push_back("--site-id=" + std::to_string(site_id));
+    }
+    std::vector<char*> argv;
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::execv(argv[0], argv.data());
+      ::_exit(127);  // exec failed
+    }
+    if (pid_ < 0) return false;
+    return WaitForPorts();
+  }
+
+  /// kill -9: no shutdown handshake, no flushing — the crash the paper's
+  /// Section 3.4 recovery machinery is for.
+  void Kill9() {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGKILL);
+    Reap();
+  }
+
+  /// Orderly SIGTERM shutdown; returns the exit code (-1 on timeout/signal).
+  int Terminate() {
+    if (pid_ <= 0) return -1;
+    ::kill(pid_, SIGTERM);
+    return Reap();
+  }
+
+  std::uint16_t client_port() const { return client_port_; }
+  std::uint16_t repl_port() const { return repl_port_; }
+
+ private:
+  bool WaitForPorts() {
+    for (int i = 0; i < 500; ++i) {  // up to 10 s
+      std::ifstream in(port_file_);
+      unsigned client = 0;
+      unsigned repl = 0;
+      if (in >> client >> repl && client != 0) {
+        client_port_ = static_cast<std::uint16_t>(client);
+        repl_port_ = static_cast<std::uint16_t>(repl);
+        return true;
+      }
+      std::this_thread::sleep_for(20ms);
+    }
+    return false;
+  }
+
+  int Reap() {
+    int status = 0;
+    for (int i = 0; i < 500; ++i) {  // up to 10 s, then escalate
+      const pid_t done = ::waitpid(pid_, &status, WNOHANG);
+      if (done == pid_) {
+        pid_ = -1;
+        std::remove(port_file_.c_str());
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+      }
+      std::this_thread::sleep_for(20ms);
+    }
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    std::remove(port_file_.c_str());
+    return -1;
+  }
+
+  pid_t pid_ = -1;
+  std::string port_file_;
+  std::uint16_t client_port_ = 0;
+  std::uint16_t repl_port_ = 0;
+};
+
+class ProcClusterTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_FALSE(ServerBinary().empty())
+        << "LAZYSI_SERVER_BIN not set; run via ctest";
+  }
+
+  /// Runs `n` single-key update transactions at the primary through
+  /// `session`, returning the last commit's primary timestamp.
+  Timestamp PutN(RemoteSite* primary, RemoteSession* session, int n,
+                 const std::string& tag, int base = 0) {
+    Timestamp last = 0;
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(session->Begin(primary, /*read_only=*/false).ok());
+      EXPECT_TRUE(primary
+                      ->Put("key-" + std::to_string(base + i),
+                            tag + "-" + std::to_string(base + i))
+                      .ok());
+      auto seq = session->Commit(primary);
+      EXPECT_TRUE(seq.ok());
+      if (seq.ok()) last = *seq;
+    }
+    return last;
+  }
+};
+
+TEST_F(ProcClusterTest, ReplicatesAcrossProcesses) {
+  ServerProcess primary_proc;
+  ASSERT_TRUE(primary_proc.Spawn("primary"));
+  ServerProcess sec1;
+  ServerProcess sec2;
+  ASSERT_TRUE(sec1.Spawn("secondary", primary_proc.repl_port(), 1));
+  ASSERT_TRUE(sec2.Spawn("secondary", primary_proc.repl_port(), 2));
+
+  RemoteSite primary;
+  ASSERT_TRUE(primary.Connect("127.0.0.1", primary_proc.client_port()).ok());
+  RemoteSession session;
+  PutN(&primary, &session, 30, "v");
+
+  // Strong session SI across sites: a read-only transaction begun with
+  // seq(c) observes every update this session committed, on either replica.
+  for (ServerProcess* proc : {&sec1, &sec2}) {
+    RemoteSite replica;
+    ASSERT_TRUE(replica.Connect("127.0.0.1", proc->client_port()).ok());
+    auto prefix = session.Begin(&replica, /*read_only=*/true);
+    ASSERT_TRUE(prefix.ok()) << prefix.status();
+    EXPECT_GE(*prefix, session.seq());
+    for (int i = 0; i < 30; ++i) {
+      auto value = replica.Get("key-" + std::to_string(i));
+      ASSERT_TRUE(value.ok()) << value.status();
+      EXPECT_EQ(*value, "v-" + std::to_string(i));
+    }
+    auto rows = replica.Scan("key-", "key-~");
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->size(), 30u);
+    EXPECT_TRUE(replica.Commit().ok());
+  }
+
+  EXPECT_EQ(sec1.Terminate(), 0);
+  EXPECT_EQ(sec2.Terminate(), 0);
+  EXPECT_EQ(primary_proc.Terminate(), 0);
+}
+
+TEST_F(ProcClusterTest, SecondaryRejectsUpdates) {
+  ServerProcess primary_proc;
+  ASSERT_TRUE(primary_proc.Spawn("primary"));
+  ServerProcess sec;
+  ASSERT_TRUE(sec.Spawn("secondary", primary_proc.repl_port()));
+
+  RemoteSite replica;
+  ASSERT_TRUE(replica.Connect("127.0.0.1", sec.client_port()).ok());
+  auto begin = replica.Begin(/*read_only=*/false);
+  EXPECT_FALSE(begin.ok());
+  EXPECT_EQ(begin.status().code(), StatusCode::kFailedPrecondition);
+
+  EXPECT_EQ(sec.Terminate(), 0);
+  EXPECT_EQ(primary_proc.Terminate(), 0);
+}
+
+TEST_F(ProcClusterTest, WriteConflictSurfacesOverTheWire) {
+  ServerProcess primary_proc;
+  ASSERT_TRUE(primary_proc.Spawn("primary"));
+
+  RemoteSite a;
+  RemoteSite b;
+  ASSERT_TRUE(a.Connect("127.0.0.1", primary_proc.client_port()).ok());
+  ASSERT_TRUE(b.Connect("127.0.0.1", primary_proc.client_port()).ok());
+  ASSERT_TRUE(a.Begin(false).ok());
+  ASSERT_TRUE(b.Begin(false).ok());
+  ASSERT_TRUE(a.Put("contended", "from-a").ok());
+  ASSERT_TRUE(b.Put("contended", "from-b").ok());
+  ASSERT_TRUE(a.Commit().ok());
+  auto second = b.Commit();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kWriteConflict);
+
+  EXPECT_EQ(primary_proc.Terminate(), 0);
+}
+
+TEST_F(ProcClusterTest, KillNineSecondaryResyncsFromScratch) {
+  ServerProcess primary_proc;
+  ASSERT_TRUE(primary_proc.Spawn("primary"));
+  ServerProcess sec;
+  ASSERT_TRUE(sec.Spawn("secondary", primary_proc.repl_port()));
+
+  RemoteSite primary;
+  ASSERT_TRUE(primary.Connect("127.0.0.1", primary_proc.client_port()).ok());
+  RemoteSession session;
+  PutN(&primary, &session, 25, "v", 0);
+
+  {
+    RemoteSite replica;
+    ASSERT_TRUE(replica.Connect("127.0.0.1", sec.client_port()).ok());
+    ASSERT_TRUE(replica.WaitSeq(session.seq()).ok());
+  }
+
+  // Crash the secondary outright, then keep committing while it is gone.
+  sec.Kill9();
+  PutN(&primary, &session, 25, "v", 25);
+
+  // A fresh process has an empty database: its HELLO carries expected_seq 0
+  // and the primary answers with a full log replay (AttachSinkAt(0)).
+  ServerProcess fresh;
+  ASSERT_TRUE(fresh.Spawn("secondary", primary_proc.repl_port(), 2));
+  RemoteSite replica;
+  ASSERT_TRUE(replica.Connect("127.0.0.1", fresh.client_port()).ok());
+  auto prefix = session.Begin(&replica, /*read_only=*/true);
+  ASSERT_TRUE(prefix.ok()) << prefix.status();
+  for (int i = 0; i < 50; ++i) {
+    auto value = replica.Get("key-" + std::to_string(i));
+    ASSERT_TRUE(value.ok()) << "key-" << i << ": " << value.status();
+    EXPECT_EQ(*value, "v-" + std::to_string(i));
+  }
+  EXPECT_TRUE(replica.Commit().ok());
+
+  auto stats = replica.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->role, wire_api::kRoleSecondary);
+  EXPECT_GE(stats->applied_seq, session.seq());
+
+  EXPECT_EQ(fresh.Terminate(), 0);
+  EXPECT_EQ(primary_proc.Terminate(), 0);
+}
+
+TEST_F(ProcClusterTest, SessionBeginBlocksUntilSecondaryCatchesUp) {
+  ServerProcess primary_proc;
+  ASSERT_TRUE(primary_proc.Spawn("primary"));
+
+  RemoteSite primary;
+  ASSERT_TRUE(primary.Connect("127.0.0.1", primary_proc.client_port()).ok());
+  RemoteSession session;
+  PutN(&primary, &session, 40, "v");
+
+  // Start the secondary only after the updates exist: its first snapshot
+  // trails the session, so the session's Begin must block on WaitForSeq
+  // until the replayed prefix reaches seq(c) — not return a stale snapshot.
+  ServerProcess sec;
+  ASSERT_TRUE(sec.Spawn("secondary", primary_proc.repl_port()));
+  RemoteSite replica;
+  ASSERT_TRUE(replica.Connect("127.0.0.1", sec.client_port()).ok());
+  auto prefix = session.Begin(&replica, /*read_only=*/true);
+  ASSERT_TRUE(prefix.ok()) << prefix.status();
+  EXPECT_GE(*prefix, session.seq());
+  auto value = replica.Get("key-39");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "v-39");
+  EXPECT_TRUE(replica.Commit().ok());
+
+  EXPECT_EQ(sec.Terminate(), 0);
+  EXPECT_EQ(primary_proc.Terminate(), 0);
+}
+
+}  // namespace
+}  // namespace system
+}  // namespace lazysi

@@ -41,6 +41,9 @@ struct PropertyParams {
   /// partition_replication replicas per partition. 1/0 = full replication.
   std::size_t num_partitions = 1;
   std::size_t partition_replication = 0;
+  /// Ship propagation over real loopback TCP sockets (TcpLink +
+  /// ReliableChannel) instead of in-process queues.
+  bool transport_tcp = false;
 };
 
 class SystemPropertyTest : public ::testing::TestWithParam<PropertyParams> {};
@@ -59,6 +62,7 @@ TEST_P(SystemPropertyTest, HistorySatisfiesGuarantee) {
   config.freshness_routing = p.freshness_routing;
   config.num_partitions = p.num_partitions;
   config.partition_replication = p.partition_replication;
+  config.transport_tcp = p.transport_tcp;
   ReplicatedSystem sys(config);
   sys.Start();
 
@@ -210,7 +214,29 @@ INSTANTIATE_TEST_SUITE_P(
         PropertyParams{session::Guarantee::kStrongSessionSI, 4, 4, 25, 20,
                        "session_partitioned_routed", /*roam_reads=*/false,
                        /*legacy_refresh=*/false, /*freshness_routing=*/true,
-                       /*num_partitions=*/4, /*partition_replication=*/2}),
+                       /*num_partitions=*/4, /*partition_replication=*/2},
+        // End-to-end over real loopback sockets: the same guarantees must
+        // hold when propagation crosses the kernel TCP stack.
+        PropertyParams{session::Guarantee::kStrongSessionSI, 3, 6, 30, 0,
+                       "session_tcp", /*roam_reads=*/false,
+                       /*legacy_refresh=*/false, /*freshness_routing=*/false,
+                       /*num_partitions=*/1, /*partition_replication=*/0,
+                       /*transport_tcp=*/true},
+        PropertyParams{session::Guarantee::kWeakSI, 2, 4, 30, 40,
+                       "weak_tcp", /*roam_reads=*/false,
+                       /*legacy_refresh=*/false, /*freshness_routing=*/false,
+                       /*num_partitions=*/1, /*partition_replication=*/0,
+                       /*transport_tcp=*/true},
+        PropertyParams{session::Guarantee::kStrongSI, 2, 3, 20, 0,
+                       "strong_tcp", /*roam_reads=*/false,
+                       /*legacy_refresh=*/false, /*freshness_routing=*/false,
+                       /*num_partitions=*/1, /*partition_replication=*/0,
+                       /*transport_tcp=*/true},
+        PropertyParams{session::Guarantee::kStrongSessionSI, 4, 4, 25, 0,
+                       "session_partitioned_tcp", /*roam_reads=*/false,
+                       /*legacy_refresh=*/false, /*freshness_routing=*/false,
+                       /*num_partitions=*/4, /*partition_replication=*/2,
+                       /*transport_tcp=*/true}),
     [](const ::testing::TestParamInfo<PropertyParams>& info) {
       return info.param.name;
     });
