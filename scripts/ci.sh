@@ -3,7 +3,8 @@
 # presets, and a benchmark regression check against the committed baselines.
 #
 # Usage: scripts/ci.sh [stage...]
-#   stages: tier1 proc tsan asan bench-check   (default: all five, in order)
+#   stages: tier1 proc crash tsan asan bench-check
+#   (default: all six, in order)
 #
 # Environment:
 #   JOBS            parallel build/test width (default: nproc)
@@ -20,7 +21,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
-STAGES=${*:-"tier1 proc tsan asan bench-check"}
+STAGES=${*:-"tier1 proc crash tsan asan bench-check"}
 
 run_preset() {
   preset=$1
@@ -48,6 +49,21 @@ for stage in $STAGES; do
       cmake --build --preset default -j "$JOBS" \
         --target lazysi_server system_proc_test
       ctest --test-dir build -R system_proc_test --output-on-failure \
+        --timeout 120
+      ;;
+    crash)
+      # Durability and crash-recovery sweep: the WAL unit suite (torn-tail
+      # file surgery, truncation, fsync-mode contract), the data-dir
+      # recovery suite (fork+SIGKILL at injected crash points inside the
+      # log writer, differential restore-vs-replay), and the multi-process
+      # primary kill -9 restart case.
+      cmake --preset default
+      cmake --build --preset default -j "$JOBS" \
+        --target lazysi_server wal_test engine_test system_proc_test
+      ctest --test-dir build -R "wal_test|engine_test" \
+        --output-on-failure --timeout 120
+      GTEST_FILTER="ProcClusterTest.PrimaryKillNineRecoversAckedCommits" \
+        ctest --test-dir build -R system_proc_test --output-on-failure \
         --timeout 120
       ;;
     tsan)

@@ -7,12 +7,21 @@
 #   scripts/run_cluster.sh [num_secondaries] [server_binary]
 #
 # Defaults: 2 secondaries, build/src/server/lazysi_server.
+#
+# Durability: set DATA_DIR to give the primary a durable group-commit WAL +
+# periodic checkpoints; a rerun with the same DATA_DIR recovers every acked
+# commit. FSYNC_MODE (always|group|never) and CHECKPOINT_INTERVAL_MS tune it.
+#
+#   DATA_DIR=/var/tmp/lazysi scripts/run_cluster.sh 2
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 NUM_SECONDARIES="${1:-2}"
 SERVER_BIN="${2:-build/src/server/lazysi_server}"
+DATA_DIR="${DATA_DIR:-}"
+FSYNC_MODE="${FSYNC_MODE:-group}"
+CHECKPOINT_INTERVAL_MS="${CHECKPOINT_INTERVAL_MS:-1000}"
 
 if [[ ! -x "$SERVER_BIN" ]]; then
   echo "error: $SERVER_BIN not built (cmake --build build --target lazysi_server)" >&2
@@ -48,11 +57,20 @@ wait_ports() {
   return 1
 }
 
-"$SERVER_BIN" --role=primary --port-file="$WORKDIR/primary.ports" &
+PRIMARY_ARGS=(--role=primary --port-file="$WORKDIR/primary.ports")
+if [[ -n "$DATA_DIR" ]]; then
+  PRIMARY_ARGS+=(--data-dir="$DATA_DIR" --fsync-mode="$FSYNC_MODE"
+                 --checkpoint-interval-ms="$CHECKPOINT_INTERVAL_MS")
+fi
+"$SERVER_BIN" "${PRIMARY_ARGS[@]}" &
 PIDS+=($!)
 wait_ports "$WORKDIR/primary.ports"
 read -r PRIMARY_CLIENT PRIMARY_REPL < "$WORKDIR/primary.ports"
-echo "primary:      client 127.0.0.1:$PRIMARY_CLIENT, replication :$PRIMARY_REPL"
+if [[ -n "$DATA_DIR" ]]; then
+  echo "primary:      client 127.0.0.1:$PRIMARY_CLIENT, replication :$PRIMARY_REPL, data dir $DATA_DIR ($FSYNC_MODE)"
+else
+  echo "primary:      client 127.0.0.1:$PRIMARY_CLIENT, replication :$PRIMARY_REPL"
+fi
 
 for i in $(seq "$NUM_SECONDARIES"); do
   "$SERVER_BIN" --role=secondary --primary-port="$PRIMARY_REPL" \

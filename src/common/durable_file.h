@@ -1,0 +1,31 @@
+#ifndef LAZYSI_COMMON_DURABLE_FILE_H_
+#define LAZYSI_COMMON_DURABLE_FILE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace lazysi {
+
+/// Crash-safe whole-file replacement: write `contents` to a temp file in the
+/// same directory, fsync the temp file, rename() it over `path`, then fsync
+/// the parent directory so the rename itself is durable. After a crash the
+/// file at `path` is either the old contents or the new contents, never a
+/// torn or zero-length intermediate.
+Status WriteFileDurably(const std::string& path, const std::string& contents);
+
+/// Reads an entire file into `out`. NotFound if the file does not exist.
+Status ReadWholeFile(const std::string& path, std::string* out);
+
+/// fsync() of a directory (makes renames/creates/unlinks inside it durable).
+Status FsyncDirectory(const std::string& dir);
+
+/// Returns the parent directory of `path` ("." if it has no separator).
+std::string ParentDirectory(const std::string& path);
+
+/// Creates `dir` (and missing parents). OK if it already exists.
+Status EnsureDirectory(const std::string& dir);
+
+}  // namespace lazysi
+
+#endif  // LAZYSI_COMMON_DURABLE_FILE_H_

@@ -16,6 +16,7 @@
 #include "storage/versioned_store.h"
 #include "txn/txn_manager.h"
 #include "txn/txn_observer.h"
+#include "wal/durable_log.h"
 #include "wal/logical_log.h"
 
 namespace lazysi {
@@ -119,6 +120,45 @@ class Database : private txn::TxnObserver {
   /// transaction. Returns the local commit timestamp of the install.
   Result<Timestamp> InstallCheckpoint(const Checkpoint& checkpoint);
 
+  /// Attaches a durable on-disk mirror of the logical log: every record the
+  /// observers append is also queued on `durable` under the same LSN, and
+  /// every commit acknowledgement blocks on the flushed-LSN watermark (the
+  /// group-commit ack rule). Attach before any transaction runs (or right
+  /// after RestoreFromDurable).
+  void AttachDurableLog(wal::DurableLog* durable);
+
+  /// The attached durable log; null for an in-memory database.
+  wal::DurableLog* durable() const { return durable_; }
+
+  struct RestoreReport {
+    std::size_t records_replayed = 0;   // suffix records re-appended
+    std::size_t commits_applied = 0;    // commits above the checkpoint
+    std::size_t unresolved_aborted = 0;  // synthetic aborts for torn txns
+    Timestamp restored_visible = kInvalidTimestamp;
+  };
+
+  /// Primary restart (Section 3.4): rebuilds this *fresh* database from a
+  /// checkpoint (may be null) plus the durable log suffix starting at
+  /// absolute LSN `suffix_base_lsn`. Original commit timestamps are
+  /// preserved — sessions hold seq(c) = primary commit timestamps and
+  /// secondaries dedupe by record seq, so recovery must not renumber
+  /// anything. Commits with timestamp <= checkpoint->as_of are already in
+  /// the checkpoint state and are skipped (TakeCheckpoint guarantees the
+  /// (state, LSN) pair is consistent); later commits are applied at their
+  /// logged timestamps. Transactions left unresolved by the crash get
+  /// synthetic abort records, appended both here and to `durable` (if
+  /// given) so propagation update lists quiesce. Seeds the transaction
+  /// manager's clock/watermark/txn-id counters past everything restored.
+  Result<RestoreReport> RestoreFromDurable(
+      const Checkpoint* checkpoint, const std::vector<wal::LogRecord>& suffix,
+      std::size_t suffix_base_lsn, wal::DurableLog* durable);
+
+  /// Order-independent fingerprint of the materialized state at the
+  /// visibility watermark. Unlike StateHash (a fold over commit history,
+  /// which a checkpoint restart cannot reproduce), two sites holding the
+  /// same key-value content hash equal regardless of how they got there.
+  std::uint64_t ContentHash() const;
+
   /// Installs a hook invoked for every update-transaction commit *under the
   /// timestamp mutex*, before the commit's versions become visible (the
   /// visibility watermark passes the commit timestamp only after the hook
@@ -142,11 +182,25 @@ class Database : private txn::TxnObserver {
                 const storage::WriteSet& writes) override;
   void OnAbort(TxnId txn_id) override;
 
+  /// Appends to the in-memory log and, when a durable mirror is attached,
+  /// queues the record there under the same LSN (the pair is serialized so
+  /// the mirror receives LSNs in order). Registers commit records for the
+  /// durability gate.
+  void AppendLogRecord(wal::LogRecord record, Timestamp commit_ts);
+
+  /// TxnManager durability gate: waits until this commit's log record is
+  /// below the durable flushed-LSN watermark.
+  Status DurabilityGate(Timestamp commit_ts);
+
   DatabaseOptions options_;
   storage::VersionedStore store_;
   wal::LogicalLog log_;
   txn::TxnManager txn_manager_;
   std::function<void(TxnId, Timestamp)> commit_hook_;
+
+  wal::DurableLog* durable_ = nullptr;  // not owned
+  std::mutex dur_mu_;  // orders mirror appends; guards commit_lsns_
+  std::map<Timestamp, std::uint64_t> commit_lsns_;
 
   mutable std::mutex chain_mu_;
   StateChain chain_;

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 
+#include "common/durable_file.h"
 #include "common/hash.h"
 
 namespace lazysi {
@@ -87,23 +88,9 @@ Status SaveCheckpoint(const Database::Checkpoint& checkpoint,
   file.append(payload);
   AppendLE64(&file, Fnv1a64(payload));
 
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::Internal("cannot open '" + tmp + "' for writing");
-  }
-  const std::size_t written = std::fwrite(file.data(), 1, file.size(), f);
-  const bool flushed = std::fflush(f) == 0;
-  std::fclose(f);
-  if (written != file.size() || !flushed) {
-    std::remove(tmp.c_str());
-    return Status::Internal("short write to '" + tmp + "'");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::Internal("rename to '" + path + "' failed");
-  }
-  return Status::OK();
+  // fsync the temp file before the rename and the directory after it: a
+  // checkpoint named in a manifest must never read back zero-length or torn.
+  return WriteFileDurably(path, file);
 }
 
 Result<Database::Checkpoint> LoadCheckpoint(const std::string& path) {

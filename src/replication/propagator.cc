@@ -122,9 +122,26 @@ Propagator::SyncPoint Propagator::SyncPointAtOrBefore(
     std::uint64_t record_seq) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sync_points_.upper_bound(record_seq);
-  // The origin {0, 0} is always present, so stepping back is always legal.
+  if (it == sync_points_.begin()) {
+    // record_seq predates every retained point (possible after truncation
+    // on a recovered primary): return the oldest one; the caller notices
+    // the returned seq is ahead of what it asked for.
+    return SyncPoint{it->second, it->first};
+  }
   --it;
   return SyncPoint{it->second, it->first};
+}
+
+void Propagator::SeedForRecovery(std::size_t base_lsn,
+                                 std::uint64_t base_record_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  position_.store(base_lsn, std::memory_order_release);
+  records_broadcast_.store(base_record_seq, std::memory_order_relaxed);
+  // The truncation floor is always a quiesced point (segment rotation and
+  // checkpoints only happen with no transaction in flight), so it replaces
+  // the origin as the resync point of last resort.
+  sync_points_.clear();
+  sync_points_[base_record_seq] = base_lsn;
 }
 
 void Propagator::DetachSink(BlockingQueue<PropagationRecord>* sink) {
@@ -167,6 +184,12 @@ void Propagator::Run() {
       // Continuous mode: block until the next record appears.
       auto rec = log_->WaitAt(position_.load(std::memory_order_acquire),
                               std::chrono::milliseconds(50));
+      if (rec.has_value() && options_.read_limit) {
+        // The record exists but DrainBurst declined it: it is still behind
+        // the durability barrier. Yield while the flush completes rather
+        // than spinning on WaitAt (which returns immediately).
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
       if (!rec.has_value() && log_->closed()) {
         if (log_->Size() <= position_.load(std::memory_order_acquire)) break;
       }
@@ -179,9 +202,15 @@ void Propagator::Run() {
 
 std::size_t Propagator::DrainBurst() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Sampled once per burst: the watermark only advances, so a stale sample
+  // merely under-drains this round.
+  const std::size_t limit =
+      options_.read_limit ? options_.read_limit() : SIZE_MAX;
   std::size_t consumed = 0;
   while (consumed < kBroadcastBurst) {
-    auto rec = log_->At(position_.load(std::memory_order_relaxed));
+    const std::size_t pos = position_.load(std::memory_order_relaxed);
+    if (pos >= limit) break;  // record not durable yet
+    auto rec = log_->At(pos);
     if (!rec.has_value()) break;
     ConsumeLocked(*rec);
     ++consumed;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -24,6 +25,13 @@ struct PropagatorOptions {
   /// last cycle are sent, modelling the paper's `propagation_delay`
   /// (Table 1: 10 s propagator think time).
   std::chrono::milliseconds batch_interval{0};
+  /// Durability barrier: when set, the propagator only consumes log records
+  /// below the returned LSN (exclusive). A durable primary points this at
+  /// its flushed-LSN watermark so no record reaches a secondary before it
+  /// reaches disk — otherwise a crash could leave the restarted primary
+  /// *behind* its secondaries, re-issuing timestamps they already applied.
+  /// Null = no barrier (in-memory primary).
+  std::function<std::size_t()> read_limit;
 };
 
 /// Algorithm 3.1: tails the primary's logical log as a "log sniffer"
@@ -79,11 +87,22 @@ class Propagator {
                                      SinkFilter filter = SinkFilter());
 
   /// Latest recorded quiesced point whose record_seq is <= `record_seq`.
-  /// Always exists: {lsn 0, seq 0} is quiesced by definition. A reconnecting
-  /// channel replays from here, so a receiver that acknowledged everything
-  /// below `record_seq` sees exactly the suffix it missed (plus dedupable
-  /// records between the sync point and `record_seq`).
+  /// A reconnecting channel replays from here, so a receiver that
+  /// acknowledged everything below `record_seq` sees exactly the suffix it
+  /// missed (plus dedupable records between the sync point and `record_seq`).
+  /// When `record_seq` predates every retained point (the log was truncated
+  /// past it), the oldest retained point is returned — the caller compares
+  /// record_seq against the result to detect that it can no longer resync.
   SyncPoint SyncPointAtOrBefore(std::uint64_t record_seq) const;
+
+  /// Primes a propagator for a primary restored from a data directory whose
+  /// log was truncated: the oldest retained record is `base_lsn`, preceded
+  /// by exactly `base_record_seq` propagation records that are gone for
+  /// good. The propagator starts reading at `base_lsn` (re-consuming the
+  /// restored suffix so AttachSinkAt can replay it) and numbers the stream
+  /// from `base_record_seq`. Must be called before Start / AttachSink, on a
+  /// propagator that has consumed nothing.
+  void SeedForRecovery(std::size_t base_lsn, std::uint64_t base_record_seq);
 
   /// Removes a sink (e.g. a failed secondary, before its queue is
   /// destroyed). No-op when the sink is not attached.

@@ -74,6 +74,7 @@ Status ReliableChannel::StartInternal(std::optional<std::size_t> from_lsn) {
   // number out of band; everything after this crosses the chaos link.
   next_seq_ = base;
   acked_ = base;
+  acked_watermark_.store(base, std::memory_order_relaxed);
   next_expected_ = base;
   stopping_.store(false, std::memory_order_release);
   flush_deadline_set_.store(false, std::memory_order_release);
@@ -151,6 +152,7 @@ void ReliableChannel::SenderLoop() {
       unacked_.pop_front();
     }
     if (acked_ > acked_before) {
+      acked_watermark_.store(acked_, std::memory_order_relaxed);
       backoff.Reset();
       rounds_without_progress = 0;
       retransmit_deadline =

@@ -113,6 +113,14 @@ class ReliableChannel {
     return records_delivered_.load(std::memory_order_relaxed);
   }
 
+  /// Receiver's cumulative ack as last heard by the sender (a global record
+  /// seq). Everything below it has been delivered downstream; a resync can
+  /// never need log records below SyncPointAtOrBefore(acked_floor()), which
+  /// makes this the channel's contribution to the log-truncation floor.
+  std::uint64_t acked_floor() const {
+    return acked_watermark_.load(std::memory_order_relaxed);
+  }
+
  private:
   Status StartInternal(std::optional<std::size_t> from_lsn);
   void SenderLoop();
@@ -141,6 +149,8 @@ class ReliableChannel {
   std::uint64_t next_seq_ = 0;  // global seq of the next fresh record
   std::uint64_t acked_ = 0;     // receiver's cumulative ack, as last heard
   std::deque<std::pair<std::uint64_t, std::string>> unacked_;
+  /// Mirror of acked_ readable off-thread (acked_floor()).
+  std::atomic<std::uint64_t> acked_watermark_{0};
 
   // --- receiver endpoint state (receiver thread only) ---
   std::uint64_t next_expected_ = 0;

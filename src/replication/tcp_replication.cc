@@ -60,6 +60,21 @@ void ReplicationListener::Stop() {
   conns_.clear();
 }
 
+std::uint64_t ReplicationListener::MinAckFloor() const {
+  std::uint64_t floor = UINT64_MAX;
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (const auto& conn : conns_) {
+    if (conn->done.load(std::memory_order_acquire)) continue;
+    const std::uint64_t acked = conn->acked.load(std::memory_order_relaxed);
+    // A freshly-accepted connection (acked 0) maps to the oldest retained
+    // sync point, which conservatively pins the floor at the current log
+    // base — truncation merely pauses until acks flow.
+    floor = std::min<std::uint64_t>(
+        floor, propagator_->SyncPointAtOrBefore(acked).lsn);
+  }
+  return floor;
+}
+
 ReplicationListener::Stats ReplicationListener::stats() const {
   Stats s;
   s.connections_accepted =
@@ -90,6 +105,12 @@ void ReplicationListener::AcceptLoop() {
 }
 
 void ReplicationListener::ServeConnection(Conn* conn) {
+  // Marks the connection dead for MinAckFloor on every exit path.
+  struct DoneMarker {
+    Conn* c;
+    ~DoneMarker() { c->done.store(true, std::memory_order_release); }
+  } done_marker{conn};
+
   // Handshake: the secondary leads with HELLO { expected_seq, from_lsn }.
   const auto hello = conn->sock->Recv();
   if (!hello.has_value() || hello->empty() || (*hello)[0] != kHelloTag) {

@@ -64,6 +64,14 @@ class ReplicationListener {
   std::uint16_t port() const { return port_; }
   Stats stats() const;
 
+  /// Lowest LSN any live secondary may still need for a resync: the minimum
+  /// over live connections of the quiesced point at or below that
+  /// connection's cumulative acked record seq. The checkpointer's truncation
+  /// floor must not exceed this, or a reconnecting secondary's replay would
+  /// hit truncated log. UINT64_MAX when no connection is live (nothing
+  /// holds the log back).
+  std::uint64_t MinAckFloor() const;
+
  private:
   struct Conn {
     std::unique_ptr<FramedSocket> sock;
@@ -71,6 +79,7 @@ class ReplicationListener {
     std::thread sender;
     std::thread acker;
     std::atomic<std::uint64_t> acked{0};
+    std::atomic<bool> done{false};  // ServeConnection finished; ignore
   };
 
   void AcceptLoop();
@@ -82,7 +91,7 @@ class ReplicationListener {
   int listen_fd_ = -1;
   std::thread acceptor_;
   std::atomic<bool> stopping_{false};
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::vector<std::unique_ptr<Conn>> conns_;
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> records_streamed_{0};

@@ -6,9 +6,16 @@
 // --primary-host:--primary-port.
 //
 //   lazysi_server --role=primary   [--client-port=N] [--repl-port=N]
-//                 [--port-file=PATH]
+//                 [--port-file=PATH] [--data-dir=PATH]
+//                 [--fsync-mode=always|group|never] [--group-flush-us=N]
+//                 [--checkpoint-interval-ms=N]
 //   lazysi_server --role=secondary --primary-port=N [--primary-host=H]
 //                 [--client-port=N] [--site-id=N] [--port-file=PATH]
+//
+// --data-dir makes the primary durable: commits are written to a group-
+// commit WAL under <dir>/wal and acked only once flushed (per --fsync-mode),
+// periodic checkpoints truncate the log, and a restarted primary recovers
+// every acked commit from the directory before accepting connections.
 //
 // Port 0 (the default) binds ephemerally; the actual ports are written to
 // --port-file as "client_port repl_port\n" once the server is up, which is
@@ -41,7 +48,9 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --role=primary|secondary [--host=H] [--client-port=N]\n"
                "       [--repl-port=N] [--primary-host=H] [--primary-port=N]\n"
-               "       [--site-id=N] [--port-file=PATH]\n";
+               "       [--site-id=N] [--port-file=PATH] [--data-dir=PATH]\n"
+               "       [--fsync-mode=always|group|never] [--group-flush-us=N]\n"
+               "       [--checkpoint-interval-ms=N]\n";
   return 2;
 }
 
@@ -70,6 +79,16 @@ int main(int argc, char** argv) {
       options.site_id = static_cast<lazysi::SiteId>(std::stoul(value));
     } else if (ParseFlag(argv[i], "--port-file", &value)) {
       port_file = value;
+    } else if (ParseFlag(argv[i], "--data-dir", &value)) {
+      options.data_dir = value;
+    } else if (ParseFlag(argv[i], "--fsync-mode", &value)) {
+      options.fsync_mode = value;
+    } else if (ParseFlag(argv[i], "--group-flush-us", &value)) {
+      options.group_flush_interval =
+          std::chrono::microseconds(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--checkpoint-interval-ms", &value)) {
+      options.checkpoint_interval =
+          std::chrono::milliseconds(std::stoul(value));
     } else {
       return Usage(argv[0]);
     }

@@ -142,7 +142,8 @@ Result<RemoteSite::SiteStats> RemoteSite::Stats() {
   std::uint64_t latest = 0;
   if (!replication::GetVarint(reply, &off, &stats.role) ||
       !replication::GetVarint(reply, &off, &applied) ||
-      !replication::GetVarint(reply, &off, &latest)) {
+      !replication::GetVarint(reply, &off, &latest) ||
+      !replication::GetVarint(reply, &off, &stats.content_hash)) {
     return Status::Internal("malformed stats reply");
   }
   stats.applied_seq = static_cast<Timestamp>(applied);

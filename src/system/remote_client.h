@@ -48,6 +48,9 @@ class RemoteSite {
     std::uint64_t role = 0;  // wire_api::kRolePrimary / kRoleSecondary
     Timestamp applied_seq = 0;
     Timestamp latest_commit_ts = 0;
+    /// Order-independent hash of the site's committed state (equal hashes
+    /// across sites == equal materialized databases).
+    std::uint64_t content_hash = 0;
   };
   Result<SiteStats> Stats();
 

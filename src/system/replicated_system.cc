@@ -362,6 +362,28 @@ Status ClientConnection::ExecuteRead(
 // ---------------------------------------------------------------------------
 // ReplicatedSystem
 
+namespace {
+
+/// Propagator options for the primary: batching per config, plus (for a
+/// durable primary) the read barrier that keeps replication behind the
+/// flushed-LSN watermark — no record reaches a secondary before disk.
+replication::PropagatorOptions PropagatorOptionsFor(const SystemConfig& config,
+                                                    engine::Database* db) {
+  replication::PropagatorOptions opts;
+  opts.batch_interval = config.propagation_batch_interval;
+  if (config.durable_log && !config.data_dir.empty()) {
+    opts.read_limit = [db]() -> std::size_t {
+      wal::DurableLog* durable = db->durable();
+      return durable != nullptr
+                 ? static_cast<std::size_t>(durable->flushed_end())
+                 : SIZE_MAX;
+    };
+  }
+  return opts;
+}
+
+}  // namespace
+
 ReplicatedSystem::ReplicatedSystem(SystemConfig config)
     : config_(config),
       partition_map_(std::make_shared<const replication::PartitionMap>(
@@ -371,21 +393,92 @@ ReplicatedSystem::ReplicatedSystem(SystemConfig config)
           config.num_secondaries)),
       primary_db_(engine::DatabaseOptions{kPrimarySiteId, "primary",
                                           config.record_state_chain}),
-      primary_(&primary_db_,
-               replication::PropagatorOptions{
-                   config.propagation_batch_interval}),
+      primary_(&primary_db_, PropagatorOptionsFor(config_, &primary_db_)),
       sessions_(config.guarantee) {
+  // Durable primary: restore from the data directory's checkpoint + log
+  // suffix before anything attaches to the propagator, then gate commit
+  // acks on the flushed-LSN watermark (AttachDurableLog inside OpenDataDir).
+  engine::Database::Checkpoint boot_cp;
+  bool bootstrap_secondaries = false;
+  if (config_.durable_log && !config_.data_dir.empty()) {
+    wal::DurableLog::Options lopts;
+    if (!wal::ParseFsyncMode(config_.fsync_mode, &lopts.fsync_mode)) {
+      LAZYSI_WARN("unknown fsync_mode '" << config_.fsync_mode
+                  << "', using group");
+    }
+    lopts.group_flush_interval = config_.group_flush_interval;
+    lopts.max_group_bytes = config_.max_group_bytes;
+    auto state = engine::OpenDataDir(&primary_db_, config_.data_dir, lopts);
+    if (!state.ok()) {
+      LAZYSI_ERROR("cannot open data dir '" << config_.data_dir
+                   << "': " << state.status() << "; running without "
+                   << "durability");
+    } else {
+      durable_log_ = std::move(state->durable);
+      restore_report_ = state->report;
+      // Seed the propagator at the restored log's end: the fleet is built
+      // fresh below from a checkpoint of the restored state, so nothing
+      // needs the suffix re-broadcast, and the stream numbering continues
+      // exactly where the pre-restart primary's left off.
+      const std::size_t end_lsn = primary_db_.log()->Size();
+      std::uint64_t end_seq = state->base_record_seq;
+      for (std::size_t lsn = state->base_lsn; lsn < end_lsn; ++lsn) {
+        auto rec = primary_db_.log()->At(lsn);
+        if (rec.has_value() && rec->type != wal::LogRecordType::kUpdate) {
+          ++end_seq;
+        }
+      }
+      primary_.propagator()->SeedForRecovery(end_lsn, end_seq);
+      if (state->had_state) {
+        boot_cp = primary_db_.TakeCheckpoint();
+        bootstrap_secondaries = boot_cp.lsn > 0;
+      }
+      engine::Checkpointer::Options copts;
+      copts.data_dir = config_.data_dir;
+      copts.interval = config_.checkpoint_interval;
+      copts.log_floor = [this] { return PropagationFloor(); };
+      checkpointer_ = std::make_unique<engine::Checkpointer>(
+          &primary_db_, durable_log_.get(), copts);
+    }
+  }
   for (std::size_t i = 0; i < config_.num_secondaries; ++i) {
     auto site = std::make_unique<SecondarySite>();
     site->db = std::make_unique<engine::Database>(engine::DatabaseOptions{
         static_cast<SiteId>(i + 1), "secondary-" + std::to_string(i),
         config_.record_state_chain});
+    // A restored primary starts ahead of the empty fleet: initialize each
+    // secondary from a checkpoint of the restored state, exactly like
+    // RecoverSecondary does after a crash (Section 3.4).
+    Timestamp boot_local = kInvalidTimestamp;
+    if (bootstrap_secondaries) {
+      engine::Database::Checkpoint cp = boot_cp;
+      const replication::SinkFilter filter = FilterFor(i);
+      if (filter.active()) {
+        for (auto it = cp.state.begin(); it != cp.state.end();) {
+          if (filter.CoversKey(it->first)) {
+            ++it;
+          } else {
+            it = cp.state.erase(it);
+          }
+        }
+      }
+      auto install = site->db->InstallCheckpoint(cp);
+      if (!install.ok()) {
+        LAZYSI_ERROR("secondary " << i << " bootstrap from restored "
+                     << "checkpoint failed: " << install.status());
+      } else {
+        boot_local = *install;
+      }
+    }
     replication::SecondaryOptions sec_opts;
     sec_opts.applicator_threads = config_.applicator_threads;
     sec_opts.direct_apply = config_.direct_apply_refresh;
     sec_opts.decode_threads = config_.decode_threads;
     site->replica = std::make_unique<replication::Secondary>(site->db.get(),
                                                              sec_opts);
+    if (boot_local != kInvalidTimestamp) {
+      site->replica->InitializeSeq(boot_cp.as_of, boot_local);
+    }
     const bool wan = config_.network_latency.count() > 0 ||
                      config_.network_jitter.count() > 0;
     if (wan) {
@@ -447,6 +540,7 @@ void ReplicatedSystem::Start() {
     }
   }
   primary_.Start();
+  if (checkpointer_) checkpointer_->Start();
   if (config_.gc_interval.count() > 0) {
     {
       std::lock_guard<std::mutex> lock(gc_mu_);
@@ -483,13 +577,33 @@ void ReplicatedSystem::Stop() {
     gc_cv_.notify_all();
     gc_thread_.join();
   }
+  if (checkpointer_) checkpointer_->Stop();
   primary_.Stop();
   for (auto& site : secondaries_) {
     if (site->reliable) site->reliable->Stop();
     if (site->channel) site->channel->Stop();
     site->replica->Stop();
   }
+  if (durable_log_) durable_log_->Close();
   started_ = false;
+}
+
+std::uint64_t ReplicatedSystem::PropagationFloor() {
+  // Records below the propagator's position were broadcast to every direct
+  // sink; only fault-transport channels can rewind (resync replays from a
+  // sync point at or below the receiver's cumulative ack), so each live
+  // channel pins the floor at that sync point.
+  std::uint64_t floor = primary_.propagator()->position();
+  std::shared_lock lock(sites_mu_);
+  for (auto& s : secondaries_) {
+    if (s->failed.load(std::memory_order_acquire)) continue;
+    if (!s->reliable) continue;
+    floor = std::min<std::uint64_t>(
+        floor, primary_.propagator()
+                   ->SyncPointAtOrBefore(s->reliable->acked_floor())
+                   .lsn);
+  }
+  return floor;
 }
 
 std::unique_ptr<ClientConnection> ReplicatedSystem::Connect() {
@@ -588,6 +702,13 @@ std::string ReplicatedSystem::SystemStats::ToString() const {
   os << "primary: latest_commit_ts=" << primary_latest_commit_ts
      << " committed=" << primary_committed << " aborted=" << primary_aborted
      << " propagated=" << commits_propagated << "\n";
+  if (durable) {
+    os << "durability: fsyncs=" << fsyncs
+       << " records_flushed=" << records_flushed
+       << " group[mean=" << mean_group_size << " max=" << max_group_size
+       << "] checkpoints=" << checkpoint_count
+       << " log_bytes_truncated=" << log_bytes_truncated << "\n";
+  }
   for (const auto& s : secondaries) {
     os << "secondary " << s.index << ": "
        << (s.failed ? "FAILED"
@@ -647,6 +768,21 @@ ReplicatedSystem::SystemStats ReplicatedSystem::Stats() {
   stats.primary_committed = primary_db_.txn_manager()->CommittedCount();
   stats.primary_aborted = primary_db_.txn_manager()->AbortedCount();
   stats.commits_propagated = primary_.propagator()->commits_propagated();
+  if (durable_log_) {
+    stats.durable = true;
+    const auto c = durable_log_->counters();
+    stats.fsyncs = c.fsyncs;
+    stats.records_flushed = c.records_flushed;
+    stats.mean_group_size =
+        c.flush_batches > 0
+            ? static_cast<double>(c.records_flushed) / c.flush_batches
+            : 0.0;
+    stats.max_group_size = c.max_group_size;
+    stats.log_bytes_truncated = c.bytes_truncated;
+    if (checkpointer_) {
+      stats.checkpoint_count = checkpointer_->checkpoint_count();
+    }
+  }
   std::shared_lock lock(sites_mu_);
   for (std::size_t i = 0; i < secondaries_.size(); ++i) {
     auto* s = secondaries_[i].get();

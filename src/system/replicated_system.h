@@ -13,6 +13,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "engine/checkpointer.h"
 #include "engine/database.h"
 #include "history/recorder.h"
 #include "replication/byte_link.h"
@@ -114,6 +115,29 @@ struct SystemConfig {
   /// How keys map to partitions: hash (default) or contiguous ranges.
   replication::PartitionMap::Scheme partition_scheme =
       replication::PartitionMap::Scheme::kHash;
+  /// Durable write-ahead log behind the primary's commit path. Requires
+  /// data_dir; the primary restores itself from the data directory's
+  /// checkpoint + log suffix at construction (fresh secondaries are then
+  /// initialized from the restored state), and every commit ack waits for
+  /// its log record to reach disk per fsync_mode.
+  bool durable_log = false;
+  /// Primary data directory: `<data_dir>/wal/*.seg` segments plus
+  /// checkpoint-<lsn> and MANIFEST files. Empty = in-memory only.
+  std::string data_dir;
+  /// Commit durability discipline: "always" (one fdatasync per commit, the
+  /// honest baseline), "group" (default; one writer thread batches all
+  /// concurrently-committing transactions into one write + fdatasync),
+  /// "never" (write-behind, acks do not wait for disk).
+  std::string fsync_mode = "group";
+  /// Group mode: how long the writer lingers after the first pending record
+  /// before flushing, letting more committers pile into the batch. 0 =
+  /// flush as soon as the writer wakes (pure concurrency-driven batching).
+  std::chrono::microseconds group_flush_interval{0};
+  /// Group mode: flush early once this many encoded bytes are pending.
+  std::size_t max_group_bytes = 1 << 20;
+  /// Checkpoint-and-truncate cadence; 0 = manual only (CheckpointNow via
+  /// checkpointer()).
+  std::chrono::milliseconds checkpoint_interval{0};
 };
 
 class ReplicatedSystem;
@@ -341,6 +365,16 @@ class ReplicatedSystem {
     std::vector<Timestamp> partition_floors;
     std::uint64_t scar_stale_rejects = 0;
     std::uint64_t remote_partition_reads = 0;
+    /// Durability counters (all zero without durable_log): fdatasync calls,
+    /// records flushed to disk, group sizes (records per flush batch),
+    /// checkpoints taken, and log bytes reclaimed by truncation.
+    bool durable = false;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t records_flushed = 0;
+    double mean_group_size = 0.0;
+    std::uint64_t max_group_size = 0;
+    std::uint64_t checkpoint_count = 0;
+    std::uint64_t log_bytes_truncated = 0;
 
     std::string ToString() const;
   };
@@ -378,6 +412,14 @@ class ReplicatedSystem {
   /// Number of background GC passes completed (gc_interval cadence).
   std::uint64_t gc_passes() const {
     return gc_passes_.load(std::memory_order_relaxed);
+  }
+
+  /// Durable-log plumbing (null without config.durable_log).
+  wal::DurableLog* durable_log() { return durable_log_.get(); }
+  engine::Checkpointer* checkpointer() { return checkpointer_.get(); }
+  /// What the primary restored from its data directory at construction.
+  const engine::Database::RestoreReport& restore_report() const {
+    return restore_report_;
   }
 
   /// Blocks until every live secondary has applied all updates committed at
@@ -437,10 +479,21 @@ class ReplicatedSystem {
   /// PartitionFloors() body; callers hold sites_mu_ (either mode).
   std::vector<Timestamp> PartitionFloorsLocked();
 
+  /// Minimum LSN any propagation sink may still need for a resync (the
+  /// checkpointer's log_floor): under fault transports, the min over live
+  /// channels of the sync point at or below their receiver's cumulative
+  /// ack; on the direct in-process path, the propagator's position.
+  std::uint64_t PropagationFloor();
+
   SystemConfig config_;
   std::shared_ptr<const replication::PartitionMap> partition_map_;
   engine::Database primary_db_;
   replication::Primary primary_;
+  /// Present only with config.durable_log: the on-disk log the primary's
+  /// commits are gated on, and the checkpoint-and-truncate driver.
+  std::unique_ptr<wal::DurableLog> durable_log_;
+  std::unique_ptr<engine::Checkpointer> checkpointer_;
+  engine::Database::RestoreReport restore_report_;
   std::shared_mutex sites_mu_;
   std::vector<std::unique_ptr<SecondarySite>> secondaries_;
   session::SessionManager sessions_;

@@ -37,7 +37,52 @@ std::uint16_t SiteServer::repl_port() const {
 
 Status SiteServer::Start() {
   if (options_.role == Role::kPrimary) {
-    primary_ = std::make_unique<replication::Primary>(&db_);
+    // Durable primary: restore the database from the data directory before
+    // the propagator exists, then seed the propagator at the truncated log's
+    // base — it re-consumes the restored suffix, regenerating the exact
+    // stream numbering the pre-restart process used, so a reconnecting
+    // secondary's HELLO { expected_seq } resyncs at a sync point at or below
+    // its position and dedups the overlap.
+    std::uint64_t base_lsn = 0;
+    std::uint64_t base_seq = 0;
+    if (!options_.data_dir.empty()) {
+      wal::DurableLog::Options lopts;
+      if (!wal::ParseFsyncMode(options_.fsync_mode, &lopts.fsync_mode)) {
+        return Status::InvalidArgument("unknown fsync mode '" +
+                                       options_.fsync_mode + "'");
+      }
+      lopts.group_flush_interval = options_.group_flush_interval;
+      lopts.max_group_bytes = options_.max_group_bytes;
+      auto state = engine::OpenDataDir(&db_, options_.data_dir, lopts);
+      if (!state.ok()) return state.status();
+      durable_log_ = std::move(state->durable);
+      restore_report_ = state->report;
+      base_lsn = state->base_lsn;
+      base_seq = state->base_record_seq;
+      if (state->had_state) {
+        LAZYSI_INFO("primary restored from '" << options_.data_dir << "': "
+                    << restore_report_.records_replayed << " records, "
+                    << restore_report_.commits_applied << " commits, "
+                    << restore_report_.unresolved_aborted
+                    << " unresolved aborted, visible ts "
+                    << restore_report_.restored_visible);
+      }
+    }
+    replication::PropagatorOptions popts;
+    if (!options_.data_dir.empty()) {
+      // Durability read barrier: replication stays behind the flushed-LSN
+      // watermark, so no record reaches a secondary before it reaches disk.
+      popts.read_limit = [this]() -> std::size_t {
+        wal::DurableLog* durable = db_.durable();
+        return durable != nullptr
+                   ? static_cast<std::size_t>(durable->flushed_end())
+                   : SIZE_MAX;
+      };
+    }
+    primary_ = std::make_unique<replication::Primary>(&db_, popts);
+    if (durable_log_) {
+      primary_->propagator()->SeedForRecovery(base_lsn, base_seq);
+    }
     replication::ReplicationListener::Options lo;
     lo.host = options_.host;
     lo.port = options_.repl_port;
@@ -45,6 +90,21 @@ Status SiteServer::Start() {
         primary_->propagator(), lo);
     LAZYSI_RETURN_NOT_OK(repl_listener_->Start());
     primary_->Start();
+    if (durable_log_) {
+      engine::Checkpointer::Options copts;
+      copts.data_dir = options_.data_dir;
+      copts.interval = options_.checkpoint_interval;
+      // Truncation floor: never beyond what the propagator has consumed,
+      // and held back by the least-acked connected secondary (its next
+      // resync replays from a sync point at or below its ack).
+      copts.log_floor = [this] {
+        return std::min<std::uint64_t>(primary_->propagator()->position(),
+                                       repl_listener_->MinAckFloor());
+      };
+      checkpointer_ = std::make_unique<engine::Checkpointer>(
+          &db_, durable_log_.get(), copts);
+      checkpointer_->Start();
+    }
   } else {
     secondary_ = std::make_unique<replication::Secondary>(&db_);
     replication::ReplicationReceiver::Options ro;
@@ -85,8 +145,10 @@ void SiteServer::Stop() {
   }
   if (repl_receiver_) repl_receiver_->Stop();
   if (secondary_) secondary_->Stop();
+  if (checkpointer_) checkpointer_->Stop();
   if (repl_listener_) repl_listener_->Stop();
   if (primary_) primary_->Stop();
+  if (durable_log_) durable_log_->Close();
 }
 
 void SiteServer::AcceptClients() {
@@ -278,6 +340,9 @@ std::string SiteServer::HandleRequest(
         replication::PutVarint(&reply, secondary_->applied_seq());
       }
       replication::PutVarint(&reply, db_.LatestCommitTs());
+      // Order-independent hash of the committed state, for cross-site and
+      // cross-restart equality checks.
+      replication::PutVarint(&reply, db_.ContentHash());
       return reply;
     }
     default:

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/checkpointer.h"
 #include "engine/database.h"
 #include "replication/framed_socket.h"
 #include "replication/primary.h"
@@ -43,6 +44,19 @@ class SiteServer {
     std::uint16_t primary_repl_port = 0;
     /// Bound on the ALG-STRONG-SESSION-SI begin block (Section 4).
     std::chrono::milliseconds read_block_timeout{10000};
+    /// Primary only: data directory for the durable commit log + periodic
+    /// checkpoints. Empty = in-memory only (acks never touch disk). When
+    /// set, Start() restores the database from the directory's checkpoint +
+    /// log suffix, seeds the propagator at the truncated log's base so
+    /// reconnecting secondaries can resync by record seq, and gates every
+    /// commit ack on the flushed-LSN watermark.
+    std::string data_dir;
+    /// "always" | "group" | "never" (DurableLog::FsyncMode).
+    std::string fsync_mode = "group";
+    std::chrono::microseconds group_flush_interval{0};
+    std::size_t max_group_bytes = 1 << 20;
+    /// Checkpoint-and-truncate cadence; 0 = no background checkpoints.
+    std::chrono::milliseconds checkpoint_interval{0};
   };
 
   explicit SiteServer(Options options);
@@ -59,6 +73,13 @@ class SiteServer {
   std::uint16_t repl_port() const;
 
   engine::Database* db() { return &db_; }
+  /// Null unless this is a primary with a data_dir.
+  wal::DurableLog* durable_log() { return durable_log_.get(); }
+  engine::Checkpointer* checkpointer() { return checkpointer_.get(); }
+  /// What Start() restored from the data directory.
+  const engine::Database::RestoreReport& restore_report() const {
+    return restore_report_;
+  }
 
  private:
   struct ClientConn {
@@ -79,6 +100,10 @@ class SiteServer {
   // Exactly one of the two role bundles is populated.
   std::unique_ptr<replication::Primary> primary_;
   std::unique_ptr<replication::ReplicationListener> repl_listener_;
+  /// Primary durability (only with Options::data_dir).
+  std::unique_ptr<wal::DurableLog> durable_log_;
+  std::unique_ptr<engine::Checkpointer> checkpointer_;
+  engine::Database::RestoreReport restore_report_;
   std::unique_ptr<replication::Secondary> secondary_;
   std::unique_ptr<replication::ReplicationReceiver> repl_receiver_;
 

@@ -374,6 +374,16 @@ Timestamp TxnManager::FinishExternalCommit(Timestamp commit_ts) {
   return new_visible;
 }
 
+void TxnManager::ResetForRecovery(Timestamp clock, Timestamp visible,
+                                  TxnId next_txn_id) {
+  std::lock_guard<std::mutex> clock_lock(clock_mu_);
+  std::lock_guard<std::mutex> visible_lock(visible_mu_);
+  clock_ = clock;
+  visible_ts_.store(visible, std::memory_order_release);
+  last_allocated_commit_ = visible;
+  next_txn_id_.store(next_txn_id, std::memory_order_relaxed);
+}
+
 Status TxnManager::CommitTxn(Transaction* t) {
   assert(t->state() == Transaction::State::kActive);
   if (t->write_set().empty()) {
@@ -394,6 +404,14 @@ Status TxnManager::CommitTxn(Transaction* t) {
       }
       PublishCommit(commit_ts);
       committed_count_.fetch_add(1, std::memory_order_relaxed);
+      if (durability_gate_) {
+        Status durable = durability_gate_(commit_ts);
+        if (!durable.ok()) {
+          t->state_ = Transaction::State::kCommitted;
+          ReleaseSnapshot(t);
+          return durable;
+        }
+      }
     }
     t->state_ = Transaction::State::kCommitted;
     ReleaseSnapshot(t);
@@ -470,11 +488,17 @@ Status TxnManager::CommitTxn(Transaction* t) {
   // order.
   store_->Apply(t->write_set(), commit_ts);
 
-  // Phase 4 — publish visibility in timestamp order and acknowledge.
+  // Phase 4 — publish visibility in timestamp order and acknowledge. The
+  // durability gate then holds the acknowledgement until the commit's log
+  // record is flushed (group commit shares one fsync across all committers
+  // parked here).
   PublishCommit(commit_ts);
   committed_count_.fetch_add(1, std::memory_order_relaxed);
   t->state_ = Transaction::State::kCommitted;
   ReleaseSnapshot(t);
+  if (durability_gate_) {
+    LAZYSI_RETURN_NOT_OK(durability_gate_(commit_ts));
+  }
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -191,6 +192,24 @@ class TxnManager {
   /// commits finished out of order by other threads.
   Timestamp FinishExternalCommit(Timestamp commit_ts);
 
+  /// Durability gate: when set, CommitTxn blocks *after* watermark
+  /// publication — the commit is installed and visible — until the gate
+  /// returns, i.e. until the commit's log record is durable under the
+  /// configured fsync policy. Because log order == timestamp order, gate
+  /// waits resolve in commit order: N concurrent committers parked on the
+  /// same flushed-LSN watermark are released by one shared fsync (group
+  /// commit). A non-OK gate status is surfaced to the client, which must
+  /// treat the commit's durability as unknown.
+  void SetDurabilityGate(std::function<Status(Timestamp)> gate) {
+    durability_gate_ = std::move(gate);
+  }
+
+  /// Recovery seeding for a *fresh* manager (no transaction may have run
+  /// yet): restores the logical clock, the visibility watermark (= the
+  /// newest restored commit timestamp) and the transaction-id counter, so
+  /// post-restart timestamps and ids continue the pre-crash sequences.
+  void ResetForRecovery(Timestamp clock, Timestamp visible, TxnId next_txn_id);
+
   /// Total committed update transactions (used by tests and stats).
   std::uint64_t CommittedCount() const {
     return committed_count_.load(std::memory_order_relaxed);
@@ -224,6 +243,7 @@ class TxnManager {
 
   storage::VersionedStore* store_;
   TxnObserver* observer_;
+  std::function<Status(Timestamp)> durability_gate_;
 
   /// Guards the logical clock, the FCW validation state and the observer's
   /// OnStart/OnCommit (keeping log order == timestamp order). Version

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/durable_file.h"
 #include "common/hash.h"
 
 namespace lazysi {
@@ -23,28 +24,6 @@ std::uint64_t ReadLE64(const char* p) {
          << (8 * i);
   }
   return v;
-}
-
-Status WriteFileAtomically(const std::string& path,
-                           const std::string& contents) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::Internal("cannot open '" + tmp + "' for writing");
-  }
-  const std::size_t written =
-      std::fwrite(contents.data(), 1, contents.size(), f);
-  const bool flushed = std::fflush(f) == 0;
-  std::fclose(f);
-  if (written != contents.size() || !flushed) {
-    std::remove(tmp.c_str());
-    return Status::Internal("short write to '" + tmp + "'");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::Internal("rename to '" + path + "' failed");
-  }
-  return Status::OK();
 }
 
 Result<std::string> ReadWholeFile(const std::string& path) {
@@ -73,7 +52,8 @@ Status LogFile::Write(const LogicalLog& log, const std::string& path,
   file.append(kMagic, sizeof(kMagic));
   file.append(payload);
   AppendLE64(&file, Fnv1a64(payload));
-  return WriteFileAtomically(path, file);
+  // Durable atomic replace: fsync of the temp file, rename, directory fsync.
+  return WriteFileDurably(path, file);
 }
 
 Result<std::vector<LogRecord>> LogFile::Read(const std::string& path) {

@@ -7,7 +7,7 @@ std::size_t LogicalLog::Append(LogRecord record) {
   std::size_t lsn;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    lsn = records_.size();
+    lsn = base_lsn_ + records_.size();
     records_.push_back(std::move(record));
   }
   cv_.notify_all();
@@ -16,22 +16,48 @@ std::size_t LogicalLog::Append(LogRecord record) {
 
 std::size_t LogicalLog::Size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return records_.size();
+  return base_lsn_ + records_.size();
+}
+
+std::size_t LogicalLog::base_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_lsn_;
+}
+
+void LogicalLog::ResetBase(std::size_t base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!records_.empty() || base_lsn_ != 0) return;
+  base_lsn_ = base;
+}
+
+void LogicalLog::TruncateBelow(std::size_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t end = base_lsn_ + records_.size();
+  if (lsn > end) lsn = end;
+  while (base_lsn_ < lsn) {
+    records_.pop_front();
+    ++base_lsn_;
+  }
 }
 
 std::optional<LogRecord> LogicalLog::At(std::size_t lsn) const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (lsn >= records_.size()) return std::nullopt;
-  return records_[lsn];
+  if (lsn < base_lsn_ || lsn - base_lsn_ >= records_.size()) {
+    return std::nullopt;
+  }
+  return records_[lsn - base_lsn_];
 }
 
 std::optional<LogRecord> LogicalLog::WaitAt(
     std::size_t lsn, std::chrono::milliseconds timeout) const {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait_for(lock, timeout,
-               [&] { return lsn < records_.size() || closed_; });
-  if (lsn < records_.size()) return records_[lsn];
-  return std::nullopt;
+  cv_.wait_for(lock, timeout, [&] {
+    return lsn < base_lsn_ + records_.size() || closed_;
+  });
+  if (lsn < base_lsn_ || lsn - base_lsn_ >= records_.size()) {
+    return std::nullopt;
+  }
+  return records_[lsn - base_lsn_];
 }
 
 void LogicalLog::Close() {
@@ -48,10 +74,20 @@ bool LogicalLog::closed() const {
 }
 
 std::string LogicalLog::EncodeFrom(std::size_t from) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Snapshot the range under the lock, encode outside it: serialization is
+  // O(total bytes) and must not stall Append or blocked cursors.
+  std::vector<LogRecord> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (from < base_lsn_) from = base_lsn_;
+    if (from > base_lsn_ + records_.size()) from = base_lsn_ + records_.size();
+    snapshot.assign(records_.begin() +
+                        static_cast<std::ptrdiff_t>(from - base_lsn_),
+                    records_.end());
+  }
   std::string out;
-  for (std::size_t i = from; i < records_.size(); ++i) {
-    records_[i].EncodeTo(&out);
+  for (const auto& record : snapshot) {
+    record.EncodeTo(&out);
   }
   return out;
 }

@@ -22,16 +22,30 @@ namespace wal {
 ///
 /// The propagator tails the log through a LogCursor (a "log sniffer" in the
 /// paper's terms, Section 5: it does not go through the concurrency control).
+/// LSNs are *absolute*: they keep counting across checkpoint truncation and
+/// restarts. `base_lsn()` is the oldest retained LSN; At/WaitAt below it
+/// return nullopt (the record was truncated away).
 class LogicalLog {
  public:
   /// Appends a record; wakes blocked cursors. Returns the record's log
-  /// sequence number (LSN, 0-based).
+  /// sequence number (LSN, 0-based, absolute).
   std::size_t Append(LogRecord record);
 
-  /// Number of records appended so far.
+  /// One past the last appended LSN (absolute), i.e. the next LSN.
   std::size_t Size() const;
 
-  /// Returns the record at `lsn` if it exists.
+  /// Oldest retained LSN (0 unless the log was truncated or restored).
+  std::size_t base_lsn() const;
+
+  /// Re-bases an *empty* log so the next append gets LSN `base` (recovery:
+  /// the on-disk suffix starts there). No-op if records were ever appended.
+  void ResetBase(std::size_t base);
+
+  /// Drops in-memory records with LSN < `lsn` (clamped to [base, Size()]).
+  /// Absolute LSNs are unaffected; reads below the new base yield nullopt.
+  void TruncateBelow(std::size_t lsn);
+
+  /// Returns the record at `lsn` if it exists and is still retained.
   std::optional<LogRecord> At(std::size_t lsn) const;
 
   /// Blocks until a record with LSN >= `lsn` exists or the log is closed or
@@ -45,7 +59,9 @@ class LogicalLog {
   bool closed() const;
 
   /// Serializes records [from, Size()) to a byte string (for checkpointing
-  /// and for shipping a recovery delta, Section 3.4).
+  /// and for shipping a recovery delta, Section 3.4). The range is snapshot
+  /// under the lock and encoded outside it, so a large encode never stalls
+  /// Append or the propagator's cursors.
   std::string EncodeFrom(std::size_t from) const;
 
   /// Parses a byte string produced by EncodeFrom.
@@ -55,6 +71,7 @@ class LogicalLog {
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   std::deque<LogRecord> records_;
+  std::size_t base_lsn_ = 0;  // absolute LSN of records_.front()
   bool closed_ = false;
 };
 

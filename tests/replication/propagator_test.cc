@@ -228,7 +228,9 @@ TEST(PropagatorTest, AttachSinkAtDerivesBaseSeqFromSyncPoints) {
 
 TEST(PropagatorTest, BatchedModeDeliversInCycles) {
   engine::Database db;
-  Propagator prop(db.log(), PropagatorOptions{std::chrono::milliseconds(80)});
+  PropagatorOptions batched;
+  batched.batch_interval = std::chrono::milliseconds(80);
+  Propagator prop(db.log(), batched);
   Queue sink;
   prop.AttachSink(&sink);
   prop.Start();

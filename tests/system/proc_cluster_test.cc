@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -44,8 +45,9 @@ class ServerProcess {
   ServerProcess& operator=(const ServerProcess&) = delete;
 
   /// Spawns `role` ("primary"/"secondary"); secondaries dial `primary_repl`.
+  /// `extra` is appended verbatim (e.g. "--data-dir=...", "--repl-port=...").
   bool Spawn(const std::string& role, std::uint16_t primary_repl = 0,
-             int site_id = 1) {
+             int site_id = 1, std::vector<std::string> extra = {}) {
     static int counter = 0;
     port_file_ = testing::TempDir() + "lazysi_ports_" +
                  std::to_string(::getpid()) + "_" + std::to_string(counter++);
@@ -57,6 +59,7 @@ class ServerProcess {
       args.push_back("--primary-port=" + std::to_string(primary_repl));
       args.push_back("--site-id=" + std::to_string(site_id));
     }
+    for (auto& a : extra) args.push_back(std::move(a));
     std::vector<char*> argv;
     for (auto& a : args) argv.push_back(a.data());
     argv.push_back(nullptr);
@@ -270,6 +273,88 @@ TEST_F(ProcClusterTest, KillNineSecondaryResyncsFromScratch) {
 
   EXPECT_EQ(fresh.Terminate(), 0);
   EXPECT_EQ(primary_proc.Terminate(), 0);
+}
+
+TEST_F(ProcClusterTest, PrimaryKillNineRecoversAckedCommits) {
+  const std::string data_dir = testing::TempDir() + "lazysi_primary_data_" +
+                               std::to_string(::getpid());
+  ServerProcess primary_proc;
+  ASSERT_TRUE(primary_proc.Spawn("primary", 0, 1,
+                                 {"--data-dir=" + data_dir,
+                                  "--fsync-mode=group",
+                                  "--checkpoint-interval-ms=100"}));
+  const std::uint16_t repl_port = primary_proc.repl_port();
+  ServerProcess sec;
+  ASSERT_TRUE(sec.Spawn("secondary", repl_port));
+
+  RemoteSite primary;
+  ASSERT_TRUE(primary.Connect("127.0.0.1", primary_proc.client_port()).ok());
+  RemoteSession session;
+  PutN(&primary, &session, 40, "v", 0);
+  const Timestamp acked = session.seq();
+
+  {
+    RemoteSite replica;
+    ASSERT_TRUE(replica.Connect("127.0.0.1", sec.client_port()).ok());
+    ASSERT_TRUE(replica.WaitSeq(acked).ok());
+  }
+
+  // Crash the primary outright. Every Commit above returned OK, so the
+  // group-commit ack rule guarantees all 40 transactions are on disk.
+  primary_proc.Kill9();
+
+  // Restart from the same data directory, pinning the replication port so
+  // the surviving secondary's receiver reconnects on its own. Recovery reads
+  // manifest + checkpoint + log suffix and preserves commit timestamps, so
+  // the session's seq(c) stays meaningful across the restart.
+  ServerProcess restarted;
+  ASSERT_TRUE(restarted.Spawn("primary", 0, 1,
+                              {"--data-dir=" + data_dir,
+                               "--fsync-mode=group",
+                               "--checkpoint-interval-ms=100",
+                               "--repl-port=" + std::to_string(repl_port)}));
+
+  RemoteSite primary2;
+  ASSERT_TRUE(primary2.Connect("127.0.0.1", restarted.client_port()).ok());
+  {
+    ASSERT_TRUE(primary2.Begin(/*read_only=*/true).ok());
+    for (int i = 0; i < 40; ++i) {
+      auto value = primary2.Get("key-" + std::to_string(i));
+      ASSERT_TRUE(value.ok()) << "key-" << i << ": " << value.status();
+      EXPECT_EQ(*value, "v-" + std::to_string(i));
+    }
+    EXPECT_TRUE(primary2.Commit().ok());
+  }
+
+  // The restarted primary keeps accepting updates with fresh timestamps
+  // above everything restored; the session carries its seq across.
+  PutN(&primary2, &session, 10, "v", 40);
+
+  // The surviving secondary resyncs through the reliable channel's
+  // reconnect handshake and converges on the full 50-key state.
+  RemoteSite replica;
+  ASSERT_TRUE(replica.Connect("127.0.0.1", sec.client_port()).ok());
+  ASSERT_TRUE(replica.WaitSeq(session.seq()).ok());
+  auto prefix = session.Begin(&replica, /*read_only=*/true);
+  ASSERT_TRUE(prefix.ok()) << prefix.status();
+  for (int i = 0; i < 50; ++i) {
+    auto value = replica.Get("key-" + std::to_string(i));
+    ASSERT_TRUE(value.ok()) << "key-" << i << ": " << value.status();
+    EXPECT_EQ(*value, "v-" + std::to_string(i));
+  }
+  EXPECT_TRUE(replica.Commit().ok());
+
+  // Byte-for-byte convergence: order-independent content hashes match.
+  auto primary_stats = primary2.Stats();
+  auto replica_stats = replica.Stats();
+  ASSERT_TRUE(primary_stats.ok());
+  ASSERT_TRUE(replica_stats.ok());
+  EXPECT_EQ(primary_stats->content_hash, replica_stats->content_hash);
+  EXPECT_NE(primary_stats->content_hash, 0u);
+
+  EXPECT_EQ(sec.Terminate(), 0);
+  EXPECT_EQ(restarted.Terminate(), 0);
+  std::filesystem::remove_all(data_dir);
 }
 
 TEST_F(ProcClusterTest, SessionBeginBlocksUntilSecondaryCatchesUp) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <thread>
 
 #include "system/replicated_system.h"
@@ -196,6 +197,76 @@ TEST(SystemGcTest, BackgroundCadenceReclaims) {
   ASSERT_TRUE(sys.WaitForReplication());
   EXPECT_EQ(sys.secondary_db(0)->Get("hot").value(), "after-gc");
   sys.Stop();
+}
+
+TEST(SystemStatsTest, DurabilityCountersTrackTheLog) {
+  const std::string dir = testing::TempDir() + "lazysi_durable_stats";
+  std::filesystem::remove_all(dir);
+  SystemConfig config;
+  config.num_secondaries = 1;
+  config.guarantee = session::Guarantee::kWeakSI;
+  config.durable_log = true;
+  config.data_dir = dir;
+  config.fsync_mode = "group";
+  config.checkpoint_interval = std::chrono::milliseconds(20);
+
+  std::uint64_t hash = 0;
+  {
+    ReplicatedSystem sys(config);
+    ASSERT_NE(sys.durable_log(), nullptr);
+    ASSERT_NE(sys.checkpointer(), nullptr);
+    sys.Start();
+    auto client = sys.Connect();
+    for (int i = 0; i < 25; ++i) {
+      ASSERT_TRUE(client
+                      ->ExecuteUpdate([&](SystemTransaction& t) {
+                        return t.Put("k" + std::to_string(i), "v");
+                      })
+                      .ok());
+    }
+    ASSERT_TRUE(sys.WaitForReplication());
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline &&
+           sys.checkpointer()->checkpoint_count() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    auto stats = sys.Stats();
+    EXPECT_TRUE(stats.durable);
+    EXPECT_GT(stats.fsyncs, 0u);
+    EXPECT_GT(stats.records_flushed, 0u);
+    EXPECT_GT(stats.mean_group_size, 0.0);
+    EXPECT_GE(stats.max_group_size, 1u);
+    EXPECT_GT(stats.checkpoint_count, 0u);
+    EXPECT_NE(stats.ToString().find("durability: fsyncs="), std::string::npos);
+    hash = sys.primary_db()->ContentHash();
+    EXPECT_NE(hash, 0u);
+    sys.Stop();
+  }
+
+  // Restart from the same data directory: the primary restores its state
+  // and every secondary bootstraps from a checkpoint of the restored image.
+  {
+    ReplicatedSystem sys(config);
+    ASSERT_NE(sys.durable_log(), nullptr);
+    EXPECT_NE(sys.restore_report().restored_visible, kInvalidTimestamp);
+    sys.Start();
+    EXPECT_EQ(sys.primary_db()->ContentHash(), hash);
+    ASSERT_TRUE(sys.WaitForReplication());
+    EXPECT_EQ(sys.secondary_db(0)->ContentHash(), hash);
+    // The restored system keeps committing and replicating.
+    auto client = sys.Connect();
+    ASSERT_TRUE(client
+                    ->ExecuteUpdate([](SystemTransaction& t) {
+                      return t.Put("post-restart", "yes");
+                    })
+                    .ok());
+    ASSERT_TRUE(sys.WaitForReplication());
+    EXPECT_EQ(sys.secondary_db(0)->Get("post-restart").value(), "yes");
+    sys.Stop();
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SystemStatsTest, ToStringMentionsAllSites) {
