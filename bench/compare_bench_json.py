@@ -31,7 +31,8 @@ import json
 import sys
 
 # Counters gated independently of a row's primary metric, all lower-is-better.
-GATED_COUNTERS = ("p95_lag_ts", "updates_per_sink", "bytes_per_sink")
+GATED_COUNTERS = ("p95_lag_ts", "updates_per_sink", "bytes_per_sink",
+                  "syscalls_per_record", "bytes_per_record")
 
 
 # Fields the comparison reads, and which direction "best" points for each

@@ -13,6 +13,18 @@
 # commit. FSYNC_MODE (always|group|never) and CHECKPOINT_INTERVAL_MS tune it.
 #
 #   DATA_DIR=/var/tmp/lazysi scripts/run_cluster.sh 2
+#
+# Wire knobs: BATCHING (0|1), MAX_BATCH_RECORDS, BATCH_FLUSH_MS and WORKERS
+# are forwarded to the primary so a soak can exercise either wire shape.
+#
+# Soak mode: set SOAK_SECONDS to run the cluster for that long and then shut
+# down cleanly instead of waiting for Ctrl-C. The soak samples the primary's
+# kernel thread count (/proc/<pid>/status Threads:) after the full fan-out is
+# connected; if MAX_PRIMARY_THREADS is set the script fails when the primary
+# exceeds it — the reactor must serve N secondaries with O(1) I/O threads,
+# not a thread per connection.
+#
+#   SOAK_SECONDS=3 MAX_PRIMARY_THREADS=8 scripts/run_cluster.sh 16
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +34,8 @@ SERVER_BIN="${2:-build/src/server/lazysi_server}"
 DATA_DIR="${DATA_DIR:-}"
 FSYNC_MODE="${FSYNC_MODE:-group}"
 CHECKPOINT_INTERVAL_MS="${CHECKPOINT_INTERVAL_MS:-1000}"
+SOAK_SECONDS="${SOAK_SECONDS:-}"
+MAX_PRIMARY_THREADS="${MAX_PRIMARY_THREADS:-}"
 
 if [[ ! -x "$SERVER_BIN" ]]; then
   echo "error: $SERVER_BIN not built (cmake --build build --target lazysi_server)" >&2
@@ -62,8 +76,13 @@ if [[ -n "$DATA_DIR" ]]; then
   PRIMARY_ARGS+=(--data-dir="$DATA_DIR" --fsync-mode="$FSYNC_MODE"
                  --checkpoint-interval-ms="$CHECKPOINT_INTERVAL_MS")
 fi
+[[ -n "${BATCHING:-}" ]] && PRIMARY_ARGS+=(--batching="$BATCHING")
+[[ -n "${MAX_BATCH_RECORDS:-}" ]] && PRIMARY_ARGS+=(--max-batch-records="$MAX_BATCH_RECORDS")
+[[ -n "${BATCH_FLUSH_MS:-}" ]] && PRIMARY_ARGS+=(--batch-flush-ms="$BATCH_FLUSH_MS")
+[[ -n "${WORKERS:-}" ]] && PRIMARY_ARGS+=(--workers="$WORKERS")
 "$SERVER_BIN" "${PRIMARY_ARGS[@]}" &
 PIDS+=($!)
+PRIMARY_PID="${PIDS[0]}"
 wait_ports "$WORKDIR/primary.ports"
 read -r PRIMARY_CLIENT PRIMARY_REPL < "$WORKDIR/primary.ports"
 if [[ -n "$DATA_DIR" ]]; then
@@ -86,4 +105,30 @@ done
 echo
 echo "cluster up ($((NUM_SECONDARIES + 1)) processes). Updates go to the"
 echo "primary's client port, reads to any secondary's. Ctrl-C to stop."
+
+if [[ -n "$SOAK_SECONDS" ]]; then
+  primary_threads() { awk '/^Threads:/{print $2}' "/proc/$PRIMARY_PID/status"; }
+  THREADS_UP="$(primary_threads)"
+  echo "soak: primary threads with $NUM_SECONDARIES secondaries connected: $THREADS_UP"
+  sleep "$SOAK_SECONDS"
+  if ! kill -0 "$PRIMARY_PID" 2>/dev/null; then
+    echo "soak: FAIL — primary died during the soak" >&2
+    exit 1
+  fi
+  for i in $(seq "$NUM_SECONDARIES"); do
+    if ! kill -0 "${PIDS[$i]}" 2>/dev/null; then
+      echo "soak: FAIL — secondary $i died during the soak" >&2
+      exit 1
+    fi
+  done
+  THREADS_END="$(primary_threads)"
+  echo "soak: primary threads after ${SOAK_SECONDS}s: $THREADS_END"
+  if [[ -n "$MAX_PRIMARY_THREADS" && "$THREADS_END" -gt "$MAX_PRIMARY_THREADS" ]]; then
+    echo "soak: FAIL — primary runs $THREADS_END threads for $NUM_SECONDARIES secondaries (max $MAX_PRIMARY_THREADS); I/O threads must not scale with fan-out" >&2
+    exit 1
+  fi
+  echo "soak: OK — primary thread count flat at $THREADS_END across $NUM_SECONDARIES-secondary fan-out"
+  exit 0
+fi
+
 wait

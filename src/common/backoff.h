@@ -1,7 +1,10 @@
 #ifndef LAZYSI_COMMON_BACKOFF_H_
 #define LAZYSI_COMMON_BACKOFF_H_
 
+#include <algorithm>
 #include <chrono>
+
+#include "common/random.h"
 
 namespace lazysi {
 
@@ -37,6 +40,20 @@ class ExponentialBackoff {
   std::chrono::milliseconds max_;
   std::chrono::milliseconds current_;
 };
+
+/// Randomizes a delay to `delay * (1 ± fraction)` (clamped to ≥ 1ms).
+/// Fleet-wide retry loops (replication re-dial, client reconnect) jitter
+/// their backoff so a primary outage doesn't synchronize every secondary
+/// into lock-step reconnect storms when it returns.
+inline std::chrono::milliseconds Jittered(std::chrono::milliseconds delay,
+                                          double fraction, Rng* rng) {
+  if (fraction <= 0.0 || rng == nullptr) return delay;
+  fraction = std::min(fraction, 1.0);
+  const double scale = rng->Uniform(1.0 - fraction, 1.0 + fraction);
+  const auto jittered = std::chrono::milliseconds(
+      static_cast<std::int64_t>(static_cast<double>(delay.count()) * scale));
+  return std::max(jittered, std::chrono::milliseconds(1));
+}
 
 }  // namespace lazysi
 

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -25,12 +27,15 @@ class BlockingQueue {
   /// Pushes an element; wakes one waiting consumer. Returns false if the
   /// queue has been closed (the element is dropped).
   bool Push(T item) {
+    std::shared_ptr<const std::function<void()>> wake;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
+      wake = wakeup_;
     }
     cv_.notify_one();
+    if (wake) (*wake)();
     return true;
   }
 
@@ -39,25 +44,31 @@ class BlockingQueue {
   /// Returns false (dropping the burst) if the queue has been closed.
   bool PushAll(const std::vector<T>& items) {
     if (items.empty()) return true;
+    std::shared_ptr<const std::function<void()>> wake;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return false;
       items_.insert(items_.end(), items.begin(), items.end());
+      wake = wakeup_;
     }
     cv_.notify_all();
+    if (wake) (*wake)();
     return true;
   }
 
   /// Move overload of PushAll for the single-consumer case.
   bool PushAll(std::vector<T>&& items) {
     if (items.empty()) return true;
+    std::shared_ptr<const std::function<void()>> wake;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return false;
       items_.insert(items_.end(), std::make_move_iterator(items.begin()),
                     std::make_move_iterator(items.end()));
+      wake = wakeup_;
     }
     cv_.notify_all();
+    if (wake) (*wake)();
     return true;
   }
 
@@ -108,6 +119,35 @@ class BlockingQueue {
     return item;
   }
 
+  /// Non-blocking PopBatch: drains up to `max_items` without waiting. An
+  /// empty result just means nothing was queued (poll-style consumers —
+  /// the reactor's sink pump — are woken by the wakeup hook instead of
+  /// blocking here).
+  std::vector<T> TryPopBatch(std::size_t max_items) {
+    std::vector<T> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t n = std::min(max_items, items_.size());
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out;
+  }
+
+  /// Installs (or clears, with nullptr) a hook invoked after every
+  /// successful Push/PushAll, outside the queue lock. Lets a poll-style
+  /// consumer (an event loop) learn about new items without parking a
+  /// thread in Pop. The hook must be cheap and must not call back into the
+  /// queue's blocking operations.
+  void SetWakeup(std::function<void()> fn) {
+    auto wake = fn ? std::make_shared<const std::function<void()>>(
+                         std::move(fn))
+                   : nullptr;
+    std::lock_guard<std::mutex> lock(mu_);
+    wakeup_ = std::move(wake);
+  }
+
   /// Non-blocking pop.
   std::optional<T> TryPop() {
     std::lock_guard<std::mutex> lock(mu_);
@@ -152,6 +192,9 @@ class BlockingQueue {
   std::condition_variable cv_;
   std::deque<T> items_;
   bool closed_ = false;
+  // Copied out under the lock, invoked outside it (so a slow hook cannot
+  // wedge producers against consumers).
+  std::shared_ptr<const std::function<void()>> wakeup_;
 };
 
 }  // namespace lazysi

@@ -18,6 +18,8 @@ struct LinkCounters {
   std::uint64_t duplicated = 0;
   std::uint64_t corrupted = 0;
   std::uint64_t disconnects = 0;
+  std::uint64_t bytes_sent = 0;       // payload bytes offered to the link
+  std::uint64_t bytes_delivered = 0;  // payload bytes that reached the end
 };
 
 /// A full-duplex, possibly unreliable byte link between the propagation

@@ -132,12 +132,16 @@ class ChaosLink : public ByteLink {
     c.duplicated = counter_duplicated_.load(std::memory_order_relaxed);
     c.corrupted = counter_corrupted_.load(std::memory_order_relaxed);
     c.disconnects = counter_disconnects_.load(std::memory_order_relaxed);
+    c.bytes_sent = counter_bytes_sent_.load(std::memory_order_relaxed);
+    c.bytes_delivered =
+        counter_bytes_delivered_.load(std::memory_order_relaxed);
     return c;
   }
 
  private:
   bool Send(BlockingQueue<std::string>* direction, std::string frame) {
     counter_sent_.fetch_add(1, std::memory_order_relaxed);
+    counter_bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
     bool duplicate = false;
     {
       std::lock_guard<std::mutex> lock(rng_mu_);
@@ -163,13 +167,16 @@ class ChaosLink : public ByteLink {
       duplicate = faults_.duplicate_probability > 0 &&
                   rng_.Bernoulli(faults_.duplicate_probability);
     }
+    const std::uint64_t size = frame.size();
     if (duplicate) {
       direction->Push(frame);
       counter_duplicated_.fetch_add(1, std::memory_order_relaxed);
       counter_delivered_.fetch_add(1, std::memory_order_relaxed);
+      counter_bytes_delivered_.fetch_add(size, std::memory_order_relaxed);
     }
     direction->Push(std::move(frame));
     counter_delivered_.fetch_add(1, std::memory_order_relaxed);
+    counter_bytes_delivered_.fetch_add(size, std::memory_order_relaxed);
     return true;
   }
 
@@ -185,6 +192,8 @@ class ChaosLink : public ByteLink {
   std::atomic<std::uint64_t> counter_duplicated_{0};
   std::atomic<std::uint64_t> counter_corrupted_{0};
   std::atomic<std::uint64_t> counter_disconnects_{0};
+  std::atomic<std::uint64_t> counter_bytes_sent_{0};
+  std::atomic<std::uint64_t> counter_bytes_delivered_{0};
 };
 
 }  // namespace replication

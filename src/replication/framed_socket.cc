@@ -1,11 +1,14 @@
 #include "replication/framed_socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 
 namespace lazysi {
@@ -25,12 +28,18 @@ bool FillAddr(const std::string& host, std::uint16_t port,
   return ::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
 }
 
-void SetNoDelay(int fd) {
+}  // namespace
+
+void SetTcpNoDelay(int fd) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-}  // namespace
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
 
 int ListenOn(const std::string& host, std::uint16_t port,
              std::uint16_t* actual_port) {
@@ -68,7 +77,74 @@ int DialTcp(const std::string& host, std::uint16_t port) {
     ::close(fd);
     return -1;
   }
-  SetNoDelay(fd);
+  SetTcpNoDelay(fd);
+  return fd;
+}
+
+int StartDialTcp(const std::string& host, std::uint16_t port,
+                 bool* in_progress) {
+  *in_progress = false;
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (!SetNonBlocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc == 0) {
+    SetTcpNoDelay(fd);
+    return fd;
+  }
+  if (errno == EINPROGRESS) {
+    *in_progress = true;
+    return fd;
+  }
+  ::close(fd);
+  return -1;
+}
+
+bool FinishDial(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+    return false;
+  }
+  SetTcpNoDelay(fd);
+  return true;
+}
+
+int DialTcp(const std::string& host, std::uint16_t port,
+            std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) return DialTcp(host, port);
+  bool in_progress = false;
+  const int fd = StartDialTcp(host, port, &in_progress);
+  if (fd < 0) return -1;
+  if (in_progress) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int rc;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      rc = ::poll(&pfd, 1, static_cast<int>(std::max<std::int64_t>(
+                               0, left.count())));
+      if (rc < 0 && errno == EINTR) continue;
+      break;
+    }
+    if (rc <= 0 || !FinishDial(fd)) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  // Back to blocking mode: FramedSocket's Send/Recv are blocking-style.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
   return fd;
 }
 
@@ -77,7 +153,7 @@ int AcceptOn(int listen_fd) {
   do {
     fd = ::accept(listen_fd, nullptr, nullptr);
   } while (fd < 0 && errno == EINTR);
-  if (fd >= 0) SetNoDelay(fd);
+  if (fd >= 0) SetTcpNoDelay(fd);
   return fd;
 }
 
@@ -104,10 +180,31 @@ bool FramedSocket::Send(std::string_view payload) {
 }
 
 std::optional<std::string> FramedSocket::Recv() {
+  timed_out_ = false;
   if (fd_ < 0) return std::nullopt;
+  const bool deadline_set = recv_timeout_.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + recv_timeout_;
   for (;;) {
     if (auto frame = framer_.Next()) return frame;
     if (framer_.poisoned()) return std::nullopt;
+    if (deadline_set) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        timed_out_ = true;
+        return std::nullopt;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      if (rc == 0) {
+        timed_out_ = true;
+        return std::nullopt;
+      }
+    }
     const ssize_t n = ::recv(fd_, buf_, sizeof(buf_), 0);
     if (n == 0) return std::nullopt;
     if (n < 0) {

@@ -1,6 +1,7 @@
 #ifndef LAZYSI_REPLICATION_FRAMED_SOCKET_H_
 #define LAZYSI_REPLICATION_FRAMED_SOCKET_H_
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -23,6 +24,30 @@ int ListenOn(const std::string& host, std::uint16_t port,
 
 /// Blocking connect; returns the connected fd (TCP_NODELAY set), or -1.
 int DialTcp(const std::string& host, std::uint16_t port);
+
+/// Connect with a deadline: non-blocking connect + poll. Returns the
+/// connected fd (blocking mode restored, TCP_NODELAY set), or -1 on
+/// refusal, timeout, or bad address. The client-protocol fix for "a hung
+/// peer wedges the client forever".
+int DialTcp(const std::string& host, std::uint16_t port,
+            std::chrono::milliseconds timeout);
+
+/// Starts a non-blocking connect for reactor use: returns the fd with the
+/// connect in flight (*in_progress = true; wait for writability, then
+/// FinishDial) or already connected (*in_progress = false), or -1. The fd
+/// stays non-blocking.
+int StartDialTcp(const std::string& host, std::uint16_t port,
+                 bool* in_progress);
+
+/// Resolves an in-flight non-blocking connect once the fd polls writable:
+/// true and sets TCP_NODELAY on success, false on connection failure.
+bool FinishDial(int fd);
+
+/// Sets O_NONBLOCK; returns false on fcntl failure.
+bool SetNonBlocking(int fd);
+
+/// Sets TCP_NODELAY (best effort).
+void SetTcpNoDelay(int fd);
 
 /// accept() riding out EINTR; returns the connected fd (TCP_NODELAY set),
 /// or -1 when the listener is closed.
@@ -50,9 +75,21 @@ class FramedSocket {
   /// Sends one frame; false on a dead peer.
   bool Send(std::string_view payload);
 
-  /// Blocks for the next complete frame; nullopt on EOF, error, or a
-  /// poisoned frame stream (oversized length prefix).
+  /// Blocks for the next complete frame; nullopt on EOF, error, a
+  /// poisoned frame stream (oversized length prefix), or — when a recv
+  /// timeout is set — deadline expiry (check timed_out() to distinguish).
   std::optional<std::string> Recv();
+
+  /// Per-Recv deadline; zero (the default) blocks forever. Applies to the
+  /// whole frame: a peer trickling bytes still has to produce a complete
+  /// frame within the window.
+  void set_recv_timeout(std::chrono::milliseconds timeout) {
+    recv_timeout_ = timeout;
+  }
+
+  /// True when the last Recv returned nullopt because the deadline
+  /// expired rather than because the peer vanished.
+  bool timed_out() const { return timed_out_; }
 
   /// Wakes a blocked Recv/Send with EOF/EPIPE without closing the fd.
   void ShutdownNow();
@@ -62,6 +99,8 @@ class FramedSocket {
  private:
   int fd_;
   TcpFramer framer_;
+  std::chrono::milliseconds recv_timeout_{0};
+  bool timed_out_ = false;
   char buf_[64 * 1024];
 };
 

@@ -82,6 +82,8 @@ void TcpLink::ReaderLoop(int fd, BlockingQueue<std::string>* out) {
     }
     while (auto frame = framer.Next()) {
       counter_delivered_.fetch_add(1, std::memory_order_relaxed);
+      counter_bytes_delivered_.fetch_add(frame->size(),
+                                         std::memory_order_relaxed);
       out->Push(std::move(*frame));
     }
     if (framer.poisoned()) {
@@ -108,6 +110,7 @@ bool TcpLink::SendAck(std::string frame) {
 
 bool TcpLink::SendFrame(int* fd_slot, std::string frame) {
   counter_sent_.fetch_add(1, std::memory_order_relaxed);
+  counter_bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
   bool duplicate = false;
   if (faults_.any()) {
     // Same decision order as ChaosLink::Send, draw for draw, so a seeded
@@ -228,6 +231,9 @@ TcpLink::Counters TcpLink::counters() const {
   c.duplicated = counter_duplicated_.load(std::memory_order_relaxed);
   c.corrupted = counter_corrupted_.load(std::memory_order_relaxed);
   c.disconnects = counter_disconnects_.load(std::memory_order_relaxed);
+  c.bytes_sent = counter_bytes_sent_.load(std::memory_order_relaxed);
+  c.bytes_delivered =
+      counter_bytes_delivered_.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -193,6 +193,8 @@ class TcpLink : public ByteLink {
   std::atomic<std::uint64_t> counter_duplicated_{0};
   std::atomic<std::uint64_t> counter_corrupted_{0};
   std::atomic<std::uint64_t> counter_disconnects_{0};
+  std::atomic<std::uint64_t> counter_bytes_sent_{0};
+  std::atomic<std::uint64_t> counter_bytes_delivered_{0};
 };
 
 }  // namespace replication

@@ -1,8 +1,10 @@
 #include "replication/tcp_replication.h"
 
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <utility>
 
 #include "common/logging.h"
@@ -11,22 +13,47 @@
 namespace lazysi {
 namespace replication {
 
-namespace {
+std::string EncodeBatchFramePayload(
+    const std::vector<PropagationRecord>& records) {
+  std::string payload(1, kReplBatchTag);
+  PutVarint(&payload, records.size());
+  for (const auto& record : records) EncodeRecord(record, &payload);
+  return payload;
+}
 
-// One-byte frame tags of the cross-process propagation stream.
-constexpr char kHelloTag = 'H';    // secondary -> primary: expected, from_lsn
-constexpr char kWelcomeTag = 'W';  // primary -> secondary: base seq
-constexpr char kDataTag = 'D';     // primary -> secondary: one record
-constexpr char kAckTag = 'A';      // secondary -> primary: cumulative seq
-
-}  // namespace
+bool DecodeBatchFramePayload(const std::string& frame, std::size_t* offset,
+                             std::vector<PropagationRecord>* out) {
+  if (*offset >= frame.size() || frame[*offset] != kReplBatchTag) {
+    return false;
+  }
+  ++*offset;
+  std::uint64_t count = 0;
+  if (!GetVarint(frame, offset, &count)) return false;
+  // No reserve(count): the claim crossed the wire unverified, and each
+  // record must decode anyway before it costs memory.
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto record = DecodeRecord(frame, offset);
+    if (!record.ok()) return false;
+    out->push_back(std::move(*record));
+  }
+  return *offset == frame.size();
+}
 
 // ---------------------------------------------------------------------------
 // ReplicationListener
 
 ReplicationListener::ReplicationListener(Propagator* propagator,
                                          Options options)
-    : propagator_(propagator), options_(std::move(options)) {}
+    : propagator_(propagator), options_(std::move(options)) {
+  if (options_.max_batch_records == 0) options_.max_batch_records = 1;
+  if (options_.max_batch_bytes == 0) options_.max_batch_bytes = 1;
+  if (options_.loop != nullptr) {
+    loop_ = options_.loop;
+  } else {
+    owned_loop_ = std::make_unique<net::EventLoop>();
+    loop_ = owned_loop_.get();
+  }
+}
 
 ReplicationListener::~ReplicationListener() { Stop(); }
 
@@ -36,27 +63,48 @@ Status ReplicationListener::Start() {
     return Status::Unavailable("replication listener: cannot bind " +
                                options_.host);
   }
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  SetNonBlocking(listen_fd_);
+  attach_q_.Reopen();
+  attach_worker_ = std::thread([this] {
+    while (auto task = attach_q_.Pop()) (*task)();
+  });
+  if (owned_loop_) owned_loop_->Start();
+  loop_->RunInLoop([this] {
+    loop_->AddFd(listen_fd_, EPOLLIN,
+                 [this](std::uint32_t) { OnAcceptable(); });
+  });
+  started_ = true;
   return Status::OK();
 }
 
 void ReplicationListener::Stop() {
   if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
-  // shutdown() (not close()) reliably wakes a thread blocked in accept().
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (acceptor_.joinable()) acceptor_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  if (!started_) return;
+  // Deregister the acceptor and sever every connection on the loop thread;
+  // the close handlers detach the propagator sinks, so no new pump tasks
+  // can be scheduled after this barrier.
+  loop_->PostAndWait([this] {
+    if (listen_fd_ >= 0) {
+      loop_->RemoveFd(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    std::vector<std::shared_ptr<Conn>> conns;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns = conns_;
+    }
+    for (auto& conn : conns) {
+      if (conn->nc) conn->nc->Close();  // runs OnConnClosed inline
+    }
+  });
+  attach_q_.Close();
+  if (attach_worker_.joinable()) attach_worker_.join();
+  // Flush any pump/flush tasks still queued behind the close barrier, then
+  // (if the loop is ours) stop it.
+  loop_->PostAndWait([] {});
+  if (owned_loop_) owned_loop_->Stop();
   std::lock_guard<std::mutex> lock(conns_mu_);
-  for (auto& conn : conns_) {
-    conn->sink.Close();          // wakes the sender's blocking Pop
-    if (conn->sock) conn->sock->ShutdownNow();  // wakes the acker's Recv
-  }
-  for (auto& conn : conns_) {
-    if (conn->sender.joinable()) conn->sender.join();
-  }
   conns_.clear();
 }
 
@@ -81,50 +129,127 @@ ReplicationListener::Stats ReplicationListener::stats() const {
       connections_accepted_.load(std::memory_order_relaxed);
   s.records_streamed = records_streamed_.load(std::memory_order_relaxed);
   s.replay_attaches = replay_attaches_.load(std::memory_order_relaxed);
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.batch_frames_sent = batch_frames_sent_.load(std::memory_order_relaxed);
+  s.backpressure_stalls =
+      backpressure_stalls_.load(std::memory_order_relaxed);
+  s.bytes_sent = retired_bytes_sent_.load(std::memory_order_relaxed);
+  s.writev_calls = retired_writev_calls_.load(std::memory_order_relaxed);
+  s.flushes = retired_flushes_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (const auto& conn : conns_) {
+    if (!conn->nc) continue;
+    const auto c = conn->nc->counters();
+    s.bytes_sent += c.bytes_sent;
+    s.writev_calls += c.writev_calls;
+    s.flushes += c.flushes;
+  }
   return s;
 }
 
-void ReplicationListener::AcceptLoop() {
+void ReplicationListener::OnAcceptable() {
   for (;;) {
-    const int fd = AcceptOn(listen_fd_);
-    if (fd < 0) break;  // listener shut down (Stop) or irrecoverably broken
+    int fd;
+    do {
+      fd = ::accept(listen_fd_, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return;  // EAGAIN (drained) or listener closed
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
-      break;
+      return;
     }
+    SetTcpNoDelay(fd);
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    auto conn = std::make_unique<Conn>();
-    conn->sock = std::make_unique<FramedSocket>(fd);
-    Conn* raw = conn.get();
+    auto conn = std::make_shared<Conn>();
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
-      conns_.push_back(std::move(conn));
+      conns_.push_back(conn);
     }
-    raw->sender = std::thread([this, raw] { ServeConnection(raw); });
+    std::weak_ptr<Conn> weak = conn;
+    net::Connection::Options copts;
+    copts.low_watermark = std::max<std::size_t>(1, options_.max_output_bytes / 2);
+    net::Connection::Callbacks cbs;
+    cbs.on_bytes = [this, weak](net::Connection&, std::string_view bytes) {
+      if (auto c = weak.lock()) OnConnBytes(c, bytes);
+    };
+    cbs.on_drain = [this, weak](net::Connection&) {
+      auto c = weak.lock();
+      if (!c || !c->stalled) return;
+      c->stalled = false;
+      PumpConn(c);
+    };
+    cbs.on_close = [this, weak](net::Connection&) {
+      if (auto c = weak.lock()) OnConnClosed(c);
+    };
+    conn->nc = net::Connection::Adopt(loop_, fd, copts, std::move(cbs));
+    // The propagator wakes the pump through the sink's hook — no parked
+    // consumer thread per connection.
+    conn->sink.SetWakeup([this, weak] { SchedulePump(weak); });
   }
 }
 
-void ReplicationListener::ServeConnection(Conn* conn) {
-  // Marks the connection dead for MinAckFloor on every exit path.
-  struct DoneMarker {
-    Conn* c;
-    ~DoneMarker() { c->done.store(true, std::memory_order_release); }
-  } done_marker{conn};
+void ReplicationListener::SchedulePump(const std::weak_ptr<Conn>& weak) {
+  auto conn = weak.lock();
+  if (!conn) return;
+  if (conn->pump_scheduled.exchange(true, std::memory_order_acq_rel)) return;
+  loop_->Post([this, weak] {
+    auto c = weak.lock();
+    if (!c) return;
+    c->pump_scheduled.store(false, std::memory_order_release);
+    PumpConn(c);
+  });
+}
 
-  // Handshake: the secondary leads with HELLO { expected_seq, from_lsn }.
-  const auto hello = conn->sock->Recv();
-  if (!hello.has_value() || hello->empty() || (*hello)[0] != kHelloTag) {
-    return;  // peer vanished or spoke the wrong protocol; drop silently
-  }
-  std::size_t off = 1;
-  std::uint64_t expected = 0;
-  std::uint64_t from_lsn = 0;
-  if (!GetVarint(*hello, &off, &expected) ||
-      !GetVarint(*hello, &off, &from_lsn)) {
-    LAZYSI_WARN("replication listener: malformed HELLO, dropping connection");
+void ReplicationListener::OnConnBytes(const std::shared_ptr<Conn>& conn,
+                                      std::string_view bytes) {
+  if (!conn->framer.Feed(bytes)) {
+    conn->nc->Close();
     return;
   }
+  while (auto frame = conn->framer.Next()) {
+    HandleFrame(conn, *frame);
+    if (conn->done.load(std::memory_order_acquire)) return;
+  }
+  if (conn->framer.poisoned()) conn->nc->Close();
+}
 
+void ReplicationListener::HandleFrame(const std::shared_ptr<Conn>& conn,
+                                      const std::string& frame) {
+  if (frame.empty()) return;
+  if (!conn->hello_done) {
+    if (frame[0] != kReplHelloTag) {
+      conn->nc->Close();  // wrong protocol; drop silently
+      return;
+    }
+    std::size_t off = 1;
+    std::uint64_t expected = 0;
+    std::uint64_t from_lsn = 0;
+    if (!GetVarint(frame, &off, &expected) ||
+        !GetVarint(frame, &off, &from_lsn)) {
+      LAZYSI_WARN(
+          "replication listener: malformed HELLO, dropping connection");
+      conn->nc->Close();
+      return;
+    }
+    conn->hello_done = true;
+    // Attaching may replay a large log suffix; keep it off the loop.
+    attach_q_.Push([this, conn, expected, from_lsn] {
+      HandleAttach(conn, expected, from_lsn);
+    });
+    return;
+  }
+  if (frame[0] != kReplAckTag || frame.size() < 2) return;
+  std::size_t off = 1;
+  std::uint64_t acked = 0;
+  if (GetVarint(frame, &off, &acked)) {
+    conn->acked.store(acked, std::memory_order_relaxed);
+  }
+}
+
+void ReplicationListener::HandleAttach(const std::shared_ptr<Conn>& conn,
+                                       std::uint64_t expected,
+                                       std::uint64_t from_lsn) {
+  if (conn->done.load(std::memory_order_acquire)) return;
   // A resuming secondary (expected > 0) replays from the latest quiesced
   // point at or below its position; a fresh one (expected == 0, e.g. after
   // kill -9) replays the log from its checkpoint LSN — 0 = everything.
@@ -136,42 +261,130 @@ void ReplicationListener::ServeConnection(Conn* conn) {
   if (!base.ok()) {
     LAZYSI_WARN("replication listener: attach at lsn " << attach_lsn
                 << " failed: " << base.status());
+    conn->nc->Close();
     return;
   }
-  replay_attaches_.fetch_add(1, std::memory_order_relaxed);
-
-  std::string welcome(1, kWelcomeTag);
-  PutVarint(&welcome, *base);
-  if (!conn->sock->Send(welcome)) {
+  conn->attached.store(true, std::memory_order_release);
+  if (conn->done.load(std::memory_order_acquire)) {
+    // Lost a race with the close handler, whose detach may have been a
+    // no-op; undo the attach ourselves.
     propagator_->DetachSink(&conn->sink);
     return;
   }
+  replay_attaches_.fetch_add(1, std::memory_order_relaxed);
+  std::string welcome(1, kReplWelcomeTag);
+  PutVarint(&welcome, *base);
+  std::string wire;
+  AppendTcpFrame(&wire, welcome);
+  conn->nc->Write(std::move(wire));
+  // The replay burst is already sitting in the sink; pump it.
+  std::weak_ptr<Conn> weak = conn;
+  SchedulePump(weak);
+}
 
-  // Acks flow on the same socket; a dedicated reader keeps them from
-  // backing up behind the data stream. It exits on EOF/shutdown.
-  conn->acker = std::thread([conn] {
-    while (auto frame = conn->sock->Recv()) {
-      if (frame->size() < 2 || (*frame)[0] != kAckTag) continue;
-      std::size_t o = 1;
-      std::uint64_t acked = 0;
-      if (GetVarint(*frame, &o, &acked)) {
-        conn->acked.store(acked, std::memory_order_relaxed);
+void ReplicationListener::WriteFrame(Conn* conn, std::string_view payload) {
+  std::string wire;
+  wire.reserve(payload.size() + 4);
+  AppendTcpFrame(&wire, payload);
+  conn->nc->Write(std::move(wire));
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ReplicationListener::EmitBatch(Conn* conn) {
+  if (conn->pending_n == 0) return;
+  std::string payload(1, kReplBatchTag);
+  PutVarint(&payload, conn->pending_n);
+  payload.append(conn->pending_body);
+  WriteFrame(conn, payload);
+  batch_frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  records_streamed_.fetch_add(conn->pending_n, std::memory_order_relaxed);
+  conn->pending_body.clear();
+  conn->pending_n = 0;
+}
+
+void ReplicationListener::PumpConn(const std::shared_ptr<Conn>& conn) {
+  if (!conn->attached.load(std::memory_order_acquire) ||
+      conn->done.load(std::memory_order_acquire)) {
+    return;
+  }
+  for (;;) {
+    if (conn->nc->output_bytes() >= options_.max_output_bytes) {
+      // Stop pulling from the propagator for this sink; the drain callback
+      // resumes the pump. Records stay queued in the sink meanwhile.
+      if (!conn->stalled) {
+        conn->stalled = true;
+        backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    if (!options_.batching) {
+      auto record = conn->sink.TryPop();
+      if (!record.has_value()) break;
+      std::string payload(1, kReplDataTag);
+      EncodeRecord(*record, &payload);
+      WriteFrame(conn.get(), payload);
+      records_streamed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto batch =
+        conn->sink.TryPopBatch(options_.max_batch_records - conn->pending_n);
+    if (batch.empty()) break;
+    for (auto& record : batch) {
+      EncodeRecord(record, &conn->pending_body);
+      ++conn->pending_n;
+      if (conn->pending_n >= options_.max_batch_records ||
+          conn->pending_body.size() >= options_.max_batch_bytes) {
+        EmitBatch(conn.get());
       }
     }
-  });
-
-  for (;;) {
-    auto record = conn->sink.Pop();
-    if (!record.has_value()) break;  // Stop() closed the sink
-    std::string wire(1, kDataTag);
-    EncodeRecord(*record, &wire);
-    if (!conn->sock->Send(wire)) break;  // peer gone; it will re-HELLO
-    records_streamed_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Sink ran dry. Flush the partial batch now, or hold it briefly if the
+  // deployment prefers fuller frames over latency.
+  if (conn->pending_n > 0) {
+    if (options_.batch_flush_interval.count() <= 0) {
+      EmitBatch(conn.get());
+    } else if (!conn->flush_timer_armed) {
+      conn->flush_timer_armed = true;
+      std::weak_ptr<Conn> weak = conn;
+      conn->flush_timer = loop_->ScheduleAfter(
+          options_.batch_flush_interval, [this, weak] {
+            auto c = weak.lock();
+            if (!c || c->done.load(std::memory_order_acquire)) return;
+            c->flush_timer_armed = false;
+            EmitBatch(c.get());
+          });
+    }
+  }
+}
 
+void ReplicationListener::OnConnClosed(const std::shared_ptr<Conn>& conn) {
+  conn->done.store(true, std::memory_order_release);
+  conn->sink.SetWakeup(nullptr);
+  conn->sink.Close();
+  // Safe even when the attach worker has not attached (no-op) or is racing
+  // us (it re-checks done after attaching and detaches itself).
   propagator_->DetachSink(&conn->sink);
-  conn->sock->ShutdownNow();
-  if (conn->acker.joinable()) conn->acker.join();
+  if (conn->flush_timer_armed) {
+    loop_->CancelTimer(conn->flush_timer);
+    conn->flush_timer_armed = false;
+  }
+  // Retire the connection's wire counters and drop it from the live set
+  // under one lock hold so stats() never sees the counters twice.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+    if (it->get() == conn.get()) {
+      conns_.erase(it);
+      if (conn->nc) {
+        const auto c = conn->nc->counters();
+        retired_bytes_sent_.fetch_add(c.bytes_sent,
+                                      std::memory_order_relaxed);
+        retired_writev_calls_.fetch_add(c.writev_calls,
+                                        std::memory_order_relaxed);
+        retired_flushes_.fetch_add(c.flushes, std::memory_order_relaxed);
+      }
+      break;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -179,28 +392,59 @@ void ReplicationListener::ServeConnection(Conn* conn) {
 
 ReplicationReceiver::ReplicationReceiver(
     BlockingQueue<PropagationRecord>* downstream, Options options)
-    : downstream_(downstream), options_(std::move(options)) {
+    : downstream_(downstream),
+      options_(std::move(options)),
+      backoff_(options_.reconnect_backoff,
+               options_.reconnect_backoff_max > options_.reconnect_backoff
+                   ? options_.reconnect_backoff_max
+                   : options_.reconnect_backoff),
+      rng_(options_.jitter_seed) {
   if (options_.ack_interval == 0) options_.ack_interval = 1;
+  if (options_.loop != nullptr) {
+    loop_ = options_.loop;
+  } else {
+    owned_loop_ = std::make_unique<net::EventLoop>();
+    loop_ = owned_loop_.get();
+  }
 }
 
 ReplicationReceiver::~ReplicationReceiver() { Stop(); }
 
 void ReplicationReceiver::Start() {
-  runner_ = std::thread([this] { Run(); });
+  if (owned_loop_) owned_loop_->Start();
+  started_ = true;
+  loop_->RunInLoop([this] { StartDial(); });
 }
 
 void ReplicationReceiver::Stop() {
   if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
-  {
-    std::lock_guard<std::mutex> lock(sock_mu_);
-    if (sock_) sock_->ShutdownNow();  // wakes a blocked Recv
-  }
-  if (runner_.joinable()) runner_.join();
+  if (!started_) return;
+  loop_->PostAndWait([this] {
+    if (redial_timer_ != 0) {
+      loop_->CancelTimer(redial_timer_);
+      redial_timer_ = 0;
+    }
+    if (pending_fd_ >= 0) {
+      loop_->RemoveFd(pending_fd_);
+      ::close(pending_fd_);
+      pending_fd_ = -1;
+    }
+    if (current_) current_->Close();
+  });
+  if (owned_loop_) owned_loop_->Stop();
 }
 
 void ReplicationReceiver::CutConnection() {
-  std::lock_guard<std::mutex> lock(sock_mu_);
-  if (sock_) sock_->ShutdownNow();
+  // Synchronous (when called off-loop, as fault-injecting tests do): once
+  // this returns, nothing more can arrive on the severed connection.
+  auto cut = [this] {
+    if (current_) current_->Close();
+  };
+  if (loop_->InLoop()) {
+    cut();
+  } else {
+    loop_->PostAndWait(cut);
+  }
 }
 
 ReplicationReceiver::Stats ReplicationReceiver::stats() const {
@@ -209,90 +453,179 @@ ReplicationReceiver::Stats ReplicationReceiver::stats() const {
   s.duplicates_dropped = duplicates_dropped_.load(std::memory_order_relaxed);
   s.decode_rejected = decode_rejected_.load(std::memory_order_relaxed);
   s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.dial_attempts = dial_attempts_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.batch_frames_received =
+      batch_frames_received_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
   return s;
 }
 
-void ReplicationReceiver::Run() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    RunOnce();
-    if (stopping_.load(std::memory_order_acquire)) break;
-    std::this_thread::sleep_for(options_.reconnect_backoff);
+void ReplicationReceiver::StartDial() {
+  if (stopping_.load(std::memory_order_acquire)) return;
+  dial_attempts_.fetch_add(1, std::memory_order_relaxed);
+  bool in_progress = false;
+  const int fd =
+      StartDialTcp(options_.primary_host, options_.primary_port, &in_progress);
+  if (fd < 0) {
+    ScheduleRedial();
+    return;
   }
+  if (!in_progress) {
+    OnDialDone(fd, true);
+    return;
+  }
+  pending_fd_ = fd;
+  const std::uint64_t epoch = ++conn_epoch_;
+  loop_->AddFd(fd, EPOLLOUT, [this, fd, epoch](std::uint32_t) {
+    if (epoch != conn_epoch_ || pending_fd_ != fd) return;
+    loop_->RemoveFd(fd);
+    pending_fd_ = -1;
+    OnDialDone(fd, FinishDial(fd));
+  });
 }
 
-bool ReplicationReceiver::RunOnce() {
-  const int fd = DialTcp(options_.primary_host, options_.primary_port);
-  if (fd < 0) return false;
-  auto sock = std::make_shared<FramedSocket>(fd);
-  {
-    std::lock_guard<std::mutex> lock(sock_mu_);
-    if (stopping_.load(std::memory_order_acquire)) return false;
-    sock_ = sock;
+void ReplicationReceiver::OnDialDone(int fd, bool ok) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    ::close(fd);
+    return;
   }
-
-  std::string hello(1, kHelloTag);
+  if (!ok) {
+    ::close(fd);
+    ScheduleRedial();
+    return;
+  }
+  framer_ = TcpFramer();
+  handshaken_ = false;
+  since_ack_ = 0;
+  net::Connection::Callbacks cbs;
+  cbs.on_bytes = [this](net::Connection&, std::string_view bytes) {
+    OnBytes(bytes);
+  };
+  cbs.on_close = [this](net::Connection&) { OnClosed(); };
+  current_ = net::Connection::Adopt(loop_, fd, net::Connection::Options{},
+                                    std::move(cbs));
+  std::string hello(1, kReplHelloTag);
   PutVarint(&hello, next_expected_.load(std::memory_order_acquire));
   PutVarint(&hello, options_.from_lsn);
-  bool handshaken = false;
-  if (sock->Send(hello)) {
-    const auto welcome = sock->Recv();
-    handshaken = welcome.has_value() && !welcome->empty() &&
-                 (*welcome)[0] == kWelcomeTag;
-  }
-  if (handshaken && had_connection_) {
-    reconnects_.fetch_add(1, std::memory_order_relaxed);
-  }
-  had_connection_ = had_connection_ || handshaken;
+  std::string wire;
+  AppendTcpFrame(&wire, hello);
+  current_->Write(std::move(wire));
+}
 
-  std::size_t since_ack = 0;
-  while (handshaken) {
-    const auto frame = sock->Recv();
-    if (!frame.has_value()) break;  // connection dropped; re-HELLO outside
-    if (frame->empty() || (*frame)[0] != kDataTag) continue;
+void ReplicationReceiver::OnBytes(std::string_view bytes) {
+  bytes_received_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  if (!framer_.Feed(bytes)) {
+    if (current_) current_->Close();
+    return;
+  }
+  while (auto frame = framer_.Next()) {
+    HandleFrame(*frame);
+    if (!current_ || current_->closed()) return;
+  }
+  if (framer_.poisoned() && current_) current_->Close();
+}
+
+void ReplicationReceiver::HandleFrame(const std::string& frame) {
+  if (frame.empty()) return;
+  frames_received_.fetch_add(1, std::memory_order_relaxed);
+  if (!handshaken_) {
+    if (frame[0] != kReplWelcomeTag) return;  // tolerate stray frames
+    handshaken_ = true;
+    if (had_connection_) {
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    had_connection_ = true;
+    backoff_.Reset();
+    return;
+  }
+  if (frame[0] == kReplDataTag) {
     std::size_t off = 1;
-    auto record = DecodeRecord(*frame, &off);
+    auto record = DecodeRecord(frame, &off);
     if (!record.ok()) {
       // An undecodable record means the stream itself is damaged; drop the
       // connection and let the re-HELLO replay a clean suffix.
       decode_rejected_.fetch_add(1, std::memory_order_relaxed);
       LAZYSI_WARN("replication receiver: undecodable record: "
                   << record.status());
-      break;
+      current_->Close();
+      return;
     }
-    const std::uint64_t seq = RecordSeq(*record);
-    const std::uint64_t expected =
-        next_expected_.load(std::memory_order_acquire);
-    if (seq < expected) {
-      // Replay overlap below our position: the sync point the primary
-      // attached at quantizes downward. Idempotent to skip.
-      duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    if (seq > expected) {
-      // A gap inside one TCP connection should be impossible; treat it as a
-      // damaged stream and resync via reconnect rather than applying out of
-      // order.
-      LAZYSI_WARN("replication receiver: seq gap (want " << expected
-                  << ", got " << seq << "), resyncing");
-      break;
-    }
-    downstream_->Push(std::move(*record));
-    next_expected_.store(seq + 1, std::memory_order_release);
-    records_delivered_.fetch_add(1, std::memory_order_relaxed);
-    if (++since_ack >= options_.ack_interval) {
-      std::string ack(1, kAckTag);
-      PutVarint(&ack, seq);
-      if (!sock->Send(ack)) break;
-      since_ack = 0;
-    }
+    if (!HandleRecord(std::move(*record))) current_->Close();
+    return;
   }
+  if (frame[0] == kReplBatchTag) {
+    batch_frames_received_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t off = 0;
+    std::vector<PropagationRecord> records;
+    if (!DecodeBatchFramePayload(frame, &off, &records)) {
+      // Malformed count, record, or trailing garbage: damaged stream.
+      // Nothing from the batch is applied — the reconnect replay
+      // redelivers it cleanly and seq dedup drops any overlap.
+      decode_rejected_.fetch_add(1, std::memory_order_relaxed);
+      LAZYSI_WARN("replication receiver: undecodable batch frame");
+      current_->Close();
+      return;
+    }
+    for (auto& record : records) {
+      if (!HandleRecord(std::move(record))) {
+        current_->Close();
+        return;
+      }
+    }
+    return;
+  }
+  // Unknown tag between handshakes: ignore for forward compatibility.
+}
 
-  {
-    std::lock_guard<std::mutex> lock(sock_mu_);
-    sock_.reset();
+bool ReplicationReceiver::HandleRecord(PropagationRecord record) {
+  const std::uint64_t seq = RecordSeq(record);
+  const std::uint64_t expected =
+      next_expected_.load(std::memory_order_acquire);
+  if (seq < expected) {
+    // Replay overlap below our position: the sync point the primary
+    // attached at quantizes downward. Idempotent to skip.
+    duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return true;
   }
-  sock->ShutdownNow();
-  return handshaken;
+  if (seq > expected) {
+    // A gap inside one TCP connection should be impossible; treat it as a
+    // damaged stream and resync via reconnect rather than applying out of
+    // order.
+    LAZYSI_WARN("replication receiver: seq gap (want " << expected
+                << ", got " << seq << "), resyncing");
+    return false;
+  }
+  downstream_->Push(std::move(record));
+  next_expected_.store(seq + 1, std::memory_order_release);
+  records_delivered_.fetch_add(1, std::memory_order_relaxed);
+  if (++since_ack_ >= options_.ack_interval) {
+    std::string ack(1, kReplAckTag);
+    PutVarint(&ack, seq);
+    std::string wire;
+    AppendTcpFrame(&wire, ack);
+    current_->Write(std::move(wire));
+    since_ack_ = 0;
+  }
+  return true;
+}
+
+void ReplicationReceiver::OnClosed() {
+  current_.reset();
+  ++conn_epoch_;
+  if (!stopping_.load(std::memory_order_acquire)) ScheduleRedial();
+}
+
+void ReplicationReceiver::ScheduleRedial() {
+  if (stopping_.load(std::memory_order_acquire) || redial_timer_ != 0) {
+    return;
+  }
+  const auto delay =
+      Jittered(backoff_.Next(), options_.reconnect_jitter, &rng_);
+  redial_timer_ = loop_->ScheduleAfter(delay, [this] {
+    redial_timer_ = 0;
+    StartDial();
+  });
 }
 
 }  // namespace replication

@@ -4,17 +4,24 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/queue.h"
+#include "common/random.h"
 #include "common/status.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
 #include "replication/framed_socket.h"
 #include "replication/messages.h"
 #include "replication/propagator.h"
+#include "replication/tcp_link.h"
 
 namespace lazysi {
 namespace replication {
@@ -30,26 +37,82 @@ namespace replication {
 ///             expected_seq == 0 -> AttachSinkAt(from_lsn)  (cold start /
 ///                                  restart after kill -9: full log replay)
 ///   primary -> WELCOME { base_seq }
-///   primary -> DATA { seq, record }*      secondary -> ACK { cum_seq }*
+///   primary -> BATCH { n, record* } | DATA { record }
+///   secondary -> ACK { cum_seq }*
 ///
 /// The replayed suffix may overlap what the secondary already applied
 /// (sync points quantize downward); global record sequence numbers let the
 /// receiver drop the overlap as duplicates — the same idempotence argument
 /// as ReliableChannel's resync (Section 3.4's recovery machinery).
+///
+/// Both endpoints run on a net::EventLoop: connections are non-blocking and
+/// reactor-registered, so I/O thread count is O(loops), not O(secondaries).
+/// The hot direction coalesces records into BATCH frames (one length prefix
+/// + tag + count for a whole run, one writev per frame instead of one
+/// send() per record); single-record DATA frames remain understood for
+/// compatibility and as the batching=false mode.
 
-/// Primary-side listener: accepts one connection per secondary, each served
-/// by its own propagator sink + sender thread.
+/// One-byte frame tags of the cross-process propagation stream. Exposed for
+/// the framing fuzz corpus.
+constexpr char kReplHelloTag = 'H';    // secondary -> primary
+constexpr char kReplWelcomeTag = 'W';  // primary -> secondary
+constexpr char kReplDataTag = 'D';     // one record
+constexpr char kReplBatchTag = 'B';    // varint count + that many records
+constexpr char kReplAckTag = 'A';      // cumulative seq
+
+/// Builds one BATCH frame payload: tag + varint(count) + count encoded
+/// records. The listener's pump produces the same bytes incrementally;
+/// exposed for the framing fuzz corpus and benchmarks.
+std::string EncodeBatchFramePayload(
+    const std::vector<PropagationRecord>& records);
+
+/// Decodes a BATCH frame payload (*offset at the tag byte), appending each
+/// record to *out as it decodes. False — with *offset wherever the parse
+/// stopped, never past frame.size() — on a malformed count varint, a
+/// malformed or truncated record, or trailing bytes after the declared
+/// count: all of these mean the stream is damaged and the connection must
+/// drop. Never allocates proportional to the claimed count.
+bool DecodeBatchFramePayload(const std::string& frame, std::size_t* offset,
+                             std::vector<PropagationRecord>* out);
+
+/// Primary-side listener: accepts one connection per secondary. Every
+/// connection shares the listener's event loop; per connection there is a
+/// propagator sink (queue) whose wakeup hook schedules a pump task that
+/// encodes records into frames and hands them to the connection's bounded
+/// output buffer. When a slow secondary's buffer hits max_output_bytes the
+/// pump simply stops pulling from the sink (backpressure) until the drain
+/// callback fires — nothing buffers unboundedly in userspace.
 class ReplicationListener {
  public:
   struct Options {
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;  // 0 = ephemeral; see port() after Start
+    /// Shared reactor; nullptr = the listener owns (and starts) its own.
+    net::EventLoop* loop = nullptr;
+    /// Coalesce records into BATCH frames (false = one DATA frame per
+    /// record, the PR 8 wire shape).
+    bool batching = true;
+    std::size_t max_batch_records = 128;
+    std::size_t max_batch_bytes = 256 * 1024;
+    /// > 0: hold a partial batch this long for more records before
+    /// flushing it (throughput over latency); 0 = flush a partial batch as
+    /// soon as the sink runs dry.
+    std::chrono::milliseconds batch_flush_interval{0};
+    /// Per-connection output-buffer ceiling; at or above it the pump stops
+    /// pulling from the propagator sink for that connection.
+    std::size_t max_output_bytes = 1 << 20;
   };
 
   struct Stats {
     std::uint64_t connections_accepted = 0;
     std::uint64_t records_streamed = 0;
     std::uint64_t replay_attaches = 0;  // HELLOs answered via AttachSinkAt
+    std::uint64_t frames_sent = 0;      // DATA + BATCH frames
+    std::uint64_t batch_frames_sent = 0;
+    std::uint64_t bytes_sent = 0;    // wire bytes accepted by the kernel
+    std::uint64_t writev_calls = 0;  // flush syscalls across connections
+    std::uint64_t flushes = 0;       // flushes that fully drained a buffer
+    std::uint64_t backpressure_stalls = 0;  // pump paused on a full buffer
   };
 
   ReplicationListener(Propagator* propagator, Options options);
@@ -63,6 +126,7 @@ class ReplicationListener {
 
   std::uint16_t port() const { return port_; }
   Stats stats() const;
+  net::EventLoop* loop() { return loop_; }
 
   /// Lowest LSN any live secondary may still need for a resync: the minimum
   /// over live connections of the quiesced point at or below that
@@ -74,34 +138,71 @@ class ReplicationListener {
 
  private:
   struct Conn {
-    std::unique_ptr<FramedSocket> sock;
+    std::shared_ptr<net::Connection> nc;
+    TcpFramer framer;  // loop thread only
     BlockingQueue<PropagationRecord> sink;
-    std::thread sender;
-    std::thread acker;
     std::atomic<std::uint64_t> acked{0};
-    std::atomic<bool> done{false};  // ServeConnection finished; ignore
+    std::atomic<bool> attached{false};
+    std::atomic<bool> done{false};  // closed; ignore in MinAckFloor
+    std::atomic<bool> pump_scheduled{false};
+    // Loop-thread-only protocol state.
+    bool hello_done = false;
+    bool stalled = false;
+    std::string pending_body;  // encoded records awaiting a BATCH frame
+    std::size_t pending_n = 0;
+    bool flush_timer_armed = false;
+    net::EventLoop::TimerId flush_timer = 0;
   };
 
-  void AcceptLoop();
-  void ServeConnection(Conn* conn);
+  void OnAcceptable();
+  void OnConnBytes(const std::shared_ptr<Conn>& conn, std::string_view bytes);
+  void OnConnClosed(const std::shared_ptr<Conn>& conn);
+  void HandleFrame(const std::shared_ptr<Conn>& conn,
+                   const std::string& frame);
+  /// Attach worker thread: full-log replays can take a while, so HELLO
+  /// handling runs off-loop (one worker serves all connections — thread
+  /// count stays O(1)).
+  void HandleAttach(const std::shared_ptr<Conn>& conn, std::uint64_t expected,
+                    std::uint64_t from_lsn);
+  void SchedulePump(const std::weak_ptr<Conn>& weak);
+  void PumpConn(const std::shared_ptr<Conn>& conn);
+  void EmitBatch(Conn* conn);
+  void WriteFrame(Conn* conn, std::string_view payload);
 
   Propagator* propagator_;
   Options options_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
-  std::thread acceptor_;
+  std::unique_ptr<net::EventLoop> owned_loop_;
+  net::EventLoop* loop_ = nullptr;
   std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::thread attach_worker_;
+  BlockingQueue<std::function<void()>> attach_q_;
+
   mutable std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Conn>> conns_;
+  std::vector<std::shared_ptr<Conn>> conns_;  // guarded by conns_mu_
+
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> records_streamed_{0};
   std::atomic<std::uint64_t> replay_attaches_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> batch_frames_sent_{0};
+  std::atomic<std::uint64_t> backpressure_stalls_{0};
+  // bytes/writev/flush counters of connections that already closed; stats()
+  // adds the live connections' counters on top.
+  std::atomic<std::uint64_t> retired_bytes_sent_{0};
+  std::atomic<std::uint64_t> retired_writev_calls_{0};
+  std::atomic<std::uint64_t> retired_flushes_{0};
 };
 
-/// Secondary-side stream client: dials the primary, handshakes, and feeds
-/// decoded records into the secondary's update queue, deduplicating any
-/// replay overlap by global sequence number. Reconnects (with a fresh
-/// handshake at the current position) whenever the connection drops.
+/// Secondary-side stream client: dials the primary (non-blocking, on the
+/// loop), handshakes, and feeds decoded records into the secondary's update
+/// queue, deduplicating any replay overlap by global sequence number.
+/// Reconnects with a fresh handshake whenever the connection drops; redial
+/// delay is exponential with a cap and jitter so a dead primary's return
+/// doesn't see the whole fleet dial in lock-step.
 class ReplicationReceiver {
  public:
   struct Options {
@@ -110,10 +211,17 @@ class ReplicationReceiver {
     /// Cumulative ack every this many accepted records (acks are advisory —
     /// TCP carries the reliability — but keep the primary's lag visible).
     std::size_t ack_interval = 64;
+    /// Initial redial delay; doubles per failed attempt up to the cap.
     std::chrono::milliseconds reconnect_backoff{50};
+    std::chrono::milliseconds reconnect_backoff_max{2000};
+    /// Redial delay randomized to delay * (1 ± jitter).
+    double reconnect_jitter = 0.2;
+    std::uint64_t jitter_seed = 0x5eedf00d;
     /// Checkpoint LSN to request the replay from when starting with
     /// expected_seq == 0 (restart-from-checkpoint; 0 = full log).
     std::size_t from_lsn = 0;
+    /// Shared reactor; nullptr = the receiver owns (and starts) its own.
+    net::EventLoop* loop = nullptr;
   };
 
   struct Stats {
@@ -121,6 +229,10 @@ class ReplicationReceiver {
     std::uint64_t duplicates_dropped = 0;
     std::uint64_t decode_rejected = 0;
     std::uint64_t reconnects = 0;
+    std::uint64_t dial_attempts = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t batch_frames_received = 0;
+    std::uint64_t bytes_received = 0;
   };
 
   ReplicationReceiver(BlockingQueue<PropagationRecord>* downstream,
@@ -142,26 +254,47 @@ class ReplicationReceiver {
   std::uint64_t next_expected() const {
     return next_expected_.load(std::memory_order_acquire);
   }
+  net::EventLoop* loop() { return loop_; }
 
  private:
-  void Run();
-  /// One connection lifetime: dial, handshake, stream until the socket
-  /// drops. Returns false when stopping.
-  bool RunOnce();
+  // All of these run on the loop thread.
+  void StartDial();
+  void OnDialDone(int fd, bool ok);
+  void OnBytes(std::string_view bytes);
+  void HandleFrame(const std::string& frame);
+  /// Returns false when the stream is damaged and the connection must drop.
+  bool HandleRecord(PropagationRecord record);
+  void OnClosed();
+  void ScheduleRedial();
 
   BlockingQueue<PropagationRecord>* downstream_;
   Options options_;
+  std::unique_ptr<net::EventLoop> owned_loop_;
+  net::EventLoop* loop_ = nullptr;
   std::atomic<bool> stopping_{false};
+  bool started_ = false;
   std::atomic<std::uint64_t> next_expected_{0};
-  bool had_connection_ = false;  // runner thread only
-  std::thread runner_;
-  std::mutex sock_mu_;
-  std::shared_ptr<FramedSocket> sock_;  // current connection, for Stop()
+
+  // Loop-thread-only state.
+  std::shared_ptr<net::Connection> current_;
+  TcpFramer framer_;
+  int pending_fd_ = -1;  // non-blocking connect in flight
+  net::EventLoop::TimerId redial_timer_ = 0;
+  bool handshaken_ = false;
+  bool had_connection_ = false;
+  std::size_t since_ack_ = 0;
+  ExponentialBackoff backoff_;
+  Rng rng_;
+  std::uint64_t conn_epoch_ = 0;  // guards stale dial callbacks
 
   std::atomic<std::uint64_t> records_delivered_{0};
   std::atomic<std::uint64_t> duplicates_dropped_{0};
   std::atomic<std::uint64_t> decode_rejected_{0};
   std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> dial_attempts_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> batch_frames_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
 };
 
 }  // namespace replication

@@ -1,5 +1,8 @@
 #include "system/remote_client.h"
 
+#include <thread>
+
+#include "common/backoff.h"
 #include "system/wire_api.h"
 
 namespace lazysi {
@@ -7,14 +10,25 @@ namespace system {
 
 using namespace wire_api;
 
-Status RemoteSite::Connect(const std::string& host, std::uint16_t port) {
-  const int fd = replication::DialTcp(host, port);
-  if (fd < 0) {
-    return Status::Unavailable("cannot reach site at " + host + ":" +
-                               std::to_string(port));
+Status RemoteSite::Connect(const std::string& host, std::uint16_t port,
+                           const ConnectOptions& options) {
+  options_ = options;
+  ExponentialBackoff backoff(options_.backoff_initial, options_.backoff_max);
+  const int attempts = options_.max_attempts > 0 ? options_.max_attempts : 1;
+  for (int attempt = 0;; ++attempt) {
+    const int fd = replication::DialTcp(host, port, options_.connect_timeout);
+    if (fd >= 0) {
+      sock_ = std::make_unique<replication::FramedSocket>(fd);
+      sock_->set_recv_timeout(options_.op_timeout);
+      return Status::OK();
+    }
+    if (attempt + 1 >= attempts) break;
+    std::this_thread::sleep_for(
+        Jittered(backoff.Next(), options_.jitter, &rng_));
   }
-  sock_ = std::make_unique<replication::FramedSocket>(fd);
-  return Status::OK();
+  return Status::Unavailable("cannot reach site at " + host + ":" +
+                             std::to_string(port) + " after " +
+                             std::to_string(attempts) + " attempts");
 }
 
 Status RemoteSite::RoundTrip(const std::string& request, std::string* reply,
@@ -26,8 +40,11 @@ Status RemoteSite::RoundTrip(const std::string& request, std::string* reply,
   }
   auto frame = sock_->Recv();
   if (!frame.has_value()) {
+    const bool timed_out = sock_->timed_out();
     sock_.reset();
-    return Status::Unavailable("site connection lost on receive");
+    return timed_out
+               ? Status::TimedOut("site reply deadline exceeded")
+               : Status::Unavailable("site connection lost on receive");
   }
   *reply = std::move(*frame);
   *offset = 0;
@@ -143,7 +160,15 @@ Result<RemoteSite::SiteStats> RemoteSite::Stats() {
   if (!replication::GetVarint(reply, &off, &stats.role) ||
       !replication::GetVarint(reply, &off, &applied) ||
       !replication::GetVarint(reply, &off, &latest) ||
-      !replication::GetVarint(reply, &off, &stats.content_hash)) {
+      !replication::GetVarint(reply, &off, &stats.content_hash) ||
+      !replication::GetVarint(reply, &off, &stats.wire_frames) ||
+      !replication::GetVarint(reply, &off, &stats.wire_batch_frames) ||
+      !replication::GetVarint(reply, &off, &stats.wire_records) ||
+      !replication::GetVarint(reply, &off, &stats.wire_bytes) ||
+      !replication::GetVarint(reply, &off, &stats.wire_writev_calls) ||
+      !replication::GetVarint(reply, &off, &stats.wire_flushes) ||
+      !replication::GetVarint(reply, &off, &stats.wire_backpressure_stalls) ||
+      !replication::GetVarint(reply, &off, &stats.wire_connections)) {
     return Status::Internal("malformed stats reply");
   }
   stats.applied_seq = static_cast<Timestamp>(applied);

@@ -1,12 +1,14 @@
 #ifndef LAZYSI_SYSTEM_REMOTE_CLIENT_H_
 #define LAZYSI_SYSTEM_REMOTE_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/timestamp.h"
@@ -21,10 +23,35 @@ namespace system {
 /// one-connection-per-client workload model.
 class RemoteSite {
  public:
+  /// Every protocol step is bounded: connects time out and retry with
+  /// jittered exponential backoff up to max_attempts; each round trip's
+  /// reply has a deadline. Without deadlines a hung or silent peer wedges
+  /// the client forever — with them the worst case is a bounded, observable
+  /// TimedOut/Unavailable.
+  struct ConnectOptions {
+    std::chrono::milliseconds connect_timeout{2000};
+    /// Total dial attempts before Connect gives up (>= 1).
+    int max_attempts = 5;
+    /// Delay before the 2nd attempt; doubles per failure up to the cap,
+    /// randomized to delay * (1 ± jitter) so a fleet of clients does not
+    /// redial a recovering site in lock-step.
+    std::chrono::milliseconds backoff_initial{50};
+    std::chrono::milliseconds backoff_max{1000};
+    double jitter = 0.2;
+    /// Per-round-trip reply deadline; 0 = wait forever. Must comfortably
+    /// exceed the server's read_block_timeout (10s default) — a begin
+    /// blocked on the freshness rule is the protocol working, not a hang.
+    std::chrono::milliseconds op_timeout{30000};
+  };
+
   RemoteSite() = default;
 
-  /// Dials the site's client port.
-  Status Connect(const std::string& host, std::uint16_t port);
+  /// Dials the site's client port (bounded retry per `options`).
+  Status Connect(const std::string& host, std::uint16_t port,
+                 const ConnectOptions& options);
+  Status Connect(const std::string& host, std::uint16_t port) {
+    return Connect(host, port, ConnectOptions());
+  }
   bool connected() const { return sock_ != nullptr && sock_->valid(); }
   void Disconnect() { sock_.reset(); }
 
@@ -51,6 +78,18 @@ class RemoteSite {
     /// Order-independent hash of the site's committed state (equal hashes
     /// across sites == equal materialized databases).
     std::uint64_t content_hash = 0;
+    /// Replication-wire counters of the site's stream endpoint: a primary
+    /// reports the outbound (sent) direction, a secondary the inbound
+    /// (received) one. `connections` is accepted connections on a primary,
+    /// reconnects on a secondary.
+    std::uint64_t wire_frames = 0;
+    std::uint64_t wire_batch_frames = 0;
+    std::uint64_t wire_records = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t wire_writev_calls = 0;
+    std::uint64_t wire_flushes = 0;
+    std::uint64_t wire_backpressure_stalls = 0;
+    std::uint64_t wire_connections = 0;
   };
   Result<SiteStats> Stats();
 
@@ -61,6 +100,8 @@ class RemoteSite {
                    std::size_t* offset);
 
   std::unique_ptr<replication::FramedSocket> sock_;
+  ConnectOptions options_;
+  Rng rng_{0xc11e47d1a1};
 };
 
 /// A client session roaming across sites (Section 4): tracks seq(c) — the

@@ -748,6 +748,11 @@ std::string ReplicatedSystem::SystemStats::ToString() const {
          << " drops=" << s.link_dropped << " corrupt=" << s.link_corrupted
          << " disc=" << s.link_disconnects << "]";
     }
+    if (!s.failed && s.link_frames_sent > 0) {
+      os << " wire[frames=" << s.link_frames_sent << "/"
+         << s.link_frames_delivered << " bytes=" << s.link_bytes_sent << "/"
+         << s.link_bytes_delivered << "]";
+    }
     os << "\n";
   }
   if (!partition_floors.empty()) {
@@ -821,6 +826,10 @@ ReplicatedSystem::SystemStats ReplicatedSystem::Stats() {
         sec.link_dropped = lk.dropped;
         sec.link_corrupted = lk.corrupted;
         sec.link_disconnects = lk.disconnects;
+        sec.link_frames_sent = lk.sent;
+        sec.link_frames_delivered = lk.delivered;
+        sec.link_bytes_sent = lk.bytes_sent;
+        sec.link_bytes_delivered = lk.bytes_delivered;
       }
     }
     stats.secondaries.push_back(sec);

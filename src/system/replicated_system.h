@@ -348,6 +348,13 @@ class ReplicatedSystem {
     std::uint64_t link_dropped = 0;
     std::uint64_t link_corrupted = 0;
     std::uint64_t link_disconnects = 0;
+    /// Byte-link wire volume: frames/bytes offered to the link toward this
+    /// secondary, and what actually arrived (the gap is loss + disconnect
+    /// windows; duplicates inflate the delivered side).
+    std::uint64_t link_frames_sent = 0;
+    std::uint64_t link_frames_delivered = 0;
+    std::uint64_t link_bytes_sent = 0;
+    std::uint64_t link_bytes_delivered = 0;
   };
 
   /// Point-in-time monitoring snapshot of the whole system.

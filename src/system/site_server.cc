@@ -1,11 +1,15 @@
 #include "system/site_server.h"
 
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <utility>
 
 #include "common/logging.h"
+#include "replication/tcp_link.h"
 #include "system/wire_api.h"
 
 namespace lazysi {
@@ -36,6 +40,14 @@ std::uint16_t SiteServer::repl_port() const {
 }
 
 Status SiteServer::Start() {
+  if (started_) return Status::FailedPrecondition("site server started twice");
+  started_ = true;
+  // One reactor for the whole site: the replication endpoint and every
+  // client connection register here, so the process's I/O thread count does
+  // not grow with either fleet size or client count.
+  loop_ = std::make_unique<net::EventLoop>();
+  loop_->Start();
+
   if (options_.role == Role::kPrimary) {
     // Durable primary: restore the database from the data directory before
     // the propagator exists, then seed the propagator at the truncated log's
@@ -86,6 +98,12 @@ Status SiteServer::Start() {
     replication::ReplicationListener::Options lo;
     lo.host = options_.host;
     lo.port = options_.repl_port;
+    lo.loop = loop_.get();
+    lo.batching = options_.repl_batching;
+    lo.max_batch_records = options_.max_batch_records;
+    lo.max_batch_bytes = options_.max_batch_bytes;
+    lo.batch_flush_interval = options_.batch_flush_interval;
+    lo.max_output_bytes = options_.max_output_bytes;
     repl_listener_ = std::make_unique<replication::ReplicationListener>(
         primary_->propagator(), lo);
     LAZYSI_RETURN_NOT_OK(repl_listener_->Start());
@@ -110,6 +128,7 @@ Status SiteServer::Start() {
     replication::ReplicationReceiver::Options ro;
     ro.primary_host = options_.primary_host;
     ro.primary_port = options_.primary_repl_port;
+    ro.loop = loop_.get();
     repl_receiver_ = std::make_unique<replication::ReplicationReceiver>(
         secondary_->update_queue(), ro);
     secondary_->Start();
@@ -123,24 +142,49 @@ Status SiteServer::Start() {
     return Status::Unavailable("site server: cannot bind client port on " +
                                options_.host);
   }
-  acceptor_ = std::thread([this] { AcceptClients(); });
+  replication::SetNonBlocking(client_listen_fd_);
+  loop_->RunInLoop([this] {
+    loop_->AddFd(client_listen_fd_, EPOLLIN,
+                 [this](std::uint32_t) { OnClientAcceptable(); });
+  });
+
+  const std::size_t workers = std::max<std::size_t>(1, options_.worker_threads);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] {
+      while (auto task = work_q_.Pop()) (*task)();
+    });
+  }
   return Status::OK();
 }
 
 void SiteServer::Stop() {
   if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
-  if (client_listen_fd_ >= 0) ::shutdown(client_listen_fd_, SHUT_RDWR);
-  if (acceptor_.joinable()) acceptor_.join();
-  if (client_listen_fd_ >= 0) {
-    ::close(client_listen_fd_);
-    client_listen_fd_ = -1;
+  if (!loop_) return;
+  // Stop accepting and sever every client connection on the loop. Each
+  // close fires OnClientClosed inline here, which queues one final pump
+  // task per connection (aborting its in-flight transaction) — all before
+  // this barrier returns, so closing the work queue next loses nothing.
+  loop_->PostAndWait([this] {
+    if (client_listen_fd_ >= 0) {
+      loop_->RemoveFd(client_listen_fd_);
+      ::close(client_listen_fd_);
+      client_listen_fd_ = -1;
+    }
+    std::vector<std::shared_ptr<ClientConn>> conns;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns = conns_;
+    }
+    for (auto& conn : conns) conn->nc->Close();
+  });
+  work_q_.Close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
   }
+  workers_.clear();
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto& conn : conns_) conn->sock->ShutdownNow();
-    for (auto& conn : conns_) {
-      if (conn->thread.joinable()) conn->thread.join();
-    }
     conns_.clear();
   }
   if (repl_receiver_) repl_receiver_->Stop();
@@ -149,35 +193,143 @@ void SiteServer::Stop() {
   if (repl_listener_) repl_listener_->Stop();
   if (primary_) primary_->Stop();
   if (durable_log_) durable_log_->Close();
+  loop_->Stop();
 }
 
-void SiteServer::AcceptClients() {
+SiteServer::WireStats SiteServer::wire_stats() const {
+  WireStats wire;
+  if (repl_listener_) {
+    const auto stats = repl_listener_->stats();
+    wire.frames = stats.frames_sent;
+    wire.batch_frames = stats.batch_frames_sent;
+    wire.records = stats.records_streamed;
+    wire.bytes = stats.bytes_sent;
+    wire.writev_calls = stats.writev_calls;
+    wire.flushes = stats.flushes;
+    wire.backpressure_stalls = stats.backpressure_stalls;
+    wire.connections = stats.connections_accepted;
+  } else if (repl_receiver_) {
+    const auto stats = repl_receiver_->stats();
+    wire.frames = stats.frames_received;
+    wire.batch_frames = stats.batch_frames_received;
+    wire.records = stats.records_delivered;
+    wire.bytes = stats.bytes_received;
+    wire.connections = stats.reconnects;
+  }
+  return wire;
+}
+
+void SiteServer::OnClientAcceptable() {
   for (;;) {
-    const int fd = replication::AcceptOn(client_listen_fd_);
-    if (fd < 0) break;
+    int fd;
+    do {
+      fd = ::accept(client_listen_fd_, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return;  // EAGAIN: drained the backlog
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
-      break;
+      return;
     }
-    auto conn = std::make_unique<ClientConn>();
-    conn->sock = std::make_unique<replication::FramedSocket>(fd);
-    ClientConn* raw = conn.get();
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      conns_.push_back(std::move(conn));
-    }
-    raw->thread = std::thread([this, raw] { ServeClient(raw->sock.get()); });
+    replication::SetTcpNoDelay(fd);
+    auto conn = std::make_shared<ClientConn>();
+    std::weak_ptr<ClientConn> weak = conn;
+    net::Connection::Callbacks cbs;
+    cbs.on_bytes = [this, weak](net::Connection&, std::string_view bytes) {
+      if (auto conn = weak.lock()) OnClientBytes(conn, bytes);
+    };
+    cbs.on_close = [this, weak](net::Connection&) {
+      if (auto conn = weak.lock()) OnClientClosed(conn);
+    };
+    conn->nc = net::Connection::Adopt(loop_.get(), fd,
+                                      net::Connection::Options{}, cbs);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
   }
 }
 
-void SiteServer::ServeClient(replication::FramedSocket* sock) {
-  std::unique_ptr<txn::Transaction> txn;
-  while (auto request = sock->Recv()) {
-    std::string reply = HandleRequest(*request, &txn);
-    if (!sock->Send(reply)) break;
+void SiteServer::OnClientBytes(const std::shared_ptr<ClientConn>& conn,
+                               std::string_view bytes) {
+  if (!conn->framer.Feed(bytes)) {
+    conn->nc->Close();
+    return;
   }
-  // Connection gone mid-transaction: abandon it (SI: nothing was installed).
-  if (txn) txn->Abort();
+  bool added = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    while (auto frame = conn->framer.Next()) {
+      conn->pending.push_back(std::move(*frame));
+      added = true;
+    }
+  }
+  if (conn->framer.poisoned()) {
+    conn->nc->Close();
+    // Fall through: frames decoded before the poison still get answered.
+  }
+  if (!added) return;
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (!conn->running) {
+      conn->running = true;
+      schedule = true;
+    }
+  }
+  if (schedule) work_q_.Push([this, conn] { PumpClient(conn); });
+}
+
+void SiteServer::OnClientClosed(const std::shared_ptr<ClientConn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+      if (it->get() == conn.get()) {
+        conns_.erase(it);
+        break;
+      }
+    }
+  }
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closed = true;
+    if (!conn->running) {
+      conn->running = true;
+      schedule = true;
+    }
+  }
+  // One final pump aborts the in-flight transaction once the queue drains
+  // (SI: nothing the transaction wrote was installed).
+  if (schedule) work_q_.Push([this, conn] { PumpClient(conn); });
+}
+
+void SiteServer::PumpClient(const std::shared_ptr<ClientConn>& conn) {
+  for (;;) {
+    std::string request;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->pending.empty()) {
+        request = std::move(conn->pending.front());
+        conn->pending.pop_front();
+        have = true;
+      } else if (!conn->closed) {
+        conn->running = false;
+        return;
+      }
+    }
+    if (!have) {
+      // Closed and drained: connection gone mid-transaction, abandon it.
+      if (conn->txn) {
+        conn->txn->Abort();
+        conn->txn.reset();
+      }
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->running = false;
+      return;
+    }
+    std::string wire;
+    replication::AppendTcpFrame(&wire, HandleRequest(request, &conn->txn));
+    conn->nc->Write(std::move(wire));
+  }
 }
 
 std::string SiteServer::HandleRequest(
@@ -343,6 +495,18 @@ std::string SiteServer::HandleRequest(
       // Order-independent hash of the committed state, for cross-site and
       // cross-restart equality checks.
       replication::PutVarint(&reply, db_.ContentHash());
+      // Replication-wire counters ride along with the hash: frames,
+      // batch frames, records, bytes, writev calls, full-drain flushes,
+      // backpressure stalls, connections/reconnects (wire_api.h).
+      const WireStats wire = wire_stats();
+      replication::PutVarint(&reply, wire.frames);
+      replication::PutVarint(&reply, wire.batch_frames);
+      replication::PutVarint(&reply, wire.records);
+      replication::PutVarint(&reply, wire.bytes);
+      replication::PutVarint(&reply, wire.writev_calls);
+      replication::PutVarint(&reply, wire.flushes);
+      replication::PutVarint(&reply, wire.backpressure_stalls);
+      replication::PutVarint(&reply, wire.connections);
       return reply;
     }
     default:

@@ -4,15 +4,20 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/queue.h"
 #include "common/status.h"
 #include "engine/checkpointer.h"
 #include "engine/database.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
 #include "replication/framed_socket.h"
 #include "replication/primary.h"
 #include "replication/secondary.h"
@@ -27,6 +32,14 @@ namespace system {
 /// serving the client wire API (wire_api.h) on its own port. This is the
 /// process-per-site deployment shape of Figure 1 — lazysi_server wraps one
 /// of these per process, and scripts/run_cluster.sh starts a fleet.
+///
+/// All of the site's sockets — the replication stream and every client
+/// connection — are registered on one shared net::EventLoop; requests are
+/// executed by a small fixed worker pool (client begins may legitimately
+/// block on the freshness rule, so they cannot run on the loop thread). The
+/// process's I/O thread count is therefore O(1) in the number of
+/// connections: loop + workers + the replication attach worker, regardless
+/// of how many clients or secondaries attach.
 class SiteServer {
  public:
   enum class Role { kPrimary, kSecondary };
@@ -57,6 +70,33 @@ class SiteServer {
     std::size_t max_group_bytes = 1 << 20;
     /// Checkpoint-and-truncate cadence; 0 = no background checkpoints.
     std::chrono::milliseconds checkpoint_interval{0};
+    /// Request-execution pool width. A worker is held for the duration of
+    /// one request, including a begin/wait blocked on the freshness rule,
+    /// so this bounds the number of concurrently *blocked* clients, not
+    /// just concurrently computing ones.
+    std::size_t worker_threads = 4;
+    /// Propagation-wire batching knobs (primary only; see
+    /// ReplicationListener::Options).
+    bool repl_batching = true;
+    std::size_t max_batch_records = 128;
+    std::size_t max_batch_bytes = 256 * 1024;
+    std::chrono::milliseconds batch_flush_interval{0};
+    std::size_t max_output_bytes = 1 << 20;
+  };
+
+  /// Role-neutral wire counters of the site's replication endpoint, shipped
+  /// in the kOpStats reply next to the state ContentHash. On a primary they
+  /// describe the outbound propagation stream (sent); on a secondary the
+  /// inbound one (received).
+  struct WireStats {
+    std::uint64_t frames = 0;  // DATA+BATCH frames sent / received
+    std::uint64_t batch_frames = 0;
+    std::uint64_t records = 0;  // streamed / delivered
+    std::uint64_t bytes = 0;
+    std::uint64_t writev_calls = 0;         // primary flush syscalls
+    std::uint64_t flushes = 0;              // full-drain flushes
+    std::uint64_t backpressure_stalls = 0;  // primary pump pauses
+    std::uint64_t connections = 0;          // accepted / reconnects
   };
 
   explicit SiteServer(Options options);
@@ -80,15 +120,31 @@ class SiteServer {
   const engine::Database::RestoreReport& restore_report() const {
     return restore_report_;
   }
+  WireStats wire_stats() const;
 
  private:
   struct ClientConn {
-    std::unique_ptr<replication::FramedSocket> sock;
-    std::thread thread;
+    std::shared_ptr<net::Connection> nc;
+    replication::TcpFramer framer;  // loop thread only
+
+    std::mutex mu;
+    std::deque<std::string> pending;  // complete request frames, in order
+    bool running = false;             // a worker is draining this connection
+    bool closed = false;
+
+    /// The connection's at-most-one in-flight transaction. Touched only by
+    /// the worker currently draining the connection (`running` serializes).
+    std::unique_ptr<txn::Transaction> txn;
   };
 
-  void AcceptClients();
-  void ServeClient(replication::FramedSocket* sock);
+  void OnClientAcceptable();
+  void OnClientBytes(const std::shared_ptr<ClientConn>& conn,
+                     std::string_view bytes);
+  void OnClientClosed(const std::shared_ptr<ClientConn>& conn);
+  /// Worker task: drains the connection's pending requests in order, one
+  /// worker at a time per connection; aborts the in-flight transaction once
+  /// the connection is closed and drained.
+  void PumpClient(const std::shared_ptr<ClientConn>& conn);
   /// Builds the reply frame for one request. `txn` is the connection's
   /// at-most-one in-flight transaction.
   std::string HandleRequest(const std::string& request,
@@ -107,12 +163,17 @@ class SiteServer {
   std::unique_ptr<replication::Secondary> secondary_;
   std::unique_ptr<replication::ReplicationReceiver> repl_receiver_;
 
+  /// The site's one reactor: replication stream + every client connection.
+  std::unique_ptr<net::EventLoop> loop_;
+  std::vector<std::thread> workers_;
+  BlockingQueue<std::function<void()>> work_q_;
+
   int client_listen_fd_ = -1;
   std::uint16_t client_port_ = 0;
-  std::thread acceptor_;
   std::atomic<bool> stopping_{false};
+  bool started_ = false;
   std::mutex conns_mu_;
-  std::vector<std::unique_ptr<ClientConn>> conns_;
+  std::vector<std::shared_ptr<ClientConn>> conns_;
 };
 
 }  // namespace system

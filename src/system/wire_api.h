@@ -26,11 +26,20 @@ namespace wire_api {
 ///   'W' varint(seq)                    -> -           (block until applied)
 ///   'T'                                -> varint(role) varint(applied_seq)
 ///                                         varint(latest_commit_ts)
+///                                         varint(content_hash)
+///                                         8 * varint(wire counter)
 ///
 /// min_seq is the session's seq(c): a secondary blocks the begin until
 /// seq(DBsec) >= min_seq (ALG-STRONG-SESSION-SI's rule); the primary always
 /// satisfies it trivially. snapshot_prefix and commit_seq are in primary
 /// timestamp coordinates, so a client can carry its session across sites.
+///
+/// The 'T' reply's trailing wire counters describe the site's replication
+/// stream endpoint, role-neutrally: frames, batch frames, records, bytes,
+/// writev calls, full-drain flushes, backpressure stalls, connections. A
+/// primary reports the outbound (sent) direction and accepted connections;
+/// a secondary the inbound (received) direction and its reconnect count
+/// (see SiteServer::WireStats).
 inline constexpr char kOpBegin = 'B';
 inline constexpr char kOpGet = 'G';
 inline constexpr char kOpPut = 'P';

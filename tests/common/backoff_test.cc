@@ -43,5 +43,42 @@ TEST(BackoffTest, DegenerateBoundsAreSanitized) {
   EXPECT_EQ(inverted.Next(), milliseconds(8));
 }
 
+TEST(BackoffTest, JitteredStaysWithinFraction) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = Jittered(milliseconds(100), 0.2, &rng);
+    EXPECT_GE(d, milliseconds(80));
+    EXPECT_LE(d, milliseconds(120));
+  }
+}
+
+TEST(BackoffTest, JitteredActuallyVaries) {
+  // The whole point is to desynchronize a fleet: identical inputs must not
+  // keep producing identical outputs.
+  Rng rng(7);
+  bool varied = false;
+  const auto first = Jittered(milliseconds(1000), 0.5, &rng);
+  for (int i = 0; i < 50 && !varied; ++i) {
+    varied = Jittered(milliseconds(1000), 0.5, &rng) != first;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(BackoffTest, JitteredPassesThroughWithoutRngOrFraction) {
+  Rng rng(1);
+  EXPECT_EQ(Jittered(milliseconds(100), 0.0, &rng), milliseconds(100));
+  EXPECT_EQ(Jittered(milliseconds(100), -1.0, &rng), milliseconds(100));
+  EXPECT_EQ(Jittered(milliseconds(100), 0.3, nullptr), milliseconds(100));
+}
+
+TEST(BackoffTest, JitteredNeverReturnsBelowOneMillisecond) {
+  // Tiny delays with full jitter could round to zero and turn a backoff
+  // loop into a busy spin; the floor prevents that.
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(Jittered(milliseconds(1), 1.0, &rng), milliseconds(1));
+  }
+}
+
 }  // namespace
 }  // namespace lazysi

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "engine/database.h"
+#include "net/event_loop.h"
 #include "replication/primary.h"
 #include "replication/secondary.h"
 
@@ -20,10 +24,10 @@ using namespace std::chrono_literals;
 struct PrimaryProc {
   engine::Database db;
   Primary primary{&db};
-  ReplicationListener listener{primary.propagator(),
-                               ReplicationListener::Options{}};
+  ReplicationListener listener;
 
-  PrimaryProc() {
+  explicit PrimaryProc(ReplicationListener::Options options = {})
+      : listener(primary.propagator(), std::move(options)) {
     EXPECT_TRUE(listener.Start().ok());
     primary.Start();
   }
@@ -142,6 +146,146 @@ TEST(TcpReplicationTest, ReceiverOutlivesLateListener) {
   EXPECT_EQ(secondary.db.StateHash(), primary_db.StateHash());
   primary.Stop();
   listener.Stop();
+}
+
+TEST(TcpReplicationTest, BatchingDifferentialConvergesToIdenticalState) {
+  // Same workload over both wire shapes — coalesced BATCH frames and the
+  // PR 8 one-DATA-frame-per-record mode — must materialize the same
+  // database. The workload commits before the secondary attaches, so the
+  // replay burst is what crosses the wire and batching has runs to coalesce.
+  ReplicationListener::Options batched;
+  batched.batch_flush_interval = 10ms;
+  ReplicationListener::Options unbatched;
+  unbatched.batching = false;
+
+  PrimaryProc p_on(batched);
+  PrimaryProc p_off(unbatched);
+  const Timestamp last_on = p_on.PutN(200, "v");
+  const Timestamp last_off = p_off.PutN(200, "v");
+
+  SecondaryProc s_on(p_on.listener.port());
+  SecondaryProc s_off(p_off.listener.port());
+  ASSERT_TRUE(s_on.secondary.WaitForSeq(last_on, 10000ms));
+  ASSERT_TRUE(s_off.secondary.WaitForSeq(last_off, 10000ms));
+
+  EXPECT_EQ(s_on.db.StateHash(), p_on.db.StateHash());
+  EXPECT_EQ(s_off.db.StateHash(), p_off.db.StateHash());
+  // Identical workloads, identical state — across the wire shapes too.
+  EXPECT_EQ(s_on.db.StateHash(), s_off.db.StateHash());
+
+  const auto on = p_on.listener.stats();
+  const auto off = p_off.listener.stats();
+  EXPECT_EQ(on.records_streamed, off.records_streamed);
+  // Batching mode emits only BATCH frames; legacy mode none.
+  EXPECT_GT(on.batch_frames_sent, 0u);
+  EXPECT_EQ(on.batch_frames_sent, on.frames_sent);
+  EXPECT_EQ(off.batch_frames_sent, 0u);
+  EXPECT_EQ(off.frames_sent, off.records_streamed);
+  // The point of the exercise: the replay burst coalesces, so the batched
+  // wire moves the same records in far fewer frames (and fewer syscalls —
+  // the bench quantifies that; here we assert the shape).
+  EXPECT_LT(on.frames_sent, off.frames_sent / 2);
+}
+
+TEST(TcpReplicationTest, CutStormConvergesWithBatchingOnAndOff) {
+  // Chaos row for the batched wire: repeated mid-stream connection cuts
+  // force reconnect + sync-point replay + dedup, under both wire shapes.
+  // Whatever mix of BATCH/DATA frames and replay overlap results, the
+  // secondary must land on the primary's exact state.
+  for (const bool batching : {true, false}) {
+    SCOPED_TRACE(batching ? "batching=on" : "batching=off");
+    ReplicationListener::Options lo;
+    lo.batching = batching;
+    PrimaryProc primary(lo);
+    SecondaryProc secondary(primary.listener.port());
+
+    Timestamp last = 0;
+    for (int round = 0; round < 8; ++round) {
+      last = primary.PutN(15, "round-" + std::to_string(round));
+      // Let the stream establish and deliver, then sever it — each round
+      // cuts a live connection, not a dial still in flight.
+      ASSERT_TRUE(secondary.secondary.WaitForSeq(last, 10000ms));
+      secondary.receiver.CutConnection();
+    }
+    last = primary.PutN(15, "final");
+    ASSERT_TRUE(secondary.secondary.WaitForSeq(last, 10000ms));
+    EXPECT_EQ(secondary.db.StateHash(), primary.db.StateHash());
+    EXPECT_GE(secondary.receiver.stats().reconnects, 1u);
+  }
+}
+
+int CountOwnThreads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::stoi(line.substr(sizeof("Threads:") - 1));
+    }
+  }
+  return -1;
+}
+
+TEST(TcpReplicationTest, SharedLoopFanOutAddsNoThreadsPerConnection) {
+  // The scaling claim of the reactor: 16 stream connections sharing one
+  // event loop add zero threads — I/O threads are O(loops), not
+  // O(connections). The receivers feed bare queues (no Secondary applier
+  // stacks, which would legitimately add worker threads each).
+  net::EventLoop loop;
+  loop.Start();
+  engine::Database db;
+  Primary primary(&db);
+  ReplicationListener::Options lo;
+  lo.loop = &loop;
+  ReplicationListener listener(primary.propagator(), lo);
+  ASSERT_TRUE(listener.Start().ok());
+  primary.Start();
+  Timestamp last = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto t = db.Begin();
+    ASSERT_TRUE(t->Put("key-" + std::to_string(i), "v").ok());
+    ASSERT_TRUE(t->Commit().ok());
+    last = t->commit_ts();
+  }
+  (void)last;
+
+  const int before = CountOwnThreads();
+  ASSERT_GT(before, 0);
+
+  constexpr int kFanOut = 16;
+  std::vector<std::unique_ptr<BlockingQueue<PropagationRecord>>> sinks;
+  std::vector<std::unique_ptr<ReplicationReceiver>> receivers;
+  for (int i = 0; i < kFanOut; ++i) {
+    sinks.push_back(std::make_unique<BlockingQueue<PropagationRecord>>());
+    ReplicationReceiver::Options ro;
+    ro.primary_port = listener.port();
+    ro.loop = &loop;
+    receivers.push_back(
+        std::make_unique<ReplicationReceiver>(sinks.back().get(), ro));
+    receivers.back()->Start();
+  }
+
+  // Every receiver replays the full log to the same stream position.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  for (;;) {
+    std::uint64_t lo_seq = UINT64_MAX, hi_seq = 0;
+    for (auto& r : receivers) {
+      lo_seq = std::min(lo_seq, r->next_expected());
+      hi_seq = std::max(hi_seq, r->next_expected());
+    }
+    if (hi_seq > 0 && lo_seq == hi_seq) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "fan-out did not converge: " << lo_seq << " vs " << hi_seq;
+    std::this_thread::sleep_for(5ms);
+  }
+
+  const int during = CountOwnThreads();
+  // Zero threads per connection; allow tiny slack for runtime noise.
+  EXPECT_LE(during - before, 1) << "before=" << before << " during=" << during;
+
+  for (auto& r : receivers) r->Stop();
+  primary.Stop();
+  listener.Stop();
+  loop.Stop();
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -90,6 +91,7 @@ class ServerProcess {
 
   std::uint16_t client_port() const { return client_port_; }
   std::uint16_t repl_port() const { return repl_port_; }
+  pid_t pid() const { return pid_; }
 
  private:
   bool WaitForPorts() {
@@ -355,6 +357,69 @@ TEST_F(ProcClusterTest, PrimaryKillNineRecoversAckedCommits) {
   EXPECT_EQ(sec.Terminate(), 0);
   EXPECT_EQ(restarted.Terminate(), 0);
   std::filesystem::remove_all(data_dir);
+}
+
+/// Thread count of another process, from /proc/<pid>/status.
+int ThreadsOf(pid_t pid) {
+  std::ifstream status("/proc/" + std::to_string(pid) + "/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::stoi(line.substr(sizeof("Threads:") - 1));
+    }
+  }
+  return -1;
+}
+
+TEST_F(ProcClusterTest, FanOutKeepsPrimaryThreadCountFlat) {
+  // The reactor's scaling contract, observed from outside the process: a
+  // primary serving 16 secondary streams must run the same thread count as
+  // one serving a single stream. The pre-reactor transport spent ~3 threads
+  // per connection, which this would catch immediately.
+  ServerProcess primary_proc;
+  ASSERT_TRUE(primary_proc.Spawn("primary"));
+
+  RemoteSite primary;
+  ASSERT_TRUE(primary.Connect("127.0.0.1", primary_proc.client_port()).ok());
+  RemoteSession session;
+  PutN(&primary, &session, 20, "v");
+
+  std::vector<std::unique_ptr<ServerProcess>> secondaries;
+  auto add_secondary = [&](int site_id) {
+    secondaries.push_back(std::make_unique<ServerProcess>());
+    ASSERT_TRUE(secondaries.back()->Spawn("secondary",
+                                          primary_proc.repl_port(), site_id));
+    RemoteSite replica;
+    ASSERT_TRUE(
+        replica.Connect("127.0.0.1", secondaries.back()->client_port()).ok());
+    ASSERT_TRUE(replica.WaitSeq(session.seq()).ok());
+  };
+
+  add_secondary(1);
+  const int threads_with_one = ThreadsOf(primary_proc.pid());
+  ASSERT_GT(threads_with_one, 0);
+
+  for (int site = 2; site <= 16; ++site) add_secondary(site);
+  const int threads_with_sixteen = ThreadsOf(primary_proc.pid());
+  ASSERT_GT(threads_with_sixteen, 0);
+
+  // 15 extra connections, zero extra threads (slack of 2 for runtime
+  // helpers that may appear lazily — far below even one thread per conn).
+  EXPECT_LE(threads_with_sixteen - threads_with_one, 2)
+      << "1 secondary: " << threads_with_one
+      << " threads; 16 secondaries: " << threads_with_sixteen;
+
+  // The stats wire agrees about the fan-out and the batched frames.
+  auto stats = primary.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->role, wire_api::kRolePrimary);
+  EXPECT_GE(stats->wire_connections, 16u);
+  EXPECT_GT(stats->wire_batch_frames, 0u);
+  EXPECT_GT(stats->wire_records, 0u);
+  EXPECT_GT(stats->wire_bytes, 0u);
+
+  for (auto& sec : secondaries) EXPECT_EQ(sec->Terminate(), 0);
+  EXPECT_EQ(primary_proc.Terminate(), 0);
 }
 
 TEST_F(ProcClusterTest, SessionBeginBlocksUntilSecondaryCatchesUp) {
