@@ -44,6 +44,11 @@ void Connection::Write(std::string bytes) {
   if (bytes.empty() || closed_.load(std::memory_order_acquire)) return;
   {
     std::lock_guard<std::mutex> lock(out_mu_);
+    // Re-check under the lock: DoClose sets closed_ before draining out_,
+    // so a write racing the close either lands before the drain (and is
+    // cleared by it) or observes closed_ here — never bytes left queued,
+    // and never a nonzero output_bytes(), on a closed connection.
+    if (closed_.load(std::memory_order_acquire)) return;
     output_bytes_.fetch_add(bytes.size(), std::memory_order_acq_rel);
     out_.push_back(std::move(bytes));
   }
@@ -114,10 +119,27 @@ void Connection::ReadReady() {
   }
 }
 
+void Connection::PauseReads(bool paused) {
+  auto self = shared_from_this();
+  loop_->RunInLoop([self, paused] {
+    if (self->close_done_ || self->read_paused_ == paused) return;
+    self->read_paused_ = paused;
+    self->UpdateEpollMask();
+  });
+}
+
 void Connection::ArmWrite(bool enable) {
   if (enable == epollout_armed_) return;
   epollout_armed_ = enable;
-  loop_->ModFd(fd_, enable ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+  UpdateEpollMask();
+}
+
+void Connection::UpdateEpollMask() {
+  // With reads paused and no flush pending the mask is empty, but EPOLLHUP /
+  // EPOLLERR are always reported, so a dying peer still reaches OnEvents.
+  std::uint32_t events = read_paused_ ? 0 : EPOLLIN;
+  if (epollout_armed_) events |= EPOLLOUT;
+  loop_->ModFd(fd_, events);
 }
 
 void Connection::Flush() {

@@ -80,6 +80,13 @@ class Connection : public std::enable_shared_from_this<Connection> {
     return output_bytes_.load(std::memory_order_acquire);
   }
 
+  /// Pauses (or resumes) read-side delivery by disarming EPOLLIN, so the
+  /// kernel socket buffer fills and TCP backpressures the peer — the
+  /// read-side analogue of the output_bytes() discipline. Safe from any
+  /// thread (applied on the loop thread); no-op after close. Bytes already
+  /// read may still be delivered once more in the current event batch.
+  void PauseReads(bool paused);
+
   /// Idempotent, any thread. on_close fires on the loop thread.
   void Close();
 
@@ -96,6 +103,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void Flush();
   void DoClose();
   void ArmWrite(bool enable);
+  /// Re-derives the epoll interest mask from read_paused_ / epollout_armed_.
+  void UpdateEpollMask();
 
   EventLoop* loop_;
   const int fd_;
@@ -111,6 +120,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   // Loop-thread-only state.
   bool close_done_ = false;
   bool epollout_armed_ = false;
+  bool read_paused_ = false;
   bool above_low_ = false;
 
   std::atomic<bool> closed_{false};

@@ -4,6 +4,7 @@
 #include <sys/eventfd.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cassert>
 #include <cerrno>
 #include <future>
@@ -148,6 +149,7 @@ void EventLoop::RemoveFd(int fd) {
   if (fds_.erase(fd) == 0) return;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   fds_registered_.store(fds_.size(), std::memory_order_relaxed);
+  if (dispatching_) removed_in_dispatch_.push_back(fd);
 }
 
 EventLoop::Stats EventLoop::stats() const {
@@ -233,6 +235,8 @@ void EventLoop::LoopBody() {
       if (errno == EINTR) continue;
       break;  // epoll fd itself broken; nothing sane left to do
     }
+    dispatching_ = true;
+    removed_in_dispatch_.clear();
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {
@@ -241,11 +245,19 @@ void EventLoop::LoopBody() {
         }
         continue;
       }
+      // An fd removed earlier in this batch stays skipped even if a new
+      // registration reused the number: the queued event belongs to the
+      // dead one, and the live one's events arrive with the next wait.
+      if (std::find(removed_in_dispatch_.begin(), removed_in_dispatch_.end(),
+                    fd) != removed_in_dispatch_.end()) {
+        continue;
+      }
       auto it = fds_.find(fd);
       if (it == fds_.end()) continue;  // removed earlier in this batch
       auto reg = it->second;           // keep the callback alive across
       reg->cb(events[i].events);       // a self-RemoveFd
     }
+    dispatching_ = false;
   }
   // Final drain so PostAndWait callers blocked during shutdown complete.
   RunTasks();

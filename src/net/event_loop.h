@@ -138,6 +138,12 @@ class EventLoop {
   // Loop-thread-only; shared_ptr so RemoveFd during a callback's own
   // dispatch cannot destroy the std::function mid-execution.
   std::unordered_map<int, std::shared_ptr<Registration>> fds_;
+  // Loop-thread-only: fds deregistered while dispatching the current
+  // epoll_wait batch. Their remaining queued events are stale — the fd
+  // number may already belong to a fresh registration (close + accept can
+  // reuse it within one batch) — and must not be dispatched.
+  bool dispatching_ = false;
+  std::vector<int> removed_in_dispatch_;
 
   std::atomic<std::uint64_t> wakeups_{0};
   std::atomic<std::uint64_t> tasks_run_{0};

@@ -351,6 +351,16 @@ void ReplicationListener::PumpConn(const std::shared_ptr<Conn>& conn) {
             auto c = weak.lock();
             if (!c || c->done.load(std::memory_order_acquire)) return;
             c->flush_timer_armed = false;
+            if (c->nc->output_bytes() >= options_.max_output_bytes) {
+              // The deadline does not override the output ceiling: stall,
+              // and let the drain callback's pump emit (or re-arm for) the
+              // held batch once the buffer comes back under the watermark.
+              if (!c->stalled) {
+                c->stalled = true;
+                backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+              }
+              return;
+            }
             EmitBatch(c.get());
           });
     }
@@ -551,7 +561,7 @@ void ReplicationReceiver::HandleFrame(const std::string& frame) {
       current_->Close();
       return;
     }
-    if (!HandleRecord(std::move(*record))) current_->Close();
+    if (!HandleRecord(std::move(*record)) && current_) current_->Close();
     return;
   }
   if (frame[0] == kReplBatchTag) {
@@ -569,9 +579,14 @@ void ReplicationReceiver::HandleFrame(const std::string& frame) {
     }
     for (auto& record : records) {
       if (!HandleRecord(std::move(record))) {
-        current_->Close();
+        if (current_) current_->Close();
         return;
       }
+      // The ACK write inside HandleRecord can fail inline (peer reset),
+      // which closes the connection and resets current_ via OnClosed; the
+      // rest of the batch must not touch the dead connection — the
+      // reconnect replay redelivers it and seq dedup drops the overlap.
+      if (!current_ || current_->closed()) return;
     }
     return;
   }
@@ -604,7 +619,10 @@ bool ReplicationReceiver::HandleRecord(PropagationRecord record) {
     PutVarint(&ack, seq);
     std::string wire;
     AppendTcpFrame(&wire, ack);
-    current_->Write(std::move(wire));
+    // A previous ACK in this batch may have failed inline and torn the
+    // connection down (current_ reset by OnClosed); the record itself is
+    // applied either way, the ack just waits for the reconnect.
+    if (current_) current_->Write(std::move(wire));
     since_ack_ = 0;
   }
   return true;

@@ -63,7 +63,7 @@ int Usage(const char* argv0) {
                "       [--checkpoint-interval-ms=N] [--batching=0|1]\n"
                "       [--max-batch-records=N] [--max-batch-bytes=N]\n"
                "       [--batch-flush-ms=N] [--max-output-bytes=N]\n"
-               "       [--workers=N]\n";
+               "       [--max-pending-requests=N] [--workers=N]\n";
   return 2;
 }
 
@@ -113,6 +113,8 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds(std::stoul(value));
     } else if (ParseFlag(argv[i], "--max-output-bytes", &value)) {
       options.max_output_bytes = std::stoul(value);
+    } else if (ParseFlag(argv[i], "--max-pending-requests", &value)) {
+      options.max_pending_requests = std::stoul(value);
     } else if (ParseFlag(argv[i], "--workers", &value)) {
       options.worker_threads = std::stoul(value);
     } else {

@@ -31,7 +31,9 @@ engine::DatabaseOptions DbOptionsFor(const SiteServer::Options& options) {
 }  // namespace
 
 SiteServer::SiteServer(Options options)
-    : options_(std::move(options)), db_(DbOptionsFor(options_)) {}
+    : options_(std::move(options)), db_(DbOptionsFor(options_)) {
+  if (options_.max_pending_requests == 0) options_.max_pending_requests = 1;
+}
 
 SiteServer::~SiteServer() { Stop(); }
 
@@ -254,12 +256,25 @@ void SiteServer::OnClientBytes(const std::shared_ptr<ClientConn>& conn,
     return;
   }
   bool added = false;
+  bool pause = false;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     while (auto frame = conn->framer.Next()) {
       conn->pending.push_back(std::move(*frame));
       added = true;
     }
+    // Read-side backpressure: a client pipelining faster than the worker
+    // pool drains gets its reads parked (TCP then throttles it) instead of
+    // growing `pending` without bound. PumpClient re-arms at half the cap.
+    if (!conn->read_paused &&
+        conn->pending.size() >= options_.max_pending_requests) {
+      conn->read_paused = true;
+      pause = true;
+    }
+  }
+  if (pause) {
+    read_pauses_.fetch_add(1, std::memory_order_relaxed);
+    conn->nc->PauseReads(true);
   }
   if (conn->framer.poisoned()) {
     conn->nc->Close();
@@ -305,17 +320,24 @@ void SiteServer::PumpClient(const std::shared_ptr<ClientConn>& conn) {
   for (;;) {
     std::string request;
     bool have = false;
+    bool resume = false;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       if (!conn->pending.empty()) {
         request = std::move(conn->pending.front());
         conn->pending.pop_front();
         have = true;
+        if (conn->read_paused &&
+            conn->pending.size() <= options_.max_pending_requests / 2) {
+          conn->read_paused = false;
+          resume = true;
+        }
       } else if (!conn->closed) {
         conn->running = false;
         return;
       }
     }
+    if (resume) conn->nc->PauseReads(false);
     if (!have) {
       // Closed and drained: connection gone mid-transaction, abandon it.
       if (conn->txn) {

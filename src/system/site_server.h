@@ -82,6 +82,12 @@ class SiteServer {
     std::size_t max_batch_bytes = 256 * 1024;
     std::chrono::milliseconds batch_flush_interval{0};
     std::size_t max_output_bytes = 1 << 20;
+    /// Per-client bound on queued-but-unserved request frames: at or above
+    /// it the server stops reading that connection (EPOLLIN disarmed, TCP
+    /// backpressures the client), resuming once the workers drain the queue
+    /// to half — the read-side counterpart of max_output_bytes, so a client
+    /// pipelining faster than the worker pool cannot buffer unboundedly.
+    std::size_t max_pending_requests = 256;
   };
 
   /// Role-neutral wire counters of the site's replication endpoint, shipped
@@ -121,6 +127,11 @@ class SiteServer {
     return restore_report_;
   }
   WireStats wire_stats() const;
+  /// How many times a client connection's reads were paused because its
+  /// pending-request queue hit Options::max_pending_requests.
+  std::uint64_t read_pauses() const {
+    return read_pauses_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct ClientConn {
@@ -131,6 +142,7 @@ class SiteServer {
     std::deque<std::string> pending;  // complete request frames, in order
     bool running = false;             // a worker is draining this connection
     bool closed = false;
+    bool read_paused = false;  // EPOLLIN disarmed: pending hit the cap
 
     /// The connection's at-most-one in-flight transaction. Touched only by
     /// the worker currently draining the connection (`running` serializes).
@@ -172,6 +184,7 @@ class SiteServer {
   std::uint16_t client_port_ = 0;
   std::atomic<bool> stopping_{false};
   bool started_ = false;
+  std::atomic<std::uint64_t> read_pauses_{0};
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<ClientConn>> conns_;
 };

@@ -1,0 +1,101 @@
+#include "net/connection.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/event_loop.h"
+
+namespace lazysi {
+namespace net {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ConnectionTest, CloseRacingWritesLeavesNoQueuedOutput) {
+  // Write checks closed_ and then queues under out_mu_; if DoClose drains
+  // the buffer between the two, the late bytes must not stay queued forever
+  // — output_bytes() on a closed connection would otherwise read nonzero
+  // and wedge a producer polling it for backpressure. Hammer the race: the
+  // invariant is that a closed connection always settles at zero.
+  for (int round = 0; round < 20; ++round) {
+    EventLoop loop;
+    loop.Start();
+    int s[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, s), 0);
+    std::shared_ptr<Connection> conn;
+    loop.PostAndWait([&] {
+      conn = Connection::Adopt(&loop, s[0], Connection::Options{},
+                               Connection::Callbacks{});
+    });
+    // The peer never reads, so writes pile up in the output buffer and the
+    // close has real bytes to drop.
+    std::thread writer([&] {
+      for (int i = 0; i < 1000; ++i) conn->Write("0123456789abcdef");
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+    conn->Close();
+    writer.join();
+    loop.PostAndWait([] {});  // DoClose and any posted flush task ran
+    EXPECT_EQ(conn->output_bytes(), 0u) << "round " << round;
+    loop.Stop();
+    ::close(s[1]);
+  }
+}
+
+TEST(ConnectionTest, PauseReadsParksDeliveryUntilResumed) {
+  EventLoop loop;
+  loop.Start();
+  int s[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, s), 0);
+
+  std::mutex mu;
+  std::string received;
+  Connection::Callbacks cbs;
+  cbs.on_bytes = [&](Connection&, std::string_view bytes) {
+    std::lock_guard<std::mutex> lock(mu);
+    received.append(bytes);
+  };
+  std::shared_ptr<Connection> conn;
+  loop.PostAndWait([&] {
+    conn = Connection::Adopt(&loop, s[0], Connection::Options{},
+                             std::move(cbs));
+  });
+
+  conn->PauseReads(true);
+  loop.PostAndWait([] {});  // mask change applied
+  ASSERT_EQ(::write(s[1], "hello", 5), 5);
+  std::this_thread::sleep_for(50ms);
+  loop.PostAndWait([] {});
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(received.empty())
+        << "bytes delivered while reads were paused: " << received;
+  }
+
+  conn->PauseReads(false);
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (received == "hello") break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(1ms);
+  }
+
+  conn->Close();
+  loop.PostAndWait([] {});
+  loop.Stop();
+  ::close(s[1]);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace lazysi

@@ -1,6 +1,8 @@
 #include "replication/tcp_replication.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <fstream>
@@ -13,6 +15,7 @@
 #include "net/event_loop.h"
 #include "replication/primary.h"
 #include "replication/secondary.h"
+#include "replication/wire.h"
 
 namespace lazysi {
 namespace replication {
@@ -212,6 +215,93 @@ TEST(TcpReplicationTest, CutStormConvergesWithBatchingOnAndOff) {
     EXPECT_EQ(secondary.db.StateHash(), primary.db.StateHash());
     EXPECT_GE(secondary.receiver.stats().reconnects, 1u);
   }
+}
+
+/// Reads the receiver's HELLO off a fake-primary socket and returns the
+/// stream position it expects.
+std::uint64_t ReadHelloExpected(FramedSocket* peer) {
+  auto hello = peer->Recv();
+  EXPECT_TRUE(hello.has_value());
+  if (!hello.has_value()) return 0;
+  EXPECT_EQ((*hello)[0], kReplHelloTag);
+  std::size_t off = 1;
+  std::uint64_t expected = 0;
+  EXPECT_TRUE(GetVarint(*hello, &off, &expected));
+  return expected;
+}
+
+/// WELCOME at `base` plus one BATCH of `n` start records seq base..base+n-1,
+/// as one wire blob.
+std::string WelcomeAndBatch(std::uint64_t base, std::uint64_t n) {
+  std::string welcome(1, kReplWelcomeTag);
+  PutVarint(&welcome, base);
+  std::string wire;
+  AppendTcpFrame(&wire, welcome);
+  std::vector<PropagationRecord> records;
+  records.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    records.push_back(PropStart{base + i + 1, base + i + 1, base + i});
+  }
+  AppendTcpFrame(&wire, EncodeBatchFramePayload(records));
+  return wire;
+}
+
+TEST(TcpReplicationTest, ReceiverSurvivesPeerResetDuringBatchApply) {
+  // Regression: with ack_interval = 1 every record of a BATCH frame writes
+  // an ACK from inside the batch-apply loop. A peer reset racing the apply
+  // makes one of those writes fail inline, which tears the connection down
+  // (and nulls the receiver's connection handle) while the loop still holds
+  // records; the receiver must abandon the rest of the batch — the
+  // reconnect replay redelivers it — instead of crashing on the dead
+  // connection.
+  std::uint16_t port = 0;
+  const int lfd = ListenOn("127.0.0.1", 0, &port);
+  ASSERT_GE(lfd, 0);
+
+  BlockingQueue<PropagationRecord> sink;
+  ReplicationReceiver receiver(&sink, [port] {
+    ReplicationReceiver::Options o;
+    o.primary_port = port;
+    o.ack_interval = 1;
+    o.reconnect_backoff = std::chrono::milliseconds(5);
+    o.reconnect_backoff_max = std::chrono::milliseconds(20);
+    return o;
+  }());
+  receiver.Start();
+
+  for (int round = 0; round < 8; ++round) {
+    const int cfd = AcceptOn(lfd);
+    ASSERT_GE(cfd, 0);
+    FramedSocket peer(cfd);
+    const std::uint64_t base = ReadHelloExpected(&peer);
+    ASSERT_TRUE(SendAll(peer.fd(), WelcomeAndBatch(base, 4096)));
+    // Reset, not FIN: queued data stays deliverable, but the receiver's
+    // in-batch ACK writes start failing the instant the RST lands — for
+    // most rounds, mid-apply.
+    struct linger lg;
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(peer.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    peer.Close();
+  }
+
+  // Survival check: the receiver still redials and applies a cleanly
+  // delivered tail to completion.
+  const int cfd = AcceptOn(lfd);
+  ASSERT_GE(cfd, 0);
+  FramedSocket peer(cfd);
+  const std::uint64_t base = ReadHelloExpected(&peer);
+  ASSERT_TRUE(SendAll(peer.fd(), WelcomeAndBatch(base, 8)));
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (receiver.next_expected() < base + 8) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "receiver did not recover from the reset storm";
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GT(receiver.stats().records_delivered, 0u);
+  receiver.Stop();
+  peer.Close();
+  ::close(lfd);
 }
 
 int CountOwnThreads() {
